@@ -1,0 +1,42 @@
+#pragma once
+// Shared helpers for the experiment harnesses: seeded data generation and
+// the standard CLI contract (--runs, --size, --seed, --full, --csv).
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fpna/util/cli.hpp"
+#include "fpna/util/rng.hpp"
+
+namespace fpna::bench {
+
+inline std::vector<double> uniform_array(std::size_t n, double lo, double hi,
+                                         std::uint64_t seed) {
+  util::Xoshiro256pp rng(seed);
+  const util::UniformReal dist(lo, hi);
+  std::vector<double> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+inline std::vector<double> normal_array(std::size_t n, double mean,
+                                        double sigma, std::uint64_t seed) {
+  util::Xoshiro256pp rng(seed);
+  util::Normal dist(mean, sigma);
+  std::vector<double> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+/// Warns about unknown flags (after all lookups) and returns the count.
+inline int warn_unconsumed(const util::Cli& cli) {
+  const auto leftover = cli.unconsumed();
+  for (const auto& name : leftover) {
+    std::cerr << "warning: unknown flag --" << name << "\n";
+  }
+  return static_cast<int>(leftover.size());
+}
+
+}  // namespace fpna::bench

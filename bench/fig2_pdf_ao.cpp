@@ -1,0 +1,103 @@
+// Reproduces Fig. 2: PDF of the scalar variability Vs when the
+// atomicAdd-only (AO) kernel is the non-deterministic implementation,
+// x ~ U(0,10), V100 profile. The paper's finding: unlike SPA, this
+// distribution is NOT normal - the toolkit's contention-mixture scheduler
+// model reproduces the non-Gaussian shape, confirmed here by KL/KS/JB
+// side by side with SPA on identical data.
+//
+// Flags: --size --arrays --runs --seed --full --series
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "fpna/core/harness.hpp"
+#include "fpna/reduce/gpu_sum.hpp"
+#include "fpna/stats/histogram.hpp"
+#include "fpna/stats/normality.hpp"
+#include "fpna/util/table.hpp"
+
+using namespace fpna;
+
+namespace {
+
+std::vector<double> collect_vs(sim::SimDevice& device, sim::SumMethod method,
+                               std::size_t size, std::size_t arrays,
+                               std::size_t runs, std::uint64_t seed,
+                               std::size_t nt) {
+  std::vector<double> samples;
+  for (std::size_t a = 0; a < arrays; ++a) {
+    const auto data = bench::uniform_array(size, 0.0, 10.0, seed + a);
+    const auto d = [&](core::RunContext& ctx) {
+      return reduce::gpu_sum(device, data, sim::SumMethod::kSPTR, ctx, nt)
+          .value;
+    };
+    const auto nd = [&](core::RunContext& ctx) {
+      return reduce::gpu_sum(device, data, method, ctx, nt).value;
+    };
+    const auto report =
+        core::measure_scalar_variability(d, nd, runs, seed + 1000 + a);
+    samples.insert(samples.end(), report.vs_samples.begin(),
+                   report.vs_samples.end());
+  }
+  return samples;
+}
+
+void report(const std::string& label, const std::vector<double>& samples,
+            bool series) {
+  const auto summary = stats::summarize(samples);
+  const auto hist = stats::Histogram::from_samples(samples, 30);
+  const double kl =
+      stats::kl_divergence_vs_normal(hist, summary.mean, summary.stddev);
+  const auto ks = stats::ks_test_normal(samples, summary.mean, summary.stddev);
+  const auto jb = stats::jarque_bera(samples);
+  std::cout << "\n--- " << label << " ---\n"
+            << "samples: " << samples.size()
+            << "  std(Vs): " << util::sci(summary.stddev, 3)
+            << "  excess kurtosis: " << summary.excess_kurtosis << "\n"
+            << "normality: KL = " << kl << "  KS D = " << ks.statistic
+            << " (p = " << ks.p_value << ")  JB = " << jb.statistic
+            << " (p = " << jb.p_value << ")\n";
+  if (series) {
+    std::cout << "# PDF series (Vs x1e16, density):\n";
+    for (std::size_t b = 0; b < hist.bins(); ++b) {
+      std::cout << hist.bin_center(b) * 1e16 << " " << hist.density(b) << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bool full = cli.flag("full");
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 42));
+  const auto size = static_cast<std::size_t>(
+      cli.integer("size", full ? 1000000 : 65536));
+  const auto arrays =
+      static_cast<std::size_t>(cli.integer("arrays", full ? 20 : 6));
+  const auto runs =
+      static_cast<std::size_t>(cli.integer("runs", full ? 1000 : 300));
+  const auto nt = static_cast<std::size_t>(cli.integer("nt", 16));
+  const bool series = cli.flag("series", true);
+
+  util::banner(std::cout,
+               "Fig 2: PDF of Vs for the AO kernel, x ~ U(0,10), " +
+                   std::to_string(size) + " FP64 elements (V100 profile)");
+
+  sim::SimDevice device(sim::DeviceProfile::v100());
+  const auto ao =
+      collect_vs(device, sim::SumMethod::kAO, size, arrays, runs, seed, nt);
+  const auto spa =
+      collect_vs(device, sim::SumMethod::kSPA, size, arrays, runs, seed, nt);
+
+  report("AO (atomicAdd only)", ao, series);
+  report("SPA (same data, for contrast)", spa, false);
+
+  std::cout << "\nPaper reference (Fig 2, SIII.C): the AO distribution is "
+               "found NOT to be normal (wider, structured), invalidating "
+               "the Gaussian-noise assumption; SPA on the same data is "
+               "normal (by the paper's KL criterion). Expect AO to show a "
+               "distinctly larger KL and KS statistic and a wider std than "
+               "SPA.\n";
+  return bench::warn_unconsumed(cli) == 0 ? 0 : 1;
+}

@@ -1,0 +1,109 @@
+// google-benchmark microbenchmarks for the summation kernels: the real
+// wall-clock complement to the Table 4 cost model. Measures the serial,
+// pairwise, compensated and reproducible sums plus the CPU reduction
+// strategies across sizes.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fpna/core/run_context.hpp"
+#include "fpna/fp/summation.hpp"
+#include "fpna/fp/superaccumulator.hpp"
+#include "fpna/reduce/cpu_sum.hpp"
+
+namespace {
+
+const std::vector<double>& data_of_size(std::int64_t n) {
+  static std::vector<std::vector<double>> cache;
+  for (auto& v : cache) {
+    if (static_cast<std::int64_t>(v.size()) == n) return v;
+  }
+  cache.push_back(
+      fpna::bench::uniform_array(static_cast<std::size_t>(n), 0.0, 10.0, 42));
+  return cache.back();
+}
+
+void BM_SumSerial(benchmark::State& state) {
+  const auto& v = data_of_size(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(fpna::fp::sum_serial(v));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_SumPairwise(benchmark::State& state) {
+  const auto& v = data_of_size(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(fpna::fp::sum_pairwise(v, 32));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_SumKahan(benchmark::State& state) {
+  const auto& v = data_of_size(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(fpna::fp::sum_kahan(v));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_SumNeumaier(benchmark::State& state) {
+  const auto& v = data_of_size(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(fpna::fp::sum_neumaier(v));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_SumDoubleDouble(benchmark::State& state) {
+  const auto& v = data_of_size(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fpna::fp::sum_double_double(v));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_SumSuperaccumulator(benchmark::State& state) {
+  const auto& v = data_of_size(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fpna::fp::Superaccumulator::sum(v));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_CpuSumChunkedDeterministic(benchmark::State& state) {
+  const auto& v = data_of_size(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fpna::reduce::cpu_sum_chunked_deterministic(v, 8));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_CpuSumUnordered(benchmark::State& state) {
+  const auto& v = data_of_size(state.range(0));
+  std::uint64_t run = 0;
+  for (auto _ : state) {
+    fpna::core::RunContext ctx(7, run++);
+    benchmark::DoNotOptimize(fpna::reduce::cpu_sum_unordered(v, ctx, 8));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_CpuSumReproducible(benchmark::State& state) {
+  const auto& v = data_of_size(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fpna::reduce::cpu_sum_reproducible(v, 8));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+constexpr std::int64_t kSmall = 1 << 12;
+constexpr std::int64_t kLarge = 1 << 20;
+
+}  // namespace
+
+BENCHMARK(BM_SumSerial)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_SumPairwise)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_SumKahan)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_SumNeumaier)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_SumDoubleDouble)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_SumSuperaccumulator)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_CpuSumChunkedDeterministic)->Arg(kLarge);
+BENCHMARK(BM_CpuSumUnordered)->Arg(kLarge);
+BENCHMARK(BM_CpuSumReproducible)->Arg(kLarge);
+
+BENCHMARK_MAIN();

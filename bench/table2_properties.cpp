@@ -1,0 +1,52 @@
+// Reproduces Table 2: properties of the six parallel-sum implementations.
+// Unlike the paper's static table, the "deterministic" column here is
+// *measured*: each kernel is certified over many scheduler seeds.
+//
+// Flags: --seed, --runs (certification runs), --size, --csv
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "fpna/core/harness.hpp"
+#include "fpna/reduce/gpu_sum.hpp"
+#include "fpna/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fpna;
+  const util::Cli cli(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 42));
+  const auto runs = static_cast<std::size_t>(cli.integer("runs", 50));
+  const auto size = static_cast<std::size_t>(cli.integer("size", 65536));
+  const bool csv = cli.flag("csv");
+
+  util::banner(std::cout,
+               "Table 2: implementations of the parallel sum (deterministic "
+               "column certified over " + std::to_string(runs) + " seeds)");
+
+  const auto data = bench::uniform_array(size, 0.0, 10.0, seed);
+  sim::SimDevice device(sim::DeviceProfile::v100());
+
+  util::Table table({"Method", "deterministic (measured)", "# of kernels",
+                     "synchronization methods"});
+  for (const auto method :
+       {sim::SumMethod::kCU, sim::SumMethod::kSPTR, sim::SumMethod::kSPRG,
+        sim::SumMethod::kTPRC, sim::SumMethod::kSPA, sim::SumMethod::kAO}) {
+    const auto kernel = [&](core::RunContext& ctx) {
+      return reduce::gpu_sum(device, data, method, ctx, 256).value;
+    };
+    const auto cert = core::certify_deterministic_scalar(kernel, runs, seed);
+    table.add_row({sim::to_string(method), cert.deterministic ? "Yes" : "No",
+                   method == sim::SumMethod::kCU
+                       ? "-"
+                       : std::to_string(sim::kernel_count(method)),
+                   sim::synchronization_method(method)});
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+    std::cout << "\nPaper reference (Table 2): CU/SPTR/SPRG/TPRC "
+                 "deterministic; SPA/AO not.\n";
+  }
+  return bench::warn_unconsumed(cli) == 0 ? 0 : 1;
+}

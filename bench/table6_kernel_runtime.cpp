@@ -1,0 +1,94 @@
+// Reproduces Table 6: average kernel runtime for scatter_reduce (sum and
+// mean; input dim 1000, R = 0.5) and index_add (1000 x 1000, R = 0.5) on
+// the H100 profile (deterministic and non-deterministic implementations)
+// and on the Groq LPU model (deterministic by construction).
+//
+// "N/A" entries match the paper: scatter_reduce has no deterministic GPU
+// kernel (PyTorch raises a runtime error when one is requested - see
+// SIV), and the LPU has no non-deterministic mode at all.
+//
+// Flags: --csv
+
+#include <iostream>
+#include <optional>
+
+#include "bench_common.hpp"
+#include "fpna/sim/cost_model.hpp"
+#include "fpna/sim/lpu.hpp"
+#include "fpna/util/table.hpp"
+
+using namespace fpna;
+
+namespace {
+
+std::string us_or_na(const std::optional<double>& us) {
+  return us.has_value() ? util::fixed(*us, 1) : "N/A";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bool csv = cli.flag("csv");
+
+  util::banner(std::cout,
+               "Table 6: kernel runtime for scatter_reduce and index_add, "
+               "H100 profile vs Groq LPU model (us)");
+
+  const auto h100 = sim::DeviceProfile::h100();
+  const sim::LpuDevice lpu;
+
+  // Paper workloads: scatter_reduce over 1000 elements (R = 0.5);
+  // index_add over a 1000 x 1000 source (1e6 contributions).
+  constexpr std::size_t kScatterN = 1000;
+  constexpr std::size_t kIndexAddN = 1000ull * 1000ull;
+
+  util::Table table({"Operation", "Implementation", "H100 (us)", "Groq (us)"});
+  table.add_row({"scatter_reduce (sum)", "D",
+                 us_or_na(sim::estimated_indexed_op_time_us(
+                     h100, sim::IndexedOpKind::kScatterReduceSum, kScatterN,
+                     true)),
+                 util::fixed(
+                     lpu.op_time_us(sim::LpuOp::kScatterReduceSum, kScatterN),
+                     1)});
+  table.add_row({"scatter_reduce (sum)", "ND",
+                 us_or_na(sim::estimated_indexed_op_time_us(
+                     h100, sim::IndexedOpKind::kScatterReduceSum, kScatterN,
+                     false)),
+                 "N/A"});
+  table.add_row({"scatter_reduce (mean)", "D",
+                 us_or_na(sim::estimated_indexed_op_time_us(
+                     h100, sim::IndexedOpKind::kScatterReduceMean, kScatterN,
+                     true)),
+                 util::fixed(
+                     lpu.op_time_us(sim::LpuOp::kScatterReduceMean, kScatterN),
+                     1)});
+  table.add_row({"scatter_reduce (mean)", "ND",
+                 us_or_na(sim::estimated_indexed_op_time_us(
+                     h100, sim::IndexedOpKind::kScatterReduceMean, kScatterN,
+                     false)),
+                 "N/A"});
+  table.add_row(
+      {"index_add", "D",
+       us_or_na(sim::estimated_indexed_op_time_us(
+           h100, sim::IndexedOpKind::kIndexAdd, kIndexAddN, true)),
+       util::fixed(lpu.op_time_us(sim::LpuOp::kIndexAdd, kIndexAddN), 1)});
+  table.add_row(
+      {"index_add", "ND",
+       us_or_na(sim::estimated_indexed_op_time_us(
+           h100, sim::IndexedOpKind::kIndexAdd, kIndexAddN, false)),
+       "N/A"});
+
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+    std::cout
+        << "\nPaper reference (Table 6): scatter_reduce sum ND 30.2 us / "
+           "mean ND 74.9 us on H100 with no deterministic option; "
+           "index_add D 161 us vs ND 12.8 us; Groq LPU 10.5 / 28.9 / 12.0 "
+           "us, deterministic and faster than every GPU implementation "
+           "for these ops.\n";
+  }
+  return bench::warn_unconsumed(cli) == 0 ? 0 : 1;
+}

@@ -1,0 +1,137 @@
+// Scenario: tolerance-based correctness testing in a molecular-simulation
+// code (the CP2K situation from the paper's SIII: regression tests
+// compare energies against references with tolerances as tight as 1e-14).
+//
+// This example builds a miniature "energy calculation" whose inner loop
+// is a large parallel reduction, then shows the three regimes:
+//   1. a tight tolerance FLAKES under a non-deterministic reduction -
+//      identical physics, identical inputs, sporadic failures;
+//   2. a bug of roughly the noise magnitude (one interaction term
+//      accidentally rounded through FP32 - a classic mixed-precision
+//      slip) cannot be detected reliably at ANY tolerance: tight
+//      tolerances flag clean runs, widened ones pass buggy runs;
+//   3. a reproducible reduction makes the test exact: zero tolerance,
+//      zero flakiness, and the same bug is caught on every run.
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "fpna/core/run_context.hpp"
+#include "fpna/fp/bits.hpp"
+#include "fpna/fp/superaccumulator.hpp"
+#include "fpna/reduce/cpu_sum.hpp"
+#include "fpna/util/rng.hpp"
+#include "fpna/util/table.hpp"
+
+namespace {
+
+using namespace fpna;
+
+// A toy pairwise "energy": ~800k positive interaction terms (think
+// short-range repulsions). The physics is irrelevant; what matters is the
+// shape: a large reduction whose FPNA noise floor sits near real codes'
+// tightest tolerances.
+std::vector<double> interaction_terms(std::size_t particles,
+                                      std::uint64_t seed) {
+  util::Xoshiro256pp rng(seed);
+  util::Normal magnitude(1.0, 0.3);
+  std::vector<double> terms;
+  terms.reserve(particles * 8);
+  for (std::size_t i = 0; i < particles * 8; ++i) {
+    terms.push_back(std::fabs(magnitude(rng)) + 0.01);
+  }
+  return terms;
+}
+
+int count_failures(const std::vector<double>& terms, double reference,
+                   double tolerance, int runs, std::uint64_t seed) {
+  int failures = 0;
+  for (int run = 0; run < runs; ++run) {
+    core::RunContext ctx(seed, static_cast<std::uint64_t>(run));
+    const double energy = reduce::cpu_sum_unordered(terms, ctx, 1024);
+    if (std::fabs(energy - reference) / std::fabs(reference) > tolerance) {
+      ++failures;
+    }
+  }
+  return failures;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kParticles = 100000;
+  constexpr int kCiRuns = 40;
+  const auto terms = interaction_terms(kParticles, 42);
+
+  // Certified reference energy (reproducible reduction), checked in once.
+  const double reference = fp::Superaccumulator::sum(terms);
+  std::cout << "reference energy: " << util::sci(reference) << "  ("
+            << terms.size() << " interaction terms)\n";
+
+  // The injected bug: ONE term accidentally passes through FP32 (a cast
+  // in a "fast path"). Silent, and at the noise scale of the reduction.
+  auto buggy_terms = terms;
+  buggy_terms[12345] = static_cast<double>(static_cast<float>(terms[12345]));
+  const double buggy_reference = fp::Superaccumulator::sum(buggy_terms);
+  const double bug_shift =
+      std::fabs(buggy_reference - reference) / std::fabs(reference);
+  std::cout << "injected bug (one term rounded through FP32) shifts the "
+               "energy by a relative "
+            << util::sci(bug_shift, 2) << "\n\n";
+
+  // Empirical FPNA noise floor of the ND reduction.
+  double worst_noise = 0.0;
+  for (int run = 0; run < kCiRuns; ++run) {
+    core::RunContext ctx(7, static_cast<std::uint64_t>(run));
+    const double energy = reduce::cpu_sum_unordered(terms, ctx, 1024);
+    worst_noise = std::max(
+        worst_noise, std::fabs(energy - reference) / std::fabs(reference));
+  }
+  std::cout << "FPNA noise floor of the ND reduction (worst of " << kCiRuns
+            << " runs): " << util::sci(worst_noise, 2) << "\n\n";
+
+  // ------------------------------------------------------------------
+  // 1-2. Tolerance-based testing cannot win.
+  // ------------------------------------------------------------------
+  std::cout << "== Tolerance-based CI with the ND reduction ==\n";
+  util::Table table({"rel. tolerance", "clean code: failures (flakiness)",
+                     "buggy code: detections"});
+  // Real projects set the tolerance well above the single-machine noise
+  // floor because it must also absorb compiler/platform differences - the
+  // widest setting here (50x) is typical and sits above the bug.
+  for (const double tolerance : {worst_noise * 0.3, worst_noise * 1.5,
+                                 worst_noise * 50.0}) {
+    const int flaky = count_failures(terms, reference, tolerance, kCiRuns, 7);
+    const int caught =
+        count_failures(buggy_terms, reference, tolerance, kCiRuns, 11);
+    table.add_row({util::sci(tolerance, 1),
+                   std::to_string(flaky) + " / " + std::to_string(kCiRuns),
+                   std::to_string(caught) + " / " + std::to_string(kCiRuns)});
+  }
+  table.print(std::cout);
+  std::cout << "  -> tolerances near the noise floor are flaky; the "
+               "portable (50x) tolerance silently passes the buggy code - "
+               "FPNA noise forces a choice between flakiness and blindness "
+               "(the paper's SIII masking problem).\n\n";
+
+  // ------------------------------------------------------------------
+  // 3. Reproducible reduction: exact tests.
+  // ------------------------------------------------------------------
+  std::cout << "== Reproducible reduction: exact regression testing ==\n";
+  int exact_matches = 0;
+  int exact_catches = 0;
+  for (int run = 0; run < kCiRuns; ++run) {
+    exact_matches += fp::bitwise_equal(
+        reduce::cpu_sum_reproducible(terms, 1024), reference);
+    exact_catches += !fp::bitwise_equal(
+        reduce::cpu_sum_reproducible(buggy_terms, 1024), reference);
+  }
+  std::cout << "  clean code bitwise equal to reference: " << exact_matches
+            << " / " << kCiRuns << "\n"
+            << "  FP32-cast bug detected:                " << exact_catches
+            << " / " << kCiRuns << "\n"
+            << "  -> with an order-invariant sum the tolerance is zero: no "
+               "flakiness, and even one-ulp bugs are visible.\n";
+  return 0;
+}

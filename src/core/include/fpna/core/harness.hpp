@@ -1,0 +1,83 @@
+#pragma once
+// The run-to-run variability harness: executes a kernel N times under
+// distinct RunContexts, compares each output against a reference, and
+// aggregates the paper's metrics. This is the experimental engine behind
+// every table and figure reproduction, factored out so applications can
+// audit their own kernels the same way.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "fpna/core/metrics.hpp"
+#include "fpna/core/run_context.hpp"
+#include "fpna/stats/descriptive.hpp"
+
+namespace fpna::core {
+
+/// How the reference output A is chosen (paper SIV): against a
+/// deterministic implementation when one exists, otherwise against the
+/// first non-deterministic invocation (A = B_0).
+enum class Reference { kDeterministic, kFirstRun };
+
+using ScalarKernel = std::function<double(RunContext&)>;
+using ArrayKernel = std::function<std::vector<double>(RunContext&)>;
+
+struct ScalarVariabilityReport {
+  std::vector<double> vs_samples;       // one Vs per ND run
+  std::vector<double> differences;      // S_nd - S_d per run
+  stats::Summary vs_summary;
+  double reference_value = 0.0;
+  std::size_t runs = 0;
+  /// Fraction of runs bitwise equal to the reference.
+  double reproducible_fraction = 0.0;
+};
+
+/// Runs `nd_kernel` `runs` times (run_index = 0..runs-1) and evaluates Vs
+/// against `d_kernel` (evaluated once; it must ignore scheduler entropy).
+ScalarVariabilityReport measure_scalar_variability(
+    const ScalarKernel& d_kernel, const ScalarKernel& nd_kernel,
+    std::size_t runs, std::uint64_t master_seed,
+    Reference reference = Reference::kDeterministic);
+
+struct ArrayVariabilityReport {
+  std::vector<double> vermv_samples;
+  std::vector<double> vc_samples;
+  stats::Summary vermv_summary;
+  stats::Summary vc_summary;
+  std::size_t runs = 0;
+  std::size_t elements = 0;
+  double reproducible_fraction = 0.0;
+};
+
+/// Array analogue: Vermv and Vc of every ND run against the reference.
+ArrayVariabilityReport measure_array_variability(
+    const ArrayKernel& d_kernel, const ArrayKernel& nd_kernel,
+    std::size_t runs, std::uint64_t master_seed,
+    Reference reference = Reference::kDeterministic);
+
+struct CertificationResult {
+  bool deterministic = true;
+  std::size_t runs = 0;
+  /// First run index whose output differed from run 0 (meaningful only
+  /// when !deterministic).
+  std::size_t first_divergence = 0;
+};
+
+/// Determinism certification: runs the kernel under `runs` different
+/// RunContexts and checks all outputs are bitwise identical. This is how
+/// the toolkit *proves* the "deterministic" column of the paper's Table 2.
+CertificationResult certify_deterministic(const ArrayKernel& kernel,
+                                          std::size_t runs,
+                                          std::uint64_t master_seed);
+CertificationResult certify_deterministic_scalar(const ScalarKernel& kernel,
+                                                 std::size_t runs,
+                                                 std::uint64_t master_seed);
+
+/// Pairwise-distinctness count: how many of the collected outputs are
+/// unique (paper SV.B: "all 1,000 models had a unique set of weights").
+std::size_t count_unique_outputs(
+    const std::vector<std::vector<double>>& outputs);
+
+}  // namespace fpna::core

@@ -1,0 +1,45 @@
+#pragma once
+// The paper's variability metrics (SII):
+//
+//   Vs(f)    = 1 - |f_ND / f_D|                 (scalar outputs)
+//   Vermv(f) = (1/D) sum |A_i - B_i| / |A_i|    (elementwise relative mean
+//                                                absolute variation, Eq. 1)
+//   Vc(f)    = (1/D) sum 1(A_i != B_i)          (count variability, Eq. 2)
+//
+// All three are zero iff the two outputs are bitwise identical and grow
+// with variability. Inequality is *bitwise* (two NaNs with equal payloads
+// compare equal; +0.0 differs from -0.0), matching the reproducibility
+// notion the paper uses.
+
+#include <cstddef>
+#include <span>
+
+namespace fpna::core {
+
+/// Scalar variability Vs = 1 - |nd / d|. Signed, like the paper's Table 1
+/// (the magnitude measures variability; the sign records the direction).
+/// Conventions for edge cases: returns 0 when both are bitwise equal
+/// (including d == nd == 0); +-inf when d == 0 but nd != 0; NaN if either
+/// input is NaN and they are not bitwise equal.
+double vs(double nd_value, double d_value) noexcept;
+
+/// Elementwise relative mean absolute variation (Eq. 1). `reference` plays
+/// the role of A (the deterministic output), `other` of B.
+///
+/// Zero-denominator policy: a term with A_i == 0 and B_i != 0 has no
+/// finite relative size; such terms fall back to |A_i - B_i| / |B_i|
+/// (== 1), and A_i == B_i == 0 contributes zero. This keeps the metric
+/// finite, keeps "bitwise identical iff zero" true, and penalises
+/// disagreements at zero maximally.
+double vermv(std::span<const double> reference, std::span<const double> other);
+double vermv(std::span<const float> reference, std::span<const float> other);
+
+/// Count variability (Eq. 2): fraction of elements that differ bitwise.
+double vc(std::span<const double> reference, std::span<const double> other);
+double vc(std::span<const float> reference, std::span<const float> other);
+
+/// True iff the two arrays are bitwise identical (same length, same bits).
+bool bitwise_equal(std::span<const double> a, std::span<const double> b) noexcept;
+bool bitwise_equal(std::span<const float> a, std::span<const float> b) noexcept;
+
+}  // namespace fpna::core

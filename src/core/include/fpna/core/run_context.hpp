@@ -1,0 +1,50 @@
+#pragma once
+// RunContext: the identity of one "run" of a non-deterministic kernel.
+//
+// On real hardware, run-to-run variability comes from the scheduler's
+// arbitrary ordering decisions. In this toolkit every such decision is
+// drawn from the RunContext's generator, so a run is exactly replayable
+// from (master_seed, run_index) while different run indices reproduce the
+// run-to-run variability the paper measures.
+
+#include <cstdint>
+
+#include "fpna/util/rng.hpp"
+
+namespace fpna::core {
+
+class RunContext {
+ public:
+  /// Derives an independent stream for run `run_index` of an experiment
+  /// identified by `master_seed`.
+  RunContext(std::uint64_t master_seed, std::uint64_t run_index) noexcept
+      : run_index_(run_index), seed_(derive(master_seed, run_index)),
+        rng_(seed_) {}
+
+  /// Directly seeded context (single-run uses).
+  explicit RunContext(std::uint64_t seed) noexcept
+      : run_index_(0), seed_(seed), rng_(seed) {}
+
+  std::uint64_t run_index() const noexcept { return run_index_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+  util::Xoshiro256pp& rng() noexcept { return rng_; }
+
+  /// A child stream for a named sub-component (e.g. one kernel launch in a
+  /// multi-kernel pipeline), decorrelated from the parent stream.
+  util::Xoshiro256pp fork(std::uint64_t component_id) noexcept {
+    return util::Xoshiro256pp(derive(seed_, 0x9e3779b9ULL + component_id));
+  }
+
+ private:
+  static std::uint64_t derive(std::uint64_t seed,
+                              std::uint64_t index) noexcept {
+    std::uint64_t s = seed ^ (0xd1342543de82ef95ULL * (index + 1));
+    return util::splitmix64(s);
+  }
+
+  std::uint64_t run_index_;
+  std::uint64_t seed_;
+  util::Xoshiro256pp rng_;
+};
+
+}  // namespace fpna::core

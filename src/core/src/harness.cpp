@@ -1,0 +1,166 @@
+#include "fpna/core/harness.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "fpna/fp/bits.hpp"
+
+namespace fpna::core {
+
+namespace {
+
+// Reference contexts get a fixed, distinct stream; a correct deterministic
+// kernel ignores it, and certify_deterministic verifies exactly that.
+constexpr std::uint64_t kReferenceRunIndex = 0xffffffffffffffffULL;
+
+}  // namespace
+
+ScalarVariabilityReport measure_scalar_variability(
+    const ScalarKernel& d_kernel, const ScalarKernel& nd_kernel,
+    std::size_t runs, std::uint64_t master_seed, Reference reference) {
+  if (runs == 0) {
+    throw std::invalid_argument("measure_scalar_variability: runs == 0");
+  }
+
+  ScalarVariabilityReport report;
+  report.runs = runs;
+
+  double ref = 0.0;
+  std::size_t first_nd_run = 0;
+  if (reference == Reference::kDeterministic) {
+    RunContext ctx(master_seed, kReferenceRunIndex);
+    ref = d_kernel(ctx);
+  } else {
+    RunContext ctx(master_seed, 0);
+    ref = nd_kernel(ctx);
+    first_nd_run = 1;
+  }
+  report.reference_value = ref;
+
+  std::size_t reproducible = 0;
+  stats::Welford welford;
+  for (std::size_t r = first_nd_run; r < runs + first_nd_run; ++r) {
+    RunContext ctx(master_seed, r);
+    const double value = nd_kernel(ctx);
+    const double v = vs(value, ref);
+    report.vs_samples.push_back(v);
+    report.differences.push_back(value - ref);
+    welford.add(v);
+    if (fp::bitwise_equal(value, ref)) ++reproducible;
+  }
+
+  report.vs_summary = stats::summarize(report.vs_samples);
+  report.reproducible_fraction =
+      static_cast<double>(reproducible) / static_cast<double>(runs);
+  return report;
+}
+
+ArrayVariabilityReport measure_array_variability(
+    const ArrayKernel& d_kernel, const ArrayKernel& nd_kernel,
+    std::size_t runs, std::uint64_t master_seed, Reference reference) {
+  if (runs == 0) {
+    throw std::invalid_argument("measure_array_variability: runs == 0");
+  }
+
+  ArrayVariabilityReport report;
+  report.runs = runs;
+
+  std::vector<double> ref;
+  std::size_t first_nd_run = 0;
+  if (reference == Reference::kDeterministic) {
+    RunContext ctx(master_seed, kReferenceRunIndex);
+    ref = d_kernel(ctx);
+  } else {
+    RunContext ctx(master_seed, 0);
+    ref = nd_kernel(ctx);
+    first_nd_run = 1;
+  }
+  report.elements = ref.size();
+
+  std::size_t reproducible = 0;
+  for (std::size_t r = first_nd_run; r < runs + first_nd_run; ++r) {
+    RunContext ctx(master_seed, r);
+    const std::vector<double> out = nd_kernel(ctx);
+    if (out.size() != ref.size()) {
+      throw std::runtime_error(
+          "measure_array_variability: kernel output size changed between "
+          "runs");
+    }
+    report.vermv_samples.push_back(vermv(ref, out));
+    report.vc_samples.push_back(vc(ref, out));
+    if (bitwise_equal(std::span<const double>(ref),
+                      std::span<const double>(out))) {
+      ++reproducible;
+    }
+  }
+
+  report.vermv_summary = stats::summarize(report.vermv_samples);
+  report.vc_summary = stats::summarize(report.vc_samples);
+  report.reproducible_fraction =
+      static_cast<double>(reproducible) / static_cast<double>(runs);
+  return report;
+}
+
+CertificationResult certify_deterministic(const ArrayKernel& kernel,
+                                          std::size_t runs,
+                                          std::uint64_t master_seed) {
+  if (runs < 2) {
+    throw std::invalid_argument("certify_deterministic: need >= 2 runs");
+  }
+  CertificationResult result;
+  result.runs = runs;
+
+  RunContext first_ctx(master_seed, 0);
+  const std::vector<double> first = kernel(first_ctx);
+  for (std::size_t r = 1; r < runs; ++r) {
+    RunContext ctx(master_seed, r);
+    const std::vector<double> out = kernel(ctx);
+    if (!bitwise_equal(std::span<const double>(first),
+                       std::span<const double>(out))) {
+      result.deterministic = false;
+      result.first_divergence = r;
+      return result;
+    }
+  }
+  return result;
+}
+
+CertificationResult certify_deterministic_scalar(const ScalarKernel& kernel,
+                                                 std::size_t runs,
+                                                 std::uint64_t master_seed) {
+  return certify_deterministic(
+      [&kernel](RunContext& ctx) {
+        return std::vector<double>{kernel(ctx)};
+      },
+      runs, master_seed);
+}
+
+std::size_t count_unique_outputs(
+    const std::vector<std::vector<double>>& outputs) {
+  // Compare bit patterns; sort-based dedup keeps this O(k log k) in the
+  // number of runs (each comparison is O(elements)).
+  std::vector<const std::vector<double>*> ptrs;
+  ptrs.reserve(outputs.size());
+  for (const auto& o : outputs) ptrs.push_back(&o);
+
+  const auto bits_less = [](const std::vector<double>* a,
+                            const std::vector<double>* b) {
+    if (a->size() != b->size()) return a->size() < b->size();
+    for (std::size_t i = 0; i < a->size(); ++i) {
+      const auto ba = fp::to_bits((*a)[i]);
+      const auto bb = fp::to_bits((*b)[i]);
+      if (ba != bb) return ba < bb;
+    }
+    return false;
+  };
+  std::sort(ptrs.begin(), ptrs.end(), bits_less);
+
+  std::size_t unique = ptrs.empty() ? 0 : 1;
+  for (std::size_t i = 1; i < ptrs.size(); ++i) {
+    if (bits_less(ptrs[i - 1], ptrs[i])) ++unique;
+  }
+  return unique;
+}
+
+}  // namespace fpna::core

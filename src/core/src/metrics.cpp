@@ -1,0 +1,109 @@
+#include "fpna/core/metrics.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+#include "fpna/fp/bits.hpp"
+
+namespace fpna::core {
+
+namespace {
+
+template <typename T>
+bool bits_equal(T a, T b) noexcept {
+  if constexpr (sizeof(T) == 8) {
+    return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+  } else {
+    return std::bit_cast<std::uint32_t>(a) == std::bit_cast<std::uint32_t>(b);
+  }
+}
+
+template <typename T>
+double vermv_impl(std::span<const T> reference, std::span<const T> other) {
+  if (reference.size() != other.size()) {
+    throw std::invalid_argument("vermv: shape mismatch");
+  }
+  if (reference.empty()) return 0.0;
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const auto a = static_cast<double>(reference[i]);
+    const auto b = static_cast<double>(other[i]);
+    if (bits_equal(reference[i], other[i])) continue;
+    const double diff = std::fabs(a - b);
+    if (a != 0.0) {
+      total += diff / std::fabs(a);
+    } else if (b != 0.0) {
+      total += diff / std::fabs(b);  // == 1 when a == 0
+    } else {
+      // a == b == 0 numerically but bitwise different (+0 vs -0): counts
+      // zero towards the relative metric (no numerical variation).
+    }
+  }
+  return total / static_cast<double>(reference.size());
+}
+
+template <typename T>
+double vc_impl(std::span<const T> reference, std::span<const T> other) {
+  if (reference.size() != other.size()) {
+    throw std::invalid_argument("vc: shape mismatch");
+  }
+  if (reference.empty()) return 0.0;
+
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    if (!bits_equal(reference[i], other[i])) ++differing;
+  }
+  return static_cast<double>(differing) /
+         static_cast<double>(reference.size());
+}
+
+template <typename T>
+bool bitwise_equal_impl(std::span<const T> a, std::span<const T> b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!bits_equal(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+double vs(double nd_value, double d_value) noexcept {
+  if (fp::bitwise_equal(nd_value, d_value)) return 0.0;
+  if (std::isnan(nd_value) || std::isnan(d_value)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (d_value == 0.0) {
+    return nd_value == 0.0 ? 0.0  // +0 vs -0: no numerical variability
+                           : -std::numeric_limits<double>::infinity();
+  }
+  return 1.0 - std::fabs(nd_value / d_value);
+}
+
+double vermv(std::span<const double> reference, std::span<const double> other) {
+  return vermv_impl(reference, other);
+}
+double vermv(std::span<const float> reference, std::span<const float> other) {
+  return vermv_impl(reference, other);
+}
+
+double vc(std::span<const double> reference, std::span<const double> other) {
+  return vc_impl(reference, other);
+}
+double vc(std::span<const float> reference, std::span<const float> other) {
+  return vc_impl(reference, other);
+}
+
+bool bitwise_equal(std::span<const double> a,
+                   std::span<const double> b) noexcept {
+  return bitwise_equal_impl(a, b);
+}
+bool bitwise_equal(std::span<const float> a, std::span<const float> b) noexcept {
+  return bitwise_equal_impl(a, b);
+}
+
+}  // namespace fpna::core

@@ -1,0 +1,50 @@
+#pragma once
+// Adam optimizer (Kingma & Ba), deterministic: update order is the fixed
+// parameter registration order and all arithmetic is scalar FP32, so two
+// trainings diverge only if their gradients differ - which isolates the
+// index_add non-determinism as the sole source of run-to-run variability
+// in the training experiments.
+
+#include <cstddef>
+#include <vector>
+
+#include "fpna/dl/linalg.hpp"
+
+namespace fpna::dl {
+
+struct AdamConfig {
+  float lr = 0.01f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+class Adam {
+ public:
+  explicit Adam(AdamConfig config = {}) : config_(config) {}
+
+  /// Registers a parameter/gradient pair; returns its slot. Must be
+  /// called once per parameter before the first step, in a fixed order.
+  std::size_t add_parameter(Matrix* parameter, Matrix* gradient);
+
+  /// One update over all registered parameters.
+  void step();
+
+  std::size_t step_count() const noexcept { return steps_; }
+  const AdamConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Slot {
+    Matrix* parameter;
+    Matrix* gradient;
+    std::vector<float> m;
+    std::vector<float> v;
+  };
+
+  AdamConfig config_;
+  std::vector<Slot> slots_;
+  std::size_t steps_ = 0;
+};
+
+}  // namespace fpna::dl

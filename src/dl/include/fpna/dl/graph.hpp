@@ -1,0 +1,37 @@
+#pragma once
+// Graph substrate for the GNN experiments (paper SV): edge-list storage
+// with the in-degree information mean aggregation needs. Undirected
+// graphs store both edge directions so message passing is symmetric.
+
+#include <cstdint>
+#include <vector>
+
+namespace fpna::dl {
+
+struct Graph {
+  std::int64_t num_nodes = 0;
+  /// Directed message edges: messages flow src[i] -> dst[i].
+  std::vector<std::int64_t> edge_src;
+  std::vector<std::int64_t> edge_dst;
+
+  std::int64_t num_edges() const noexcept {
+    return static_cast<std::int64_t>(edge_src.size());
+  }
+
+  /// Adds the directed edge u -> v (bounds-checked).
+  void add_edge(std::int64_t u, std::int64_t v);
+
+  /// Adds both directions.
+  void add_undirected_edge(std::int64_t u, std::int64_t v) {
+    add_edge(u, v);
+    add_edge(v, u);
+  }
+
+  /// Number of incoming edges per node (the mean-aggregation denominator).
+  std::vector<std::int64_t> in_degrees() const;
+
+  /// Structural validation: all endpoints in range.
+  bool valid() const noexcept;
+};
+
+}  // namespace fpna::dl

@@ -1,0 +1,104 @@
+#pragma once
+// GNN layers with explicit (manual) backward passes: Linear, GraphSAGE
+// mean-aggregation convolution, ReLU, log-softmax and masked NLL loss.
+//
+// The single source of non-determinism in the whole stack is the
+// index_add used by neighbour aggregation - in the forward direction
+// (sum messages into destination nodes) and in the backward direction
+// (scatter gradients back to source nodes) - exactly matching the paper's
+// statement that "the only source of non-determinism in our
+// implementation of this DNN is the index_add operation" (SV.B).
+
+#include <cstdint>
+#include <vector>
+
+#include "fpna/dl/graph.hpp"
+#include "fpna/dl/linalg.hpp"
+#include "fpna/tensor/op_context.hpp"
+#include "fpna/util/rng.hpp"
+
+namespace fpna::dl {
+
+/// Mean neighbour aggregation: out[v] = (1/deg(v)) sum_{u -> v} x[u].
+/// Forward of the GraphSAGE aggregator; the sum is an index_add over the
+/// edge list (ND when ctx requests it).
+Matrix mean_aggregate(const Matrix& x, const Graph& graph,
+                      const tensor::OpContext& ctx);
+
+/// Backward of mean_aggregate: dX[u] += dOut[v] / deg(v) over edges
+/// u -> v; itself an index_add with the edge roles swapped.
+Matrix mean_aggregate_backward(const Matrix& d_out, const Graph& graph,
+                               const tensor::OpContext& ctx);
+
+/// Fully connected layer y = x W + b, weights Glorot-uniform initialised.
+class Linear {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features,
+         util::Xoshiro256pp& rng);
+
+  Matrix forward(const Matrix& x) const;
+
+  /// Accumulates dW, db and returns dX. `x` must be the forward input.
+  Matrix backward(const Matrix& x, const Matrix& d_out);
+
+  void zero_grad();
+
+  Matrix weight;  // [in, out]
+  Matrix bias;    // [out]
+  Matrix grad_weight;
+  Matrix grad_bias;
+};
+
+/// GraphSAGE convolution: out = x W_self + mean_agg(x) W_neigh + b.
+class SageConv {
+ public:
+  SageConv(std::int64_t in_features, std::int64_t out_features,
+           util::Xoshiro256pp& rng);
+
+  struct Cache {
+    Matrix x;        // forward input
+    Matrix h_neigh;  // aggregated neighbour features
+  };
+
+  Matrix forward(const Matrix& x, const Graph& graph,
+                 const tensor::OpContext& ctx, Cache* cache = nullptr) const;
+
+  /// Returns dX (both the self path and the aggregation path).
+  Matrix backward(const Cache& cache, const Matrix& d_out, const Graph& graph,
+                  const tensor::OpContext& ctx);
+
+  void zero_grad();
+
+  std::int64_t in_features() const noexcept { return lin_self.weight.size(0); }
+  std::int64_t out_features() const noexcept {
+    return lin_self.weight.size(1);
+  }
+
+  Linear lin_self;
+  Linear lin_neigh;
+};
+
+/// Elementwise max(x, 0).
+Matrix relu(const Matrix& x);
+/// dZ = dOut where z > 0, else 0.
+Matrix relu_backward(const Matrix& z, const Matrix& d_out);
+
+/// Row-wise log-softmax (numerically stabilised with the row max).
+Matrix log_softmax_rows(const Matrix& logits);
+
+struct LossResult {
+  double loss = 0.0;
+  /// Gradient w.r.t. the *logits* (combined log-softmax + NLL backward).
+  Matrix d_logits;
+};
+
+/// Mean negative log-likelihood over masked rows. `log_probs` must be the
+/// output of log_softmax_rows on the logits.
+LossResult nll_loss_masked(const Matrix& log_probs,
+                           const std::vector<std::int64_t>& labels,
+                           const std::vector<char>& mask);
+
+/// Row-wise argmax (predictions).
+std::vector<std::int64_t> argmax_rows(const Matrix& scores);
+
+}  // namespace fpna::dl

@@ -1,0 +1,34 @@
+#pragma once
+// Dense FP32 linear algebra for the GNN stack. Deterministic by
+// construction: fixed loop orders, no threading, accumulation in float
+// (matching the FP32 arithmetic of the framework kernels the paper
+// studies). Shapes are [rows, cols] rank-2 tensors.
+
+#include "fpna/tensor/tensor.hpp"
+
+namespace fpna::dl {
+
+using Matrix = tensor::Tensor<float>;
+
+/// C = A[m,k] * B[k,n].
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = A^T[m,k] * B[m,n] -> [k,n] (used for weight gradients).
+Matrix matmul_transpose_a(const Matrix& a, const Matrix& b);
+
+/// C = A[m,k] * B^T[n,k] -> [m,n] (used for input gradients).
+Matrix matmul_transpose_b(const Matrix& a, const Matrix& b);
+
+/// C = A + B (shape-checked).
+Matrix add(const Matrix& a, const Matrix& b);
+
+/// Adds row vector `bias` [1,n] or [n] to every row of `a` in place.
+void add_bias_rows(Matrix& a, const Matrix& bias);
+
+/// Column sums -> [n] (bias gradient).
+Matrix column_sums(const Matrix& a);
+
+/// Gathers rows: out[i, :] = x[indices[i], :]. Deterministic.
+Matrix gather_rows(const Matrix& x, const std::vector<std::int64_t>& indices);
+
+}  // namespace fpna::dl

@@ -1,0 +1,87 @@
+#pragma once
+// End-to-end training and inference driver for the GraphSAGE experiments
+// (paper SV): trains N models from identical initial weights under
+// deterministic or non-deterministic aggregation, snapshots weights per
+// epoch, and provides modelled device timings for the Table 8 comparison.
+
+#include <cstdint>
+#include <vector>
+
+#include "fpna/dl/dataset.hpp"
+#include "fpna/dl/model.hpp"
+#include "fpna/sim/device_profile.hpp"
+#include "fpna/sim/lpu.hpp"
+
+namespace fpna::dl {
+
+struct TrainConfig {
+  int epochs = 10;
+  float lr = 0.01f;
+  std::int64_t hidden = 16;
+  /// Use deterministic aggregation kernels (index_add) during training.
+  bool deterministic = true;
+  /// Weight initialisation seed - shared by all runs of an experiment so
+  /// that any divergence is attributable to kernel non-determinism.
+  std::uint64_t init_seed = 42;
+  /// GPU profile supplying scheduler policy for the ND path (nullptr:
+  /// default H100).
+  const sim::DeviceProfile* profile = nullptr;
+  /// Record flattened weights after every epoch (needed by the epoch-
+  /// variability experiment; costs memory).
+  bool snapshot_epochs = false;
+};
+
+struct TrainResult {
+  GraphSageModel model;
+  std::vector<double> epoch_losses;
+  /// Flattened weights after each epoch (only if snapshot_epochs).
+  std::vector<std::vector<double>> epoch_weights;
+  /// Final flattened weights.
+  std::vector<double> final_weights;
+  /// Training-set accuracy of the final model (deterministic forward).
+  double train_accuracy = 0.0;
+};
+
+/// Trains one model. `run` provides the scheduling entropy consumed by the
+/// ND kernels; with config.deterministic the result is a pure function of
+/// (dataset, config) and bitwise identical across runs (certified in
+/// tests).
+TrainResult train(const Dataset& dataset, const TrainConfig& config,
+                  core::RunContext& run);
+
+/// Forward pass -> log-probabilities; deterministic or not per `ctx`.
+Matrix infer(const GraphSageModel& model, const Dataset& dataset,
+             const tensor::OpContext& ctx);
+
+double accuracy(const Matrix& log_probs,
+                const std::vector<std::int64_t>& labels,
+                const std::vector<char>* mask = nullptr);
+
+/// Shape of the model/dataset, input to the timing models.
+struct ModelDims {
+  std::int64_t nodes = 0;
+  std::int64_t edges = 0;
+  std::int64_t features = 0;
+  std::int64_t hidden = 16;
+  std::int64_t classes = 7;
+
+  static ModelDims of(const Dataset& dataset, std::int64_t hidden);
+};
+
+/// Modelled single-input inference latency on the simulated GPU
+/// (deterministic aggregation kernels vs atomic ones), milliseconds.
+/// Framework overhead plus the per-layer aggregation kernel costs from
+/// the cost model; calibrated to the paper's Table 8 at Cora scale.
+double modeled_gpu_inference_ms(const sim::DeviceProfile& profile,
+                                const ModelDims& dims, bool deterministic);
+
+/// Modelled full-training wall time (10-epoch style), seconds (Table 8
+/// narrative: 0.48 s deterministic vs 0.18 s non-deterministic).
+double modeled_gpu_training_s(const sim::DeviceProfile& profile,
+                              const ModelDims& dims, int epochs,
+                              bool deterministic);
+
+/// Fixed (statically scheduled) LPU inference latency, milliseconds.
+double lpu_inference_ms(const sim::LpuDevice& lpu, const ModelDims& dims);
+
+}  // namespace fpna::dl

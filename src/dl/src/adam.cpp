@@ -1,0 +1,48 @@
+#include "fpna/dl/adam.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fpna::dl {
+
+std::size_t Adam::add_parameter(Matrix* parameter, Matrix* gradient) {
+  if (parameter == nullptr || gradient == nullptr) {
+    throw std::invalid_argument("Adam::add_parameter: null");
+  }
+  if (!parameter->same_shape(*gradient)) {
+    throw std::invalid_argument(
+        "Adam::add_parameter: parameter/gradient shape mismatch");
+  }
+  Slot slot;
+  slot.parameter = parameter;
+  slot.gradient = gradient;
+  slot.m.assign(static_cast<std::size_t>(parameter->numel()), 0.0f);
+  slot.v.assign(static_cast<std::size_t>(parameter->numel()), 0.0f);
+  slots_.push_back(std::move(slot));
+  return slots_.size() - 1;
+}
+
+void Adam::step() {
+  ++steps_;
+  const auto t = static_cast<float>(steps_);
+  const float bias1 = 1.0f - std::pow(config_.beta1, t);
+  const float bias2 = 1.0f - std::pow(config_.beta2, t);
+
+  for (auto& slot : slots_) {
+    auto params = slot.parameter->data();
+    auto grads = slot.gradient->data();
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      float g = grads[i];
+      if (config_.weight_decay != 0.0f) {
+        g += config_.weight_decay * params[i];
+      }
+      slot.m[i] = config_.beta1 * slot.m[i] + (1.0f - config_.beta1) * g;
+      slot.v[i] = config_.beta2 * slot.v[i] + (1.0f - config_.beta2) * g * g;
+      const float m_hat = slot.m[i] / bias1;
+      const float v_hat = slot.v[i] / bias2;
+      params[i] -= config_.lr * m_hat / (std::sqrt(v_hat) + config_.epsilon);
+    }
+  }
+}
+
+}  // namespace fpna::dl

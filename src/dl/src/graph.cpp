@@ -1,0 +1,32 @@
+#include "fpna/dl/graph.hpp"
+
+#include <stdexcept>
+
+namespace fpna::dl {
+
+void Graph::add_edge(std::int64_t u, std::int64_t v) {
+  if (u < 0 || u >= num_nodes || v < 0 || v >= num_nodes) {
+    throw std::out_of_range("Graph::add_edge: endpoint out of range");
+  }
+  edge_src.push_back(u);
+  edge_dst.push_back(v);
+}
+
+std::vector<std::int64_t> Graph::in_degrees() const {
+  std::vector<std::int64_t> degrees(static_cast<std::size_t>(num_nodes), 0);
+  for (const std::int64_t v : edge_dst) {
+    ++degrees[static_cast<std::size_t>(v)];
+  }
+  return degrees;
+}
+
+bool Graph::valid() const noexcept {
+  if (edge_src.size() != edge_dst.size()) return false;
+  for (std::size_t i = 0; i < edge_src.size(); ++i) {
+    if (edge_src[i] < 0 || edge_src[i] >= num_nodes) return false;
+    if (edge_dst[i] < 0 || edge_dst[i] >= num_nodes) return false;
+  }
+  return true;
+}
+
+}  // namespace fpna::dl

@@ -1,0 +1,221 @@
+#include "fpna/dl/layers.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fpna/tensor/indexed_ops.hpp"
+
+namespace fpna::dl {
+
+namespace {
+
+/// Scales row r of m by factors[r].
+void scale_rows(Matrix& m, const std::vector<float>& factors) {
+  const std::int64_t cols = m.size(1);
+  for (std::int64_t r = 0; r < m.size(0); ++r) {
+    const float f = factors[static_cast<std::size_t>(r)];
+    for (std::int64_t c = 0; c < cols; ++c) m.flat(r * cols + c) *= f;
+  }
+}
+
+std::vector<float> inverse_degrees(const Graph& graph) {
+  const auto degrees = graph.in_degrees();
+  std::vector<float> inv(degrees.size(), 0.0f);
+  for (std::size_t v = 0; v < degrees.size(); ++v) {
+    inv[v] = degrees[v] > 0 ? 1.0f / static_cast<float>(degrees[v]) : 0.0f;
+  }
+  return inv;
+}
+
+tensor::Tensor<std::int64_t> to_index_tensor(
+    const std::vector<std::int64_t>& values) {
+  return tensor::Tensor<std::int64_t>::from_data(
+      tensor::Shape{static_cast<std::int64_t>(values.size())},
+      std::vector<std::int64_t>(values));
+}
+
+}  // namespace
+
+Matrix mean_aggregate(const Matrix& x, const Graph& graph,
+                      const tensor::OpContext& ctx) {
+  if (x.size(0) != graph.num_nodes) {
+    throw std::invalid_argument("mean_aggregate: feature row count != nodes");
+  }
+  const Matrix messages = gather_rows(
+      x, graph.edge_src);  // deterministic gather of source features
+  Matrix acc(tensor::Shape{graph.num_nodes, x.size(1)}, 0.0f);
+  acc = tensor::index_add(acc, 0, to_index_tensor(graph.edge_dst), messages,
+                          1.0f, ctx);
+  scale_rows(acc, inverse_degrees(graph));
+  return acc;
+}
+
+Matrix mean_aggregate_backward(const Matrix& d_out, const Graph& graph,
+                               const tensor::OpContext& ctx) {
+  if (d_out.size(0) != graph.num_nodes) {
+    throw std::invalid_argument(
+        "mean_aggregate_backward: gradient row count != nodes");
+  }
+  Matrix scaled = d_out;
+  scale_rows(scaled, inverse_degrees(graph));
+  const Matrix messages = gather_rows(scaled, graph.edge_dst);
+  Matrix d_x(tensor::Shape{graph.num_nodes, d_out.size(1)}, 0.0f);
+  return tensor::index_add(d_x, 0, to_index_tensor(graph.edge_src), messages,
+                           1.0f, ctx);
+}
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features,
+               util::Xoshiro256pp& rng)
+    : weight(tensor::Shape{in_features, out_features}, 0.0f),
+      bias(tensor::Shape{out_features}, 0.0f),
+      grad_weight(tensor::Shape{in_features, out_features}, 0.0f),
+      grad_bias(tensor::Shape{out_features}, 0.0f) {
+  // Glorot/Xavier uniform.
+  const double bound =
+      std::sqrt(6.0 / static_cast<double>(in_features + out_features));
+  const util::UniformReal dist(-bound, bound);
+  for (auto& w : weight.vec()) w = static_cast<float>(dist(rng));
+}
+
+Matrix Linear::forward(const Matrix& x) const {
+  Matrix y = matmul(x, weight);
+  add_bias_rows(y, bias);
+  return y;
+}
+
+Matrix Linear::backward(const Matrix& x, const Matrix& d_out) {
+  grad_weight = add(grad_weight, matmul_transpose_a(x, d_out));
+  grad_bias = add(grad_bias, column_sums(d_out));
+  return matmul_transpose_b(d_out, weight);
+}
+
+void Linear::zero_grad() {
+  for (auto& g : grad_weight.vec()) g = 0.0f;
+  for (auto& g : grad_bias.vec()) g = 0.0f;
+}
+
+SageConv::SageConv(std::int64_t in_features, std::int64_t out_features,
+                   util::Xoshiro256pp& rng)
+    : lin_self(in_features, out_features, rng),
+      lin_neigh(in_features, out_features, rng) {}
+
+Matrix SageConv::forward(const Matrix& x, const Graph& graph,
+                         const tensor::OpContext& ctx, Cache* cache) const {
+  Matrix h_neigh = mean_aggregate(x, graph, ctx);
+  Matrix out = lin_self.forward(x);
+  // lin_neigh's bias is folded into lin_self's (one bias per output unit,
+  // like PyG's SAGEConv); apply only the matmul here.
+  out = add(out, matmul(h_neigh, lin_neigh.weight));
+  if (cache != nullptr) {
+    cache->x = x;
+    cache->h_neigh = std::move(h_neigh);
+  }
+  return out;
+}
+
+Matrix SageConv::backward(const Cache& cache, const Matrix& d_out,
+                          const Graph& graph, const tensor::OpContext& ctx) {
+  // Self path.
+  Matrix d_x = lin_self.backward(cache.x, d_out);
+  // Neighbour path: through the matmul, then back through aggregation.
+  lin_neigh.grad_weight =
+      add(lin_neigh.grad_weight, matmul_transpose_a(cache.h_neigh, d_out));
+  const Matrix d_h_neigh = matmul_transpose_b(d_out, lin_neigh.weight);
+  const Matrix d_x_agg = mean_aggregate_backward(d_h_neigh, graph, ctx);
+  return add(d_x, d_x_agg);
+}
+
+void SageConv::zero_grad() {
+  lin_self.zero_grad();
+  lin_neigh.zero_grad();
+}
+
+Matrix relu(const Matrix& x) {
+  Matrix out = x;
+  for (auto& v : out.vec()) v = v > 0.0f ? v : 0.0f;
+  return out;
+}
+
+Matrix relu_backward(const Matrix& z, const Matrix& d_out) {
+  if (!z.same_shape(d_out)) {
+    throw std::invalid_argument("relu_backward: shape mismatch");
+  }
+  Matrix d_z = d_out;
+  for (std::int64_t i = 0; i < d_z.numel(); ++i) {
+    if (z.flat(i) <= 0.0f) d_z.flat(i) = 0.0f;
+  }
+  return d_z;
+}
+
+Matrix log_softmax_rows(const Matrix& logits) {
+  if (logits.dim() != 2) {
+    throw std::invalid_argument("log_softmax_rows: expected rank-2");
+  }
+  Matrix out = logits;
+  const std::int64_t cols = logits.size(1);
+  for (std::int64_t r = 0; r < logits.size(0); ++r) {
+    float row_max = out.flat(r * cols);
+    for (std::int64_t c = 1; c < cols; ++c) {
+      row_max = std::max(row_max, out.flat(r * cols + c));
+    }
+    float sum = 0.0f;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      sum += std::exp(out.flat(r * cols + c) - row_max);
+    }
+    const float log_z = row_max + std::log(sum);
+    for (std::int64_t c = 0; c < cols; ++c) out.flat(r * cols + c) -= log_z;
+  }
+  return out;
+}
+
+LossResult nll_loss_masked(const Matrix& log_probs,
+                           const std::vector<std::int64_t>& labels,
+                           const std::vector<char>& mask) {
+  const std::int64_t rows = log_probs.size(0);
+  const std::int64_t cols = log_probs.size(1);
+  if (static_cast<std::int64_t>(labels.size()) != rows ||
+      static_cast<std::int64_t>(mask.size()) != rows) {
+    throw std::invalid_argument("nll_loss_masked: label/mask size mismatch");
+  }
+
+  std::int64_t count = 0;
+  for (const char m : mask) count += m;
+  if (count == 0) throw std::invalid_argument("nll_loss_masked: empty mask");
+
+  LossResult result;
+  result.d_logits = Matrix(tensor::Shape{rows, cols}, 0.0f);
+  const float inv_count = 1.0f / static_cast<float>(count);
+
+  double loss = 0.0;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    if (!mask[static_cast<std::size_t>(r)]) continue;
+    const std::int64_t y = labels[static_cast<std::size_t>(r)];
+    if (y < 0 || y >= cols) {
+      throw std::out_of_range("nll_loss_masked: label out of range");
+    }
+    loss -= static_cast<double>(log_probs.flat(r * cols + y));
+    // d(logits) of mean-NLL(log_softmax): (softmax - onehot) / count.
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const float softmax = std::exp(log_probs.flat(r * cols + c));
+      const float onehot = c == y ? 1.0f : 0.0f;
+      result.d_logits.flat(r * cols + c) = (softmax - onehot) * inv_count;
+    }
+  }
+  result.loss = loss / static_cast<double>(count);
+  return result;
+}
+
+std::vector<std::int64_t> argmax_rows(const Matrix& scores) {
+  const std::int64_t cols = scores.size(1);
+  std::vector<std::int64_t> out(static_cast<std::size_t>(scores.size(0)), 0);
+  for (std::int64_t r = 0; r < scores.size(0); ++r) {
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < cols; ++c) {
+      if (scores.flat(r * cols + c) > scores.flat(r * cols + best)) best = c;
+    }
+    out[static_cast<std::size_t>(r)] = best;
+  }
+  return out;
+}
+
+}  // namespace fpna::dl

@@ -1,0 +1,130 @@
+#include "fpna/dl/linalg.hpp"
+
+#include <stdexcept>
+
+namespace fpna::dl {
+
+namespace {
+
+void require_rank2(const Matrix& m, const char* name) {
+  if (m.dim() != 2) {
+    throw std::invalid_argument(std::string(name) + ": expected rank-2");
+  }
+}
+
+}  // namespace
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  require_rank2(a, "matmul(a)");
+  require_rank2(b, "matmul(b)");
+  const std::int64_t m = a.size(0), k = a.size(1), n = b.size(1);
+  if (b.size(0) != k) throw std::invalid_argument("matmul: inner mismatch");
+
+  Matrix c(tensor::Shape{m, n}, 0.0f);
+  // i-k-j loop order: unit-stride inner loops over b and c rows.
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = a.flat(i * k + p);
+      if (av == 0.0f) continue;
+      const std::int64_t brow = p * n;
+      const std::int64_t crow = i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        c.flat(crow + j) += av * b.flat(brow + j);
+      }
+    }
+  }
+  return c;
+}
+
+Matrix matmul_transpose_a(const Matrix& a, const Matrix& b) {
+  require_rank2(a, "matmul_transpose_a(a)");
+  require_rank2(b, "matmul_transpose_a(b)");
+  const std::int64_t m = a.size(0), k = a.size(1), n = b.size(1);
+  if (b.size(0) != m) {
+    throw std::invalid_argument("matmul_transpose_a: outer mismatch");
+  }
+  Matrix c(tensor::Shape{k, n}, 0.0f);
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int64_t arow = i * k;
+    const std::int64_t brow = i * n;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = a.flat(arow + p);
+      if (av == 0.0f) continue;
+      const std::int64_t crow = p * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        c.flat(crow + j) += av * b.flat(brow + j);
+      }
+    }
+  }
+  return c;
+}
+
+Matrix matmul_transpose_b(const Matrix& a, const Matrix& b) {
+  require_rank2(a, "matmul_transpose_b(a)");
+  require_rank2(b, "matmul_transpose_b(b)");
+  const std::int64_t m = a.size(0), k = a.size(1), n = b.size(0);
+  if (b.size(1) != k) {
+    throw std::invalid_argument("matmul_transpose_b: inner mismatch");
+  }
+  Matrix c(tensor::Shape{m, n}, 0.0f);
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int64_t arow = i * k;
+    const std::int64_t crow = i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const std::int64_t brow = j * k;
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += a.flat(arow + p) * b.flat(brow + p);
+      }
+      c.flat(crow + j) = acc;
+    }
+  }
+  return c;
+}
+
+Matrix add(const Matrix& a, const Matrix& b) {
+  if (!a.same_shape(b)) throw std::invalid_argument("add: shape mismatch");
+  Matrix c = a;
+  for (std::int64_t i = 0; i < c.numel(); ++i) c.flat(i) += b.flat(i);
+  return c;
+}
+
+void add_bias_rows(Matrix& a, const Matrix& bias) {
+  require_rank2(a, "add_bias_rows(a)");
+  const std::int64_t n = a.size(1);
+  if (bias.numel() != n) {
+    throw std::invalid_argument("add_bias_rows: bias length mismatch");
+  }
+  for (std::int64_t i = 0; i < a.size(0); ++i) {
+    for (std::int64_t j = 0; j < n; ++j) a.flat(i * n + j) += bias.flat(j);
+  }
+}
+
+Matrix column_sums(const Matrix& a) {
+  require_rank2(a, "column_sums");
+  const std::int64_t n = a.size(1);
+  Matrix out(tensor::Shape{n}, 0.0f);
+  for (std::int64_t i = 0; i < a.size(0); ++i) {
+    for (std::int64_t j = 0; j < n; ++j) out.flat(j) += a.flat(i * n + j);
+  }
+  return out;
+}
+
+Matrix gather_rows(const Matrix& x, const std::vector<std::int64_t>& indices) {
+  require_rank2(x, "gather_rows");
+  const std::int64_t cols = x.size(1);
+  Matrix out(tensor::Shape{static_cast<std::int64_t>(indices.size()), cols},
+             0.0f);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::int64_t r = indices[i];
+    if (r < 0 || r >= x.size(0)) {
+      throw std::out_of_range("gather_rows: row index out of range");
+    }
+    for (std::int64_t j = 0; j < cols; ++j) {
+      out.flat(static_cast<std::int64_t>(i) * cols + j) = x.flat(r * cols + j);
+    }
+  }
+  return out;
+}
+
+}  // namespace fpna::dl

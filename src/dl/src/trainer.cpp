@@ -1,0 +1,151 @@
+#include "fpna/dl/trainer.hpp"
+
+#include <stdexcept>
+
+#include "fpna/dl/adam.hpp"
+#include "fpna/sim/cost_model.hpp"
+#include "fpna/tensor/op_context.hpp"
+
+namespace fpna::dl {
+
+TrainResult train(const Dataset& dataset, const TrainConfig& config,
+                  core::RunContext& run) {
+  if (config.epochs <= 0) throw std::invalid_argument("train: epochs <= 0");
+
+  // The model must live at its final address before the optimizer takes
+  // parameter pointers (moving it later would leave Adam updating
+  // moved-from storage).
+  TrainResult result{GraphSageModel(dataset.num_features(), config.hidden,
+                                    dataset.num_classes, config.init_seed),
+                     {},
+                     {},
+                     {},
+                     0.0};
+
+  tensor::OpContext ctx;
+  if (!config.deterministic) {
+    ctx.run = &run;
+    ctx.profile = config.profile;
+  }
+
+  Adam optimizer(AdamConfig{.lr = config.lr});
+  for (auto& [param, grad] : result.model.parameters()) {
+    optimizer.add_parameter(param, grad);
+  }
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    GraphSageModel::ForwardCache cache;
+    const Matrix log_probs =
+        result.model.forward(dataset.features, dataset.graph, ctx, &cache);
+    const LossResult loss =
+        nll_loss_masked(log_probs, dataset.labels, dataset.train_mask);
+    result.epoch_losses.push_back(loss.loss);
+
+    result.model.zero_grad();
+    result.model.backward(cache, loss.d_logits, dataset.graph, ctx);
+    optimizer.step();
+
+    if (config.snapshot_epochs) {
+      result.epoch_weights.push_back(result.model.flattened_weights());
+    }
+  }
+
+  result.final_weights = result.model.flattened_weights();
+
+  // Accuracy evaluated with the deterministic forward so it reflects the
+  // trained weights, not inference noise.
+  const tensor::OpContext det_ctx;
+  const Matrix final_probs =
+      result.model.forward(dataset.features, dataset.graph, det_ctx, nullptr);
+  result.train_accuracy =
+      accuracy(final_probs, dataset.labels, &dataset.train_mask);
+  return result;
+}
+
+Matrix infer(const GraphSageModel& model, const Dataset& dataset,
+             const tensor::OpContext& ctx) {
+  return model.forward(dataset.features, dataset.graph, ctx, nullptr);
+}
+
+double accuracy(const Matrix& log_probs,
+                const std::vector<std::int64_t>& labels,
+                const std::vector<char>* mask) {
+  const auto predictions = argmax_rows(log_probs);
+  if (predictions.size() != labels.size()) {
+    throw std::invalid_argument("accuracy: size mismatch");
+  }
+  std::int64_t correct = 0;
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (mask != nullptr && !(*mask)[i]) continue;
+    ++total;
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+ModelDims ModelDims::of(const Dataset& dataset, std::int64_t hidden) {
+  ModelDims dims;
+  dims.nodes = dataset.num_nodes();
+  dims.edges = dataset.graph.num_edges();
+  dims.features = dataset.num_features();
+  dims.hidden = hidden;
+  dims.classes = dataset.num_classes;
+  return dims;
+}
+
+double modeled_gpu_inference_ms(const sim::DeviceProfile& profile,
+                                const ModelDims& dims, bool deterministic) {
+  // Framework dispatch overhead: the PyTorch(-Geometric) stack issues
+  // ~15 small kernels per SAGEConv layer; each costs roughly the launch
+  // overhead plus scheduling slack. Calibrated to put the ND Cora forward
+  // pass at the paper's ~2.17 ms.
+  constexpr double kKernelsPerLayer = 15.0;
+  constexpr double kDispatchUsPerKernel = 72.0;
+  const double framework_us = 2.0 * kKernelsPerLayer * kDispatchUsPerKernel;
+
+  // Aggregation kernels: one index_add per layer over edges x feature
+  // contributions. Layer 1 operates at input width, layer 2 at hidden.
+  const auto layer1 =
+      static_cast<std::size_t>(dims.edges * dims.features);
+  const auto layer2 = static_cast<std::size_t>(dims.edges * dims.hidden);
+  double agg_us = 0.0;
+  for (const auto n : {layer1, layer2}) {
+    const auto t = sim::estimated_indexed_op_time_us(
+        profile, sim::IndexedOpKind::kIndexAdd, n, deterministic);
+    agg_us += t.value();  // index_add has both paths on every profile
+  }
+
+  // Dense matmuls are tensor-core work, bandwidth-limited streaming.
+  const double flops = 2.0 * 2.0 *
+                       static_cast<double>(dims.nodes) *
+                       (static_cast<double>(dims.features * dims.hidden) +
+                        static_cast<double>(dims.hidden * dims.classes));
+  const double matmul_us = flops / (20e6);  // ~20 TFLOP/s effective
+
+  return (framework_us + agg_us + matmul_us) * 1e-3;
+}
+
+double modeled_gpu_training_s(const sim::DeviceProfile& profile,
+                              const ModelDims& dims, int epochs,
+                              bool deterministic) {
+  // One epoch = forward + backward + optimizer. The backward pass runs
+  // the aggregation index_add twice more (gradient scatter per layer) and
+  // roughly doubles the dense work; the calibrated multipliers reproduce
+  // the paper's 0.48 s (D) vs 0.18 s (ND) for 10 Cora epochs.
+  const double forward_ms = modeled_gpu_inference_ms(profile, dims, deterministic);
+  const double factor = deterministic ? 12.2 : 8.3;
+  return forward_ms * factor * static_cast<double>(epochs) * 1e-3;
+}
+
+double lpu_inference_ms(const sim::LpuDevice& lpu, const ModelDims& dims) {
+  // The statically scheduled graph executes as one fused program; its
+  // cycle count scales with the streamed work (edges x features dominate).
+  const auto work = static_cast<std::size_t>(
+      dims.edges * (dims.features + dims.hidden) +
+      dims.nodes * (dims.features * dims.hidden + dims.hidden * dims.classes) /
+          512);
+  return lpu.op_time_us(sim::LpuOp::kSageConvInference, work) * 1e-3;
+}
+
+}  // namespace fpna::dl

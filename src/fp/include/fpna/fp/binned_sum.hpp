@@ -1,0 +1,66 @@
+#pragma once
+// Reproducible summation by pre-rounding into exponent bins - the
+// Demmel-Nguyen / ReproBLAS technique behind the paper's reference [2]
+// (Ahrens, Demmel, Nguyen, "Algorithms for efficient reproducible
+// floating point summation").
+//
+// Idea: pick K bin boundaries b_0 > b_1 > ... anchored at the exponent of
+// max|x_i|, each W bits apart. The Dekker-style extraction
+//
+//     t = fl(b_k + x);  slice = fl(t - b_k);  x -= slice
+//
+// rounds x to a multiple of ulp(b_k)/2 *exactly* (no error), and slices
+// of different summands are multiples of the same quantum with bounded
+// magnitude - so their floating-point sum commits no rounding error at
+// all while fewer than 2^(52 - W - 1) terms are accumulated. Summation of
+// every bin is therefore exact, hence bitwise independent of ordering,
+// chunking and thread count; only the final combination of the K bin
+// totals rounds, and it is a fixed-order operation.
+//
+// Compared to the Superaccumulator (exact but ~70 limbs of state and
+// decomposition per add), the binned sum is a light-weight two-pass
+// streaming algorithm: pass 1 finds max|x|, pass 2 does K extractions per
+// element. Accuracy is ~K*W bits below the top magnitude (faithful for
+// condition numbers up to ~2^(K*W - 53)); reproducibility is exact.
+
+#include <cstddef>
+#include <span>
+
+namespace fpna::fp {
+
+class BinnedSum {
+ public:
+  static constexpr int kBinBits = 26;   // W: bits per bin
+  static constexpr int kFolds = 3;      // K: number of bins
+  /// Max additions per bin before exactness could be lost.
+  static constexpr std::size_t kMaxTerms = std::size_t{1}
+                                           << (52 - kBinBits - 1);
+
+  /// Two-pass reproducible sum. Bitwise invariant under any permutation
+  /// or chunking of `values` (property-tested). Propagates NaN/inf like
+  /// IEEE addition. Inputs longer than kMaxTerms are processed in
+  /// renormalised batches (still reproducible: batch boundaries are a
+  /// pure function of the length).
+  static double sum(std::span<const double> values);
+
+  /// The primitive underneath: sums `values` given the anchor magnitude
+  /// (the max |x| over the *global* data set). Exposing it lets
+  /// distributed callers reproduce the single-node result exactly: ranks
+  /// agree on the global max, bin locally, and add the per-rank bin sums
+  /// (exact, order-free). `anchor` must satisfy anchor >= max|values[i]|
+  /// and be finite.
+  struct Bins {
+    double total[kFolds] = {0.0, 0.0, 0.0};
+
+    /// Exact merge of two bin sets computed against the same anchor.
+    void merge(const Bins& other) noexcept {
+      for (int k = 0; k < kFolds; ++k) total[k] += other.total[k];
+    }
+  };
+  static Bins bin(std::span<const double> values, double anchor);
+
+  /// Rounds a bin set to the final double (fixed high-to-low order).
+  static double round(const Bins& bins) noexcept;
+};
+
+}  // namespace fpna::fp

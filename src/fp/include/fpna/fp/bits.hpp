@@ -1,0 +1,66 @@
+#pragma once
+// Bit-level views of IEEE-754 doubles. Variability metrics in this toolkit
+// are defined on *bitwise* equality (paper SII), so tests and the metrics
+// layer need exact bit comparisons and ULP distances rather than
+// tolerance-based ones.
+
+#include <bit>
+#include <cstdint>
+#include <cmath>
+#include <limits>
+
+namespace fpna::fp {
+
+inline std::uint64_t to_bits(double x) noexcept {
+  return std::bit_cast<std::uint64_t>(x);
+}
+
+inline double from_bits(std::uint64_t bits) noexcept {
+  return std::bit_cast<double>(bits);
+}
+
+/// True iff x and y have identical bit patterns. Distinguishes +0.0 from
+/// -0.0 and treats identical NaN payloads as equal (unlike operator==).
+inline bool bitwise_equal(double x, double y) noexcept {
+  return to_bits(x) == to_bits(y);
+}
+
+inline bool is_negative_zero(double x) noexcept {
+  return to_bits(x) == 0x8000000000000000ULL;
+}
+
+/// Maps the double line onto a monotone signed integer line: the usual
+/// trick of flipping negative values so that integer distance equals the
+/// count of representable doubles between two values.
+inline std::int64_t monotone_index(double x) noexcept {
+  const auto bits = static_cast<std::int64_t>(to_bits(x));
+  return bits >= 0 ? bits
+                   : static_cast<std::int64_t>(0x8000000000000000ULL) - bits;
+}
+
+/// Number of representable doubles between x and y (0 iff bitwise equal,
+/// after collapsing -0.0 onto +0.0). Returns INT64_MAX if either is NaN.
+inline std::int64_t ulp_distance(double x, double y) noexcept {
+  if (std::isnan(x) || std::isnan(y)) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  const std::int64_t ix = monotone_index(x == 0.0 ? 0.0 : x);
+  const std::int64_t iy = monotone_index(y == 0.0 ? 0.0 : y);
+  // The monotone indices of finite doubles are small enough that the
+  // subtraction cannot overflow for same-sign pairs; for opposite-sign
+  // pairs saturate defensively.
+  const std::int64_t d = ix >= iy ? ix - iy : iy - ix;
+  return d < 0 ? std::numeric_limits<std::int64_t>::max() : d;
+}
+
+/// Unit in the last place of x (spacing to the next representable value
+/// away from zero). ulp(0) is the smallest denormal.
+inline double ulp(double x) noexcept {
+  if (std::isnan(x) || std::isinf(x)) return std::numeric_limits<double>::quiet_NaN();
+  const double ax = std::fabs(x);
+  const double next =
+      std::nextafter(ax, std::numeric_limits<double>::infinity());
+  return next - ax;
+}
+
+}  // namespace fpna::fp

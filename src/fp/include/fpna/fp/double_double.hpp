@@ -1,0 +1,65 @@
+#pragma once
+// Double-double ("compensated pair") arithmetic: ~106-bit significand built
+// from two doubles. Used as the accuracy ground truth when evaluating the
+// summation algorithms (ablation bench) and for the superaccumulator's
+// rounding step.
+
+#include "fpna/fp/eft.hpp"
+
+namespace fpna::fp {
+
+class DoubleDouble {
+ public:
+  constexpr DoubleDouble() noexcept = default;
+  constexpr DoubleDouble(double hi, double lo = 0.0) noexcept
+      : hi_(hi), lo_(lo) {}
+
+  double hi() const noexcept { return hi_; }
+  double lo() const noexcept { return lo_; }
+  double to_double() const noexcept { return hi_ + lo_; }
+
+  DoubleDouble& operator+=(double x) noexcept {
+    const auto [s, e] = two_sum(hi_, x);
+    const auto [hi, lo] = fast_two_sum(s, lo_ + e);
+    hi_ = hi;
+    lo_ = lo;
+    return *this;
+  }
+
+  DoubleDouble& operator+=(const DoubleDouble& other) noexcept {
+    const auto [s1, e1] = two_sum(hi_, other.hi_);
+    const auto [s2, e2] = two_sum(lo_, other.lo_);
+    auto [hi, lo] = fast_two_sum(s1, e1 + s2);
+    const auto [hi2, lo2] = fast_two_sum(hi, lo + e2);
+    hi_ = hi2;
+    lo_ = lo2;
+    return *this;
+  }
+
+  DoubleDouble& operator-=(double x) noexcept { return *this += (-x); }
+
+  DoubleDouble operator-() const noexcept { return {-hi_, -lo_}; }
+
+  friend DoubleDouble operator+(DoubleDouble a, double b) noexcept {
+    a += b;
+    return a;
+  }
+  friend DoubleDouble operator+(DoubleDouble a,
+                                const DoubleDouble& b) noexcept {
+    a += b;
+    return a;
+  }
+
+  /// Product with a plain double, compensated.
+  friend DoubleDouble operator*(const DoubleDouble& a, double b) noexcept {
+    const auto [p, e] = two_prod(a.hi_, b);
+    const auto [hi, lo] = fast_two_sum(p, a.lo_ * b + e);
+    return {hi, lo};
+  }
+
+ private:
+  double hi_ = 0.0;
+  double lo_ = 0.0;
+};
+
+}  // namespace fpna::fp

@@ -1,0 +1,47 @@
+#pragma once
+// Error-free transforms (Knuth/Dekker, see Higham "Accuracy and Stability
+// of Numerical Algorithms"): exact decompositions a op b = result + error
+// with both parts representable. These are the building blocks for the
+// compensated sums and double-double arithmetic used as accuracy
+// references throughout the toolkit.
+//
+// Correctness requires strict IEEE arithmetic; the build disables FP
+// contraction globally (see top-level CMakeLists).
+
+#include <cmath>
+
+namespace fpna::fp {
+
+struct SumError {
+  double sum;
+  double error;
+};
+
+/// Knuth TwoSum: works for any ordering of |a|, |b|. 6 flops.
+inline SumError two_sum(double a, double b) noexcept {
+  const double s = a + b;
+  const double bb = s - a;
+  const double err = (a - (s - bb)) + (b - bb);
+  return {s, err};
+}
+
+/// Dekker FastTwoSum: requires |a| >= |b| (or a == 0). 3 flops.
+inline SumError fast_two_sum(double a, double b) noexcept {
+  const double s = a + b;
+  const double err = b - (s - a);
+  return {s, err};
+}
+
+struct ProdError {
+  double product;
+  double error;
+};
+
+/// TwoProd via FMA: a*b = product + error exactly (when no over/underflow).
+inline ProdError two_prod(double a, double b) noexcept {
+  const double p = a * b;
+  const double err = std::fma(a, b, -p);
+  return {p, err};
+}
+
+}  // namespace fpna::fp

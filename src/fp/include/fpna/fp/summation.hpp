@@ -1,0 +1,54 @@
+#pragma once
+// Serial summation algorithms with different rounding-error behaviour.
+// These are the arithmetic kernels the reduction implementations
+// (src/reduce) compose; each one is deterministic for a fixed input order,
+// and their sensitivity to input *ordering* is exactly what the toolkit
+// measures.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fpna::fp {
+
+/// Left-to-right recursive sum: ((x0 + x1) + x2) + ... Matches what the
+/// paper calls the "sequential recursive method".
+double sum_serial(std::span<const double> values) noexcept;
+
+/// Pairwise (cascade) summation with configurable base-case length.
+/// base = 1 reproduces the pure binary tree used by the GPU block
+/// reductions in Listing 1 of the paper. Error grows O(log n) vs O(n).
+double sum_pairwise(std::span<const double> values,
+                    std::size_t base = 32) noexcept;
+
+/// Kahan compensated summation.
+double sum_kahan(std::span<const double> values) noexcept;
+
+/// Neumaier's improvement of Kahan (handles |x_i| > |s| correctly).
+double sum_neumaier(std::span<const double> values) noexcept;
+
+/// Klein's second-order ("iterative Kahan-Babuska") compensation.
+double sum_klein(std::span<const double> values) noexcept;
+
+/// Double-double accumulation, then rounded to double. ~106-bit reference
+/// with O(1) memory; still order-dependent at the 2^-106 level.
+double sum_double_double(std::span<const double> values) noexcept;
+
+/// Simulates a `w`-lane SIMD vectorised loop: lane-strided partial sums
+/// combined left-to-right at the end. This is the rounding pattern an
+/// auto-vectorising compiler gives the TPRC host-side sum (paper SIII.A
+/// notes TPRC is "more sensitive to compiler optimizations because of
+/// vectorization").
+double sum_vectorized(std::span<const double> values,
+                      std::size_t lanes = 4) noexcept;
+
+/// Serial dot product (used by the DL substrate's matmul reference).
+double dot_serial(std::span<const double> a,
+                  std::span<const double> b) noexcept;
+
+/// Convenience overloads.
+inline double sum_serial(const std::vector<double>& v) noexcept {
+  return sum_serial(std::span<const double>(v));
+}
+
+}  // namespace fpna::fp

@@ -1,0 +1,106 @@
+#include "fpna/fp/binned_sum.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "fpna/fp/superaccumulator.hpp"
+
+namespace fpna::fp {
+
+namespace {
+
+/// Extraction boundary for fold k against an anchor with binary exponent
+/// E (anchor < 2^E): M_k = 1.5 * 2^(52 + E - (k+1)*W). fl(M_k + x) rounds
+/// x to the fold's quantum q_k = 2^(E - (k+1)*W) exactly; the 1.5 keeps
+/// the boundary's own bits clear of the slice.
+double boundary(int exponent_e, int fold) {
+  return 1.5 *
+         std::ldexp(1.0, 52 + exponent_e -
+                             (fold + 1) * BinnedSum::kBinBits);
+}
+
+}  // namespace
+
+BinnedSum::Bins BinnedSum::bin(std::span<const double> values, double anchor) {
+  Bins bins;
+  if (values.empty()) return bins;
+  // Binary exponent E with anchor < 2^E.
+  int exponent_e = 0;
+  if (anchor != 0.0) {
+    std::frexp(anchor, &exponent_e);  // anchor = f * 2^E, f in [0.5, 1)
+  }
+  double m[kFolds];
+  for (int k = 0; k < kFolds; ++k) m[k] = boundary(exponent_e, k);
+
+  for (const double value : values) {
+    double residual = value;
+    for (int k = 0; k < kFolds; ++k) {
+      // Dekker extraction: slice = residual rounded to q_k, exactly.
+      const double t = m[k] + residual;
+      const double slice = t - m[k];
+      residual -= slice;
+      bins.total[k] += slice;  // exact: common quantum, bounded magnitude
+    }
+  }
+  return bins;
+}
+
+double BinnedSum::round(const Bins& bins) noexcept {
+  double acc = bins.total[0];
+  for (int k = 1; k < kFolds; ++k) acc += bins.total[k];
+  return acc;
+}
+
+double BinnedSum::sum(std::span<const double> values) {
+  // Exceptional values propagate like IEEE addition.
+  bool pos_inf = false;
+  bool neg_inf = false;
+  double anchor = 0.0;
+  for (const double v : values) {
+    if (std::isnan(v)) return std::numeric_limits<double>::quiet_NaN();
+    if (std::isinf(v)) {
+      (v > 0 ? pos_inf : neg_inf) = true;
+      continue;
+    }
+    const double a = std::fabs(v);
+    if (a > anchor) anchor = a;
+  }
+  if (pos_inf && neg_inf) return std::numeric_limits<double>::quiet_NaN();
+  if (pos_inf) return std::numeric_limits<double>::infinity();
+  if (neg_inf) return -std::numeric_limits<double>::infinity();
+  if (anchor == 0.0) {
+    // Only (signed) zeros: their sum is order-invariant by IEEE rules
+    // (all -0 stays -0, any +0 makes it +0). Seed from the first element
+    // so an all-negative-zero input keeps its sign.
+    if (values.empty()) return 0.0;
+    double z = values.front();
+    for (const double v : values.subspan(1)) z += v;
+    return z;
+  }
+
+  // Near-overflow anchors would overflow the extraction boundaries
+  // (M_0 ~ 2^(E + 52 - W)); delegate to the always-safe superaccumulator.
+  int exponent_e = 0;
+  std::frexp(anchor, &exponent_e);
+  if (exponent_e > 1023 - 52 + kBinBits - 1) {
+    return Superaccumulator::sum(values);
+  }
+
+  if (values.size() <= kMaxTerms) {
+    return round(bin(values, anchor));
+  }
+
+  // Long inputs: bin fixed-size batches (each exactly), then merge the
+  // batch bin totals through the exact superaccumulator. Every element's
+  // slices depend only on the global anchor, and the superaccumulator is
+  // order-free, so the result is still permutation/chunking invariant.
+  Superaccumulator exact;
+  for (std::size_t begin = 0; begin < values.size(); begin += kMaxTerms) {
+    const std::size_t len = std::min(kMaxTerms, values.size() - begin);
+    const Bins bins = bin(values.subspan(begin, len), anchor);
+    for (int k = 0; k < kFolds; ++k) exact.add(bins.total[k]);
+  }
+  return exact.round();
+}
+
+}  // namespace fpna::fp

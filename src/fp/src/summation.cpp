@@ -1,0 +1,114 @@
+#include "fpna/fp/summation.hpp"
+
+#include <cmath>
+
+#include "fpna/fp/double_double.hpp"
+#include "fpna/fp/eft.hpp"
+
+namespace fpna::fp {
+
+double sum_serial(std::span<const double> values) noexcept {
+  double sum = 0.0;
+  for (double x : values) sum += x;
+  return sum;
+}
+
+double sum_pairwise(std::span<const double> values, std::size_t base) noexcept {
+  const std::size_t n = values.size();
+  if (base == 0) base = 1;
+  if (n <= base) return sum_serial(values);
+  // Split at the largest power of two strictly less than n so the tree
+  // shape matches the classic cascade (and the GPU block tree when the
+  // block is a power of two).
+  std::size_t half = 1;
+  while (half * 2 < n) half *= 2;
+  return sum_pairwise(values.first(half), base) +
+         sum_pairwise(values.subspan(half), base);
+}
+
+double sum_kahan(std::span<const double> values) noexcept {
+  double sum = 0.0;
+  double comp = 0.0;
+  for (double x : values) {
+    const double y = x - comp;
+    const double t = sum + y;
+    comp = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+double sum_neumaier(std::span<const double> values) noexcept {
+  double sum = 0.0;
+  double comp = 0.0;
+  for (double x : values) {
+    const double t = sum + x;
+    if (std::fabs(sum) >= std::fabs(x)) {
+      comp += (sum - t) + x;
+    } else {
+      comp += (x - t) + sum;
+    }
+    sum = t;
+  }
+  return sum + comp;
+}
+
+double sum_klein(std::span<const double> values) noexcept {
+  double sum = 0.0;
+  double cs = 0.0;
+  double ccs = 0.0;
+  for (double x : values) {
+    double t = sum + x;
+    double c;
+    if (std::fabs(sum) >= std::fabs(x)) {
+      c = (sum - t) + x;
+    } else {
+      c = (x - t) + sum;
+    }
+    sum = t;
+    t = cs + c;
+    double cc;
+    if (std::fabs(cs) >= std::fabs(c)) {
+      cc = (cs - t) + c;
+    } else {
+      cc = (c - t) + cs;
+    }
+    cs = t;
+    ccs += cc;
+  }
+  return sum + cs + ccs;
+}
+
+double sum_double_double(std::span<const double> values) noexcept {
+  DoubleDouble acc;
+  for (double x : values) acc += x;
+  return acc.to_double();
+}
+
+double sum_vectorized(std::span<const double> values,
+                      std::size_t lanes) noexcept {
+  if (lanes <= 1) return sum_serial(values);
+  const std::size_t n = values.size();
+  // Lane-strided partials over the vectorisable prefix, then the scalar
+  // remainder, then a left-to-right horizontal reduction - the same
+  // association pattern as a compiler-vectorised accumulation loop.
+  std::vector<double> partial(lanes, 0.0);
+  const std::size_t vec_end = n - n % lanes;
+  for (std::size_t i = 0; i < vec_end; i += lanes) {
+    for (std::size_t l = 0; l < lanes; ++l) partial[l] += values[i + l];
+  }
+  double sum = 0.0;
+  for (double p : partial) sum += p;
+  for (std::size_t i = vec_end; i < n; ++i) sum += values[i];
+  return sum;
+}
+
+double dot_serial(std::span<const double> a,
+                  std::span<const double> b) noexcept {
+  double sum = 0.0;
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace fpna::fp

@@ -1,0 +1,113 @@
+#include "fpna/fp/superaccumulator.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "fpna/fp/double_double.hpp"
+
+namespace fpna::fp {
+
+void Superaccumulator::add(double x) noexcept {
+  if (x == 0.0) return;
+  if (std::isnan(x)) {
+    nan_ = true;
+    return;
+  }
+  if (std::isinf(x)) {
+    (x > 0 ? pos_inf_ : neg_inf_) = true;
+    return;
+  }
+
+  if (++pending_ >= kMaxPendingAdds) normalize();
+
+  int exp = 0;
+  const double frac = std::frexp(x, &exp);  // x = frac * 2^exp, |frac| in [0.5, 1)
+  // 53-bit signed integer mantissa: x = m * 2^(exp - 53), exactly.
+  const auto m = static_cast<std::int64_t>(std::ldexp(frac, 53));
+  const int shifted = exp - 53 - kMinExponent;  // bit position of mantissa LSB
+  const int limb = shifted / kLimbBits;
+  const int offset = shifted % kLimbBits;
+
+  const std::int64_t sign = m < 0 ? -1 : 1;
+  const auto mag = static_cast<unsigned __int128>(m < 0 ? -m : m);
+  const unsigned __int128 t = mag << offset;  // <= 84 bits
+  constexpr std::uint64_t kMask = 0xffffffffULL;
+  limbs_[limb] += sign * static_cast<std::int64_t>(
+                             static_cast<std::uint64_t>(t) & kMask);
+  limbs_[limb + 1] += sign * static_cast<std::int64_t>(
+                                 static_cast<std::uint64_t>(t >> 32) & kMask);
+  limbs_[limb + 2] +=
+      sign * static_cast<std::int64_t>(static_cast<std::uint64_t>(t >> 64));
+}
+
+void Superaccumulator::add(const Superaccumulator& other) noexcept {
+  // Normalising both sides first bounds each limb below 2^33, so the
+  // limb-wise sum cannot overflow int64.
+  normalize();
+  Superaccumulator rhs = other;
+  rhs.normalize();
+  for (int i = 0; i < kNumLimbs; ++i) limbs_[i] += rhs.limbs_[i];
+  pending_ = 2;
+  nan_ = nan_ || rhs.nan_;
+  pos_inf_ = pos_inf_ || rhs.pos_inf_;
+  neg_inf_ = neg_inf_ || rhs.neg_inf_;
+}
+
+void Superaccumulator::normalize() noexcept {
+  std::int64_t carry = 0;
+  constexpr std::int64_t kBase = std::int64_t{1} << kLimbBits;
+  for (int i = 0; i < kNumLimbs; ++i) {
+    std::int64_t v = limbs_[i] + carry;
+    // Floor division/modulo so remainders land in [0, 2^32) even for
+    // negative partials; the sign is pushed into the carry chain and ends
+    // up in the (conceptually infinite) top limb.
+    std::int64_t r = v % kBase;
+    if (r < 0) r += kBase;
+    carry = (v - r) >> kLimbBits;
+    limbs_[i] = r;
+  }
+  // A nonzero final carry means the true value's sign/overflow lives above
+  // the top limb. For sums of finite doubles that stayed in range this is
+  // only the sign of a negative total; fold it into the top limb so the
+  // representation stays finite. (Magnitudes beyond DBL_MAX round to inf.)
+  limbs_[kNumLimbs - 1] += carry << kLimbBits;
+  pending_ = 0;
+}
+
+bool Superaccumulator::equals(const Superaccumulator& other) const noexcept {
+  Superaccumulator a = *this;
+  Superaccumulator b = other;
+  a.normalize();
+  b.normalize();
+  if (a.nan_ != b.nan_ || a.pos_inf_ != b.pos_inf_ ||
+      a.neg_inf_ != b.neg_inf_) {
+    return false;
+  }
+  return a.limbs_ == b.limbs_;
+}
+
+double Superaccumulator::round() const noexcept {
+  if (nan_ || (pos_inf_ && neg_inf_)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (pos_inf_) return std::numeric_limits<double>::infinity();
+  if (neg_inf_) return -std::numeric_limits<double>::infinity();
+
+  Superaccumulator tmp = *this;
+  tmp.normalize();
+
+  // Accumulate limbs from most to least significant in double-double.
+  // After normalisation every limb below the top is in [0, 2^32), so the
+  // running (hi, lo) pair always has >= 106 bits of headroom over the next
+  // limb's contribution: the result is faithfully rounded.
+  DoubleDouble acc;
+  for (int i = kNumLimbs - 1; i >= 0; --i) {
+    if (tmp.limbs_[i] == 0) continue;
+    const double scaled = std::ldexp(static_cast<double>(tmp.limbs_[i]),
+                                     i * kLimbBits + kMinExponent);
+    acc += scaled;
+  }
+  return acc.to_double();
+}
+
+}  // namespace fpna::fp

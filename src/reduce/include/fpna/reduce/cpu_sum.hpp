@@ -1,0 +1,57 @@
+#pragma once
+// CPU parallel reductions (paper SIII.B): the OpenMP-style "normal" (non-
+// deterministic) and "ordered" (deterministic) reductions of Listings 2-3,
+// plus reproducible alternatives. Two execution modes are provided:
+//
+//  * seeded mode - combination order is drawn from a RunContext, so the
+//    non-determinism mechanism (partials combined in completion order) is
+//    reproduced reliably and replayably even on a single-core host;
+//  * real-thread mode - genuine std::thread execution for wall-clock
+//    measurement and for demonstrating OS-scheduled variability where the
+//    host exposes it.
+
+#include <cstddef>
+#include <span>
+
+#include "fpna/core/run_context.hpp"
+#include "fpna/util/thread_pool.hpp"
+
+namespace fpna::reduce {
+
+/// Serial left-to-right sum (the reference the paper's Table 3 rows are
+/// compared against).
+double cpu_sum_serial(std::span<const double> data) noexcept;
+
+/// OpenMP `parallel for ordered reduction(+:sum)` equivalent (Listing 2):
+/// the ordered construct forces the adds to retire in iteration order, so
+/// the value equals the serial sum regardless of thread count. Computed
+/// here by its defining property (deterministic by construction).
+double cpu_sum_ordered(std::span<const double> data,
+                       std::size_t num_threads = 4) noexcept;
+
+/// OpenMP "normal" reduction equivalent (Listing 2 without `ordered`):
+/// static chunks are summed privately, then combined in *completion
+/// order*, which the OpenMP specification leaves unspecified. The
+/// completion order is drawn from `ctx`.
+double cpu_sum_unordered(std::span<const double> data, core::RunContext& ctx,
+                         std::size_t num_threads = 4);
+
+/// Same algorithm executed with real threads on `pool`: each worker sums
+/// a static chunk and merges into the shared accumulator under a mutex in
+/// whatever order the OS schedules - genuine non-determinism where the
+/// host has parallelism. Used for wall-clock benches.
+double cpu_sum_threads(std::span<const double> data, util::ThreadPool& pool);
+
+/// Deterministic chunked reduction: static chunks, partials combined in
+/// chunk-index order (what a deterministic tree reduction runtime does).
+/// Parallel-friendly and order-fixed, but its value differs from the
+/// serial sum (different association).
+double cpu_sum_chunked_deterministic(std::span<const double> data,
+                                     std::size_t num_threads = 4) noexcept;
+
+/// Reproducible sum via the superaccumulator: bitwise identical for any
+/// permutation of the input and any chunking/thread count.
+double cpu_sum_reproducible(std::span<const double> data,
+                            std::size_t num_threads = 4);
+
+}  // namespace fpna::reduce

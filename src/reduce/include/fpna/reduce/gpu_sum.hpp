@@ -1,0 +1,56 @@
+#pragma once
+// The paper's six parallel-sum implementations (SIII.A, Table 2), executed
+// on the simulated device. Values come from running the kernels through
+// the block engine (so atomic results depend on the run's commit order
+// exactly as on hardware); times come from the analytic cost model.
+//
+//   AO    atomicAdd per element                       non-deterministic
+//   SPA   block tree + atomicAdd of block partials    non-deterministic
+//   SPTR  block tree + retirement counter + tree tail deterministic
+//   SPRG  block tree + retirement counter + serial    deterministic
+//   TPRC  two kernels on one stream + host final sum  deterministic
+//   CU    vendor CUB/hipCUB-style library sum         deterministic
+
+#include <cstddef>
+#include <span>
+
+#include "fpna/core/run_context.hpp"
+#include "fpna/sim/cost_model.hpp"
+#include "fpna/sim/device.hpp"
+
+namespace fpna::reduce {
+
+struct GpuSumResult {
+  double value = 0.0;
+  /// Modelled kernel time from the device's cost model, microseconds.
+  double modeled_time_us = 0.0;
+  sim::SumMethod method = sim::SumMethod::kSPTR;
+  std::size_t nt = 0;
+  std::size_t nb = 0;
+};
+
+/// Runs one n-element FP64 sum on `device` with grid (nb blocks x nt
+/// threads). For the non-deterministic methods, `ctx` supplies the run's
+/// scheduling entropy; deterministic methods produce bitwise-identical
+/// values for every ctx (certified in tests).
+GpuSumResult gpu_sum(sim::SimDevice& device, std::span<const double> data,
+                     sim::SumMethod method, core::RunContext& ctx,
+                     std::size_t nt = 256, std::size_t nb = 0);
+
+/// Failure-injection variant of SPTR used by tests and docs: skips the
+/// __threadfence/retirement handshake, so the tail reduction may read
+/// partials that are not yet published. The engine models the race by
+/// treating unpublished partials as stale zeros for blocks that commit
+/// after the reader - demonstrating why Listing 1 needs the fence.
+GpuSumResult gpu_sum_sptr_missing_fence(sim::SimDevice& device,
+                                        std::span<const double> data,
+                                        core::RunContext& ctx,
+                                        std::size_t nt = 256,
+                                        std::size_t nb = 0);
+
+/// Default block count used when nb == 0: ceil(n / nt), matching the
+/// paper's one-element-per-thread launches, capped so tiny inputs still
+/// get one block.
+std::size_t default_grid_blocks(std::size_t n, std::size_t nt) noexcept;
+
+}  // namespace fpna::reduce

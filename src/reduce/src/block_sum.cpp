@@ -1,0 +1,45 @@
+#include "fpna/reduce/block_sum.hpp"
+
+#include <stdexcept>
+
+namespace fpna::reduce {
+
+double tree_sum(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  std::size_t m = 1;
+  while (m < values.size()) m *= 2;
+  std::vector<double> v(m, 0.0);
+  for (std::size_t i = 0; i < values.size(); ++i) v[i] = values[i];
+  for (std::size_t offset = m / 2; offset > 0; offset /= 2) {
+    for (std::size_t i = 0; i < offset; ++i) v[i] += v[i + offset];
+  }
+  return v[0];
+}
+
+double block_partial_sum(std::span<const double> data, std::size_t block_id,
+                         std::size_t nt, std::size_t nb) {
+  if (nt == 0 || nb == 0) {
+    throw std::invalid_argument("block_partial_sum: empty launch");
+  }
+  const std::size_t stride = nt * nb;
+  std::vector<double> thread_vals(nt, 0.0);
+  for (std::size_t t = 0; t < nt; ++t) {
+    double acc = 0.0;
+    for (std::size_t i = block_id * nt + t; i < data.size(); i += stride) {
+      acc += data[i];
+    }
+    thread_vals[t] = acc;
+  }
+  return tree_sum(thread_vals);
+}
+
+std::vector<double> all_block_partials(std::span<const double> data,
+                                       std::size_t nt, std::size_t nb) {
+  std::vector<double> partials(nb);
+  for (std::size_t b = 0; b < nb; ++b) {
+    partials[b] = block_partial_sum(data, b, nt, nb);
+  }
+  return partials;
+}
+
+}  // namespace fpna::reduce

@@ -1,0 +1,106 @@
+#include "fpna/reduce/cpu_sum.hpp"
+
+#include <mutex>
+#include <vector>
+
+#include "fpna/fp/summation.hpp"
+#include "fpna/fp/superaccumulator.hpp"
+#include "fpna/util/permutation.hpp"
+
+namespace fpna::reduce {
+
+namespace {
+
+/// Static chunk boundaries, OpenMP static-schedule style: near-equal
+/// contiguous chunks, the first `n % chunks` chunks one element longer.
+std::vector<std::pair<std::size_t, std::size_t>> static_chunks(
+    std::size_t n, std::size_t chunks) {
+  if (chunks == 0) chunks = 1;
+  chunks = std::min(chunks, n == 0 ? std::size_t{1} : n);
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  ranges.reserve(chunks);
+  const std::size_t base = n / chunks;
+  const std::size_t rem = n % chunks;
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t len = base + (c < rem ? 1 : 0);
+    ranges.emplace_back(begin, begin + len);
+    begin += len;
+  }
+  return ranges;
+}
+
+std::vector<double> chunk_partials(std::span<const double> data,
+                                   std::size_t chunks) {
+  const auto ranges = static_chunks(data.size(), chunks);
+  std::vector<double> partials;
+  partials.reserve(ranges.size());
+  for (const auto& [begin, end] : ranges) {
+    partials.push_back(fp::sum_serial(data.subspan(begin, end - begin)));
+  }
+  return partials;
+}
+
+}  // namespace
+
+double cpu_sum_serial(std::span<const double> data) noexcept {
+  return fp::sum_serial(data);
+}
+
+double cpu_sum_ordered(std::span<const double> data,
+                       std::size_t /*num_threads*/) noexcept {
+  // The ordered construct serialises the adds in iteration order: the
+  // value is the serial sum by definition (threads only overlap the loop
+  // body *outside* the ordered region, and here the body is the add).
+  return fp::sum_serial(data);
+}
+
+double cpu_sum_unordered(std::span<const double> data, core::RunContext& ctx,
+                         std::size_t num_threads) {
+  std::vector<double> partials = chunk_partials(data, num_threads);
+  // Combination happens in completion order; draw it from the run.
+  auto rng = ctx.fork(0xCB);
+  util::shuffle(partials, rng);
+  return fp::sum_serial(partials);
+}
+
+double cpu_sum_threads(std::span<const double> data, util::ThreadPool& pool) {
+  const auto ranges = static_chunks(data.size(), pool.size());
+  double sum = 0.0;
+  std::mutex mutex;
+  pool.parallel_for(
+      ranges.size(),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t c = begin; c < end; ++c) {
+          const auto [lo, hi] = ranges[c];
+          const double partial = fp::sum_serial(data.subspan(lo, hi - lo));
+          const std::lock_guard lock(mutex);
+          sum += partial;  // merge in OS completion order
+        }
+      },
+      ranges.size());
+  return sum;
+}
+
+double cpu_sum_chunked_deterministic(std::span<const double> data,
+                                     std::size_t num_threads) noexcept {
+  const std::vector<double> partials = chunk_partials(data, num_threads);
+  return fp::sum_serial(partials);
+}
+
+double cpu_sum_reproducible(std::span<const double> data,
+                            std::size_t num_threads) {
+  // Chunked superaccumulators merged in index order. Exactness of the
+  // accumulator makes the result independent of both the chunking and the
+  // merge order (property-tested).
+  const auto ranges = static_chunks(data.size(), num_threads);
+  fp::Superaccumulator total;
+  for (const auto& [begin, end] : ranges) {
+    fp::Superaccumulator partial;
+    partial.add(data.subspan(begin, end - begin));
+    total.add(partial);
+  }
+  return total.round();
+}
+
+}  // namespace fpna::reduce

@@ -1,0 +1,65 @@
+#pragma once
+// Analytic timing model for the simulated GPU's reduction kernels.
+//
+// Values (the floating-point results) come from the execution engine; time
+// comes from this model, built from each kernel's operation counts and the
+// device profile's latency/bandwidth table. The model's *structure* is
+// what reproduces the paper's Table 4 shape: AO serialises n same-address
+// atomics, the tree kernels stream the array once and pay per-partial
+// tail costs, TPRC pays an extra launch plus a device-to-host hop.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "fpna/sim/device_profile.hpp"
+
+namespace fpna::sim {
+
+/// The six parallel-sum implementations of the paper (SIII.A, Table 2).
+enum class SumMethod {
+  kCU,    // vendor CUB/hipCUB library sum          (deterministic)
+  kSPTR,  // single-pass, tree reduction tail       (deterministic)
+  kSPRG,  // single-pass, recursive-sum tail        (deterministic)
+  kTPRC,  // two passes, final reduction on CPU     (deterministic)
+  kSPA,   // simple pass, atomicAdd of partials     (non-deterministic)
+  kAO,    // atomicAdd per element                  (non-deterministic)
+};
+
+const char* to_string(SumMethod method) noexcept;
+
+/// The "deterministic" column of the paper's Table 2.
+bool is_deterministic(SumMethod method) noexcept;
+
+/// Number of kernel launches (Table 2's "# of kernels"; CU's internals are
+/// opaque, reported as 2 like its documented two-pass structure).
+int kernel_count(SumMethod method) noexcept;
+
+/// Synchronisation mechanism used (Table 2's third column).
+const char* synchronization_method(SumMethod method) noexcept;
+
+/// Modelled time of one n-element FP64 sum with `nb` blocks of `nt`
+/// threads, in microseconds.
+double estimated_sum_time_us(const DeviceProfile& profile, SumMethod method,
+                             std::size_t n, std::size_t nt, std::size_t nb);
+
+/// The indexed tensor ops whose GPU timings the paper reports (Table 6).
+enum class IndexedOpKind {
+  kScatterReduceSum,
+  kScatterReduceMean,
+  kIndexAdd,
+};
+
+/// Modelled GPU kernel time for an indexed op over `contributions` source
+/// elements, in microseconds. The ND path is the atomic scatter kernel;
+/// the deterministic path (where one exists) is the sort-by-destination
+/// kernel, which pays an n log n reordering cost - the structure behind
+/// Table 6's D/ND gaps. Returns nullopt when the op has no deterministic
+/// GPU implementation (scatter_reduce: requesting determinism raises at
+/// runtime, as the paper experienced with PyTorch).
+std::optional<double> estimated_indexed_op_time_us(const DeviceProfile& profile,
+                                                   IndexedOpKind op,
+                                                   std::size_t contributions,
+                                                   bool deterministic);
+
+}  // namespace fpna::sim

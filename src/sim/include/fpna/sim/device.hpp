@@ -1,0 +1,146 @@
+#pragma once
+// A block-granular execution engine for the simulated GPU.
+//
+// Kernels are C++ callables executed once per thread block, in the commit
+// order drawn by the Scheduler. That is the level of abstraction at which
+// FPNA variability arises on real GPUs: the arithmetic inside a block is a
+// fixed program over fixed data (deterministic), while the *interleaving
+// of blocks' updates to shared global state* is scheduler-dependent. The
+// engine therefore executes block bodies sequentially-but-reordered, and
+// routes all cross-block communication through explicit objects
+// (AtomicDouble, RetirementCounter, global buffers) so the dependence on
+// commit order is visible and testable.
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "fpna/sim/device_profile.hpp"
+#include "fpna/sim/scheduler.hpp"
+#include "fpna/util/rng.hpp"
+
+namespace fpna::sim {
+
+/// Global-memory double cell updated with atomicAdd semantics. The engine
+/// applies the adds in block commit order; the accumulated value is the
+/// serial sum in that order (exactly the paper's "random permutation +
+/// serial sum" model of an asynchronous reduction).
+class AtomicDouble {
+ public:
+  explicit AtomicDouble(double initial = 0.0) noexcept : value_(initial) {}
+  double fetch_add(double x) noexcept {
+    const double old = value_;
+    value_ += x;
+    return old;
+  }
+  double load() const noexcept { return value_; }
+  void store(double v) noexcept { value_ = v; }
+
+ private:
+  double value_;
+};
+
+/// CUDA-style atomicInc: returns the previous value, wrapping at `wrap`.
+/// Used for the retirement-counter ("am I the last block?") pattern of the
+/// SPTR/SPRG kernels (paper Listing 1).
+class RetirementCounter {
+ public:
+  explicit RetirementCounter(unsigned wrap) noexcept : wrap_(wrap) {}
+  unsigned fetch_inc() noexcept {
+    const unsigned old = value_;
+    value_ = (value_ >= wrap_) ? 0 : value_ + 1;
+    return old;
+  }
+  unsigned load() const noexcept { return value_; }
+
+ private:
+  unsigned value_ = 0;
+  unsigned wrap_;
+};
+
+struct LaunchConfig {
+  std::size_t grid_blocks = 1;
+  std::size_t threads_per_block = 256;
+  std::size_t shared_doubles = 0;  // shared memory per block, in doubles
+};
+
+/// Per-block execution context handed to kernels.
+class BlockCtx {
+ public:
+  BlockCtx(std::size_t block_id, std::size_t commit_position,
+           const LaunchConfig& config, std::span<double> shared,
+           util::Xoshiro256pp& rng) noexcept
+      : block_id_(block_id), commit_position_(commit_position),
+        config_(&config), shared_(shared), rng_(&rng) {}
+
+  std::size_t block_id() const noexcept { return block_id_; }
+  std::size_t grid_blocks() const noexcept { return config_->grid_blocks; }
+  std::size_t threads_per_block() const noexcept {
+    return config_->threads_per_block;
+  }
+  /// Position of this block in the run's commit order (0 = first).
+  std::size_t commit_position() const noexcept { return commit_position_; }
+
+  /// Shared-memory scratch, zeroed at block start.
+  std::span<double> shared() noexcept { return shared_; }
+
+  /// Entropy for intra-block interleaving decisions (e.g. the order in
+  /// which a block's threads win same-address atomics).
+  util::Xoshiro256pp& rng() noexcept { return *rng_; }
+
+  /// __syncthreads(): a barrier for the block's threads. Block bodies are
+  /// data-parallel loops here, so the barrier is a semantic marker; we
+  /// count them so tests can assert kernels synchronise where the real
+  /// implementation must.
+  void syncthreads() noexcept { ++sync_count_; }
+  std::size_t sync_count() const noexcept { return sync_count_; }
+
+  /// __threadfence(): publishes this block's global writes to the other
+  /// blocks. The engine tracks it so the retirement-counter pattern can be
+  /// checked: consuming other blocks' partials without a fence is a race.
+  void threadfence() noexcept { fenced_ = true; }
+  bool fenced() const noexcept { return fenced_; }
+
+ private:
+  std::size_t block_id_;
+  std::size_t commit_position_;
+  const LaunchConfig* config_;
+  std::span<double> shared_;
+  util::Xoshiro256pp* rng_;
+  std::size_t sync_count_ = 0;
+  bool fenced_ = false;
+};
+
+using BlockKernel = std::function<void(BlockCtx&)>;
+
+struct LaunchRecord {
+  std::size_t blocks = 0;
+  std::size_t fenced_blocks = 0;
+  std::vector<std::size_t> commit_order;
+};
+
+/// The simulated device. Launches execute synchronously (one in-order
+/// stream, matching the paper's single-stream setup); run-to-run
+/// variability enters only through the scheduler's commit orders, drawn
+/// from the generator passed to launch().
+class SimDevice {
+ public:
+  explicit SimDevice(DeviceProfile profile)
+      : profile_(std::move(profile)), scheduler_(profile_) {}
+
+  const DeviceProfile& profile() const noexcept { return profile_; }
+  const Scheduler& scheduler() const noexcept { return scheduler_; }
+
+  /// Runs `kernel` once per block in scheduler commit order and returns a
+  /// record of the launch (order used, fence accounting).
+  LaunchRecord launch(const LaunchConfig& config, util::Xoshiro256pp& rng,
+                      const BlockKernel& kernel);
+
+ private:
+  DeviceProfile profile_;
+  Scheduler scheduler_;
+};
+
+}  // namespace fpna::sim

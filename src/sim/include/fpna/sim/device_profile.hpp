@@ -1,0 +1,76 @@
+#pragma once
+// Device profiles for the simulated accelerators.
+//
+// The paper's GPU experiments ran on V100 (Summit), GH200/H100 (Alps and a
+// Groq host node) and MI250X (Frontier). We have none of that hardware, so
+// each family is modelled by (a) a *scheduler policy* describing how the
+// hardware orders asynchronous work - the only property that matters for
+// FPNA variability - and (b) an analytic latency/bandwidth table that
+// drives the cost model for the timing tables. The absolute numbers are
+// calibrated to the magnitudes the paper reports; the point of the
+// reproduction is the relative shape (which implementation wins, by what
+// factor), which follows from the table's structure.
+
+#include <cstddef>
+#include <string>
+
+namespace fpna::sim {
+
+enum class GpuFamily { kNvidiaVolta, kNvidiaHopper, kAmdCdna2 };
+
+/// How block/atomic commit order is drawn for non-deterministic kernels.
+enum class SchedulerPolicy {
+  /// Any ordering equally likely (idealised fully-async scheduler).
+  kUniformShuffle,
+  /// Blocks launch in waves of at most `max_concurrent_blocks`; ordering
+  /// scrambles within overlapping waves only. Mild long-range order.
+  kWaveShuffle,
+  /// Model of same-address atomic contention arbitration: bursty, a
+  /// random mixture of near-in-order and strongly shuffled regimes. This
+  /// produces the distinctly non-Gaussian variability the paper observes
+  /// for the atomicAdd-only kernel (Fig. 2).
+  kContentionMixture,
+};
+
+struct DeviceProfile {
+  std::string name;
+  GpuFamily family = GpuFamily::kNvidiaVolta;
+
+  /// Policy used for block-level commit order of ND kernels.
+  SchedulerPolicy block_policy = SchedulerPolicy::kWaveShuffle;
+  /// Policy used for element-level atomic commit order (AO kernel).
+  SchedulerPolicy atomic_policy = SchedulerPolicy::kContentionMixture;
+
+  /// Scheduler wave width (concurrent resident blocks).
+  std::size_t max_concurrent_blocks = 640;
+
+  // --- Cost-model parameters -------------------------------------------
+  double clock_ghz = 1.4;
+  /// Effective global-memory streaming bandwidth for a reduction.
+  double mem_bandwidth_gb_s = 550.0;
+  /// Per-kernel-launch overhead.
+  double kernel_launch_us = 3.0;
+  /// Serialized same-address FP64 atomicAdd cost (AO's bottleneck).
+  double atomic_same_address_ns = 2.0;
+  /// Cost per partial processed in the final single-block stage (SPTR /
+  /// SPRG tail and CUB's internal pass).
+  double tail_reduce_ns_per_partial = 1.2;
+  /// __threadfence + retirement-counter handshake overhead per block.
+  double threadfence_ns_per_block = 1.0;
+  /// Device-to-host copy: fixed latency + per-byte cost (TPRC).
+  double d2h_latency_us = 8.0;
+  double d2h_bandwidth_gb_s = 12.0;
+  /// Host-side final sum (TPRC computes the last reduction on the CPU).
+  double host_sum_ns_per_element = 1.0;
+  /// Multiplier applied to the vendor CUB/hipCUB library sum (unknown
+  /// internal parameters; calibrated from the paper's measured penalty).
+  double cub_overhead_factor = 1.05;
+
+  // --- Presets matching the paper's testbeds ---------------------------
+  static DeviceProfile v100();
+  static DeviceProfile gh200();
+  static DeviceProfile h100();
+  static DeviceProfile mi250x();
+};
+
+}  // namespace fpna::sim

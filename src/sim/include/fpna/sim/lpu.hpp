@@ -1,0 +1,81 @@
+#pragma once
+// Deterministic dataflow accelerator model (the paper's Groq LPU stand-in).
+//
+// The LPU property the paper leverages is architectural: execution is
+// statically scheduled at compile time, so (a) results are bitwise
+// deterministic - there is no runtime arbiter to reorder floating-point
+// accumulations - and (b) the kernel runtime is a *fixed number of cycles*
+// known ahead of time ("the runtime ... is reported as a fixed number
+// since the cycle-by-cycle execution is determined ahead of time", SIV).
+//
+// The model preserves both properties: an op "compiles" to a static stage
+// program whose cycle count is a pure function of the op and its shape,
+// and execution applies the deterministic CPU implementation of the op.
+// Latency-table constants are calibrated to the magnitudes of the paper's
+// Tables 6 and 8.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fpna::sim {
+
+enum class LpuOp {
+  kScatterReduceSum,
+  kScatterReduceMean,
+  kIndexAdd,
+  kIndexCopy,
+  kIndexPut,
+  kScatter,
+  kCumsum,
+  kConvTranspose1d,
+  kConvTranspose2d,
+  kConvTranspose3d,
+  kSageConvInference,
+};
+
+const char* to_string(LpuOp op) noexcept;
+
+/// One stage of a statically scheduled program: a fixed cycle count
+/// attached to a named functional unit.
+struct LpuStage {
+  std::string unit;      // e.g. "MEM.read", "VXM.accumulate"
+  std::uint64_t cycles;  // fixed at compile time
+};
+
+struct LpuProgram {
+  LpuOp op;
+  std::size_t elements = 0;
+  std::vector<LpuStage> stages;
+
+  std::uint64_t total_cycles() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : stages) total += s.cycles;
+    return total;
+  }
+};
+
+class LpuDevice {
+ public:
+  LpuDevice() = default;
+
+  std::string name() const { return "GroqLPU"; }
+  double clock_ghz() const noexcept { return kClockGhz; }
+
+  /// "Compiles" an op over `elements` units of work into a static stage
+  /// program. Pure function of (op, elements): the same shape always
+  /// yields the same program, hence the same cycle count.
+  LpuProgram compile(LpuOp op, std::size_t elements) const;
+
+  /// Fixed runtime of the compiled program in microseconds.
+  double op_time_us(LpuOp op, std::size_t elements) const {
+    return static_cast<double>(compile(op, elements).total_cycles()) /
+           (kClockGhz * 1e3);
+  }
+
+ private:
+  static constexpr double kClockGhz = 0.9;  // 900 MHz nominal
+};
+
+}  // namespace fpna::sim

@@ -1,0 +1,43 @@
+#pragma once
+// The scheduler: turns a RunContext (run identity) into commit orders for
+// asynchronous work items. This is the single point where run-to-run
+// non-determinism enters the simulated device - everything downstream is a
+// pure function of the orders produced here, which is what makes every
+// experiment replayable from a seed.
+
+#include <cstddef>
+#include <vector>
+
+#include "fpna/sim/device_profile.hpp"
+#include "fpna/util/rng.hpp"
+
+namespace fpna::sim {
+
+class Scheduler {
+ public:
+  explicit Scheduler(const DeviceProfile& profile) : profile_(&profile) {}
+
+  /// Commit order for `n` thread blocks under the profile's block policy.
+  /// order[k] = id of the block that commits k-th.
+  std::vector<std::size_t> block_commit_order(std::size_t n,
+                                              util::Xoshiro256pp& rng) const {
+    return commit_order(n, profile_->block_policy, rng);
+  }
+
+  /// Commit order for `n` same-address atomic operations under the
+  /// profile's atomic-contention policy (used by the AO kernel and the
+  /// atomic scatter paths of the tensor ops).
+  std::vector<std::size_t> atomic_commit_order(std::size_t n,
+                                               util::Xoshiro256pp& rng) const {
+    return commit_order(n, profile_->atomic_policy, rng);
+  }
+
+  /// Draws a commit order for `n` items under an explicit policy.
+  std::vector<std::size_t> commit_order(std::size_t n, SchedulerPolicy policy,
+                                        util::Xoshiro256pp& rng) const;
+
+ private:
+  const DeviceProfile* profile_;
+};
+
+}  // namespace fpna::sim

@@ -1,0 +1,31 @@
+#include "fpna/sim/device.hpp"
+
+namespace fpna::sim {
+
+LaunchRecord SimDevice::launch(const LaunchConfig& config,
+                               util::Xoshiro256pp& rng,
+                               const BlockKernel& kernel) {
+  if (config.grid_blocks == 0) {
+    throw std::invalid_argument("SimDevice::launch: empty grid");
+  }
+  if (config.threads_per_block == 0) {
+    throw std::invalid_argument("SimDevice::launch: empty block");
+  }
+
+  LaunchRecord record;
+  record.blocks = config.grid_blocks;
+  record.commit_order = scheduler_.block_commit_order(config.grid_blocks, rng);
+
+  std::vector<double> shared(config.shared_doubles, 0.0);
+  for (std::size_t pos = 0; pos < record.commit_order.size(); ++pos) {
+    const std::size_t block_id = record.commit_order[pos];
+    std::fill(shared.begin(), shared.end(), 0.0);
+    BlockCtx ctx(block_id, pos, config,
+                 std::span<double>(shared.data(), shared.size()), rng);
+    kernel(ctx);
+    if (ctx.fenced()) ++record.fenced_blocks;
+  }
+  return record;
+}
+
+}  // namespace fpna::sim

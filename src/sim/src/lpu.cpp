@@ -1,0 +1,78 @@
+#include "fpna/sim/lpu.hpp"
+
+#include <cmath>
+
+namespace fpna::sim {
+
+const char* to_string(LpuOp op) noexcept {
+  switch (op) {
+    case LpuOp::kScatterReduceSum: return "scatter_reduce(sum)";
+    case LpuOp::kScatterReduceMean: return "scatter_reduce(mean)";
+    case LpuOp::kIndexAdd: return "index_add";
+    case LpuOp::kIndexCopy: return "index_copy";
+    case LpuOp::kIndexPut: return "index_put";
+    case LpuOp::kScatter: return "scatter";
+    case LpuOp::kCumsum: return "cumsum";
+    case LpuOp::kConvTranspose1d: return "conv_transpose1d";
+    case LpuOp::kConvTranspose2d: return "conv_transpose2d";
+    case LpuOp::kConvTranspose3d: return "conv_transpose3d";
+    case LpuOp::kSageConvInference: return "sageconv_inference";
+  }
+  return "?";
+}
+
+namespace {
+
+// Per-op static costs: a fixed pipeline fill plus deterministic per-element
+// streaming costs through the memory and vector units. Constants are
+// calibrated so the paper's Table 6 workloads land at the reported
+// magnitudes: scatter_reduce(sum) n=1000 -> 10.5us, scatter_reduce(mean)
+// n=1000 -> 28.9us, index_add 1000x1000 -> 12.0us, and the GraphSAGE
+// forward pass -> 66us (Table 8).
+struct OpCost {
+  double fill_us;          // pipeline fill / program dispatch
+  double read_ns_per_elt;  // MEM read stream
+  double alu_ns_per_elt;   // VXM compute stream
+  double write_ns_per_elt; // MEM write stream
+};
+
+OpCost cost_for(LpuOp op) noexcept {
+  switch (op) {
+    case LpuOp::kScatterReduceSum: return {9.9, 0.2, 0.2, 0.2};
+    case LpuOp::kScatterReduceMean: return {28.3, 0.2, 0.2, 0.2};
+    case LpuOp::kIndexAdd: return {2.0, 0.004, 0.002, 0.004};
+    case LpuOp::kIndexCopy: return {2.0, 0.004, 0.0, 0.004};
+    case LpuOp::kIndexPut: return {2.2, 0.004, 0.0, 0.004};
+    case LpuOp::kScatter: return {2.0, 0.004, 0.0, 0.004};
+    case LpuOp::kCumsum: return {4.0, 0.01, 0.02, 0.01};
+    case LpuOp::kConvTranspose1d: return {6.0, 0.02, 0.05, 0.02};
+    case LpuOp::kConvTranspose2d: return {8.0, 0.02, 0.05, 0.02};
+    case LpuOp::kConvTranspose3d: return {12.0, 0.02, 0.05, 0.02};
+    case LpuOp::kSageConvInference: return {50.0, 0.0003, 0.0004, 0.0003};
+  }
+  return {1.0, 0.01, 0.01, 0.01};
+}
+
+std::uint64_t to_cycles(double us, double clock_ghz) noexcept {
+  return static_cast<std::uint64_t>(std::llround(us * clock_ghz * 1e3));
+}
+
+}  // namespace
+
+LpuProgram LpuDevice::compile(LpuOp op, std::size_t elements) const {
+  const OpCost c = cost_for(op);
+  const auto n = static_cast<double>(elements);
+
+  LpuProgram program;
+  program.op = op;
+  program.elements = elements;
+  program.stages = {
+      {"ICU.dispatch", to_cycles(c.fill_us, kClockGhz)},
+      {"MEM.read", to_cycles(n * c.read_ns_per_elt * 1e-3, kClockGhz)},
+      {"VXM.compute", to_cycles(n * c.alu_ns_per_elt * 1e-3, kClockGhz)},
+      {"MEM.write", to_cycles(n * c.write_ns_per_elt * 1e-3, kClockGhz)},
+  };
+  return program;
+}
+
+}  // namespace fpna::sim

@@ -1,0 +1,49 @@
+#include "fpna/sim/scheduler.hpp"
+
+#include <numeric>
+
+#include "fpna/util/permutation.hpp"
+
+namespace fpna::sim {
+
+std::vector<std::size_t> Scheduler::commit_order(
+    std::size_t n, SchedulerPolicy policy, util::Xoshiro256pp& rng) const {
+  switch (policy) {
+    case SchedulerPolicy::kUniformShuffle:
+      return util::random_permutation(n, rng);
+
+    case SchedulerPolicy::kWaveShuffle:
+      // Sliding resident set: at most max_concurrent_blocks in flight, a
+      // random resident block completes at each step (the physical grid
+      // scheduler picture, long-range mixing with local admission order).
+      return util::reservoir_permutation(n, profile_->max_concurrent_blocks,
+                                         rng);
+
+    case SchedulerPolicy::kContentionMixture: {
+      // Same-address atomics serialise through one memory port; the order
+      // in which retries win arbitration is bursty: stretches drain almost
+      // in issue order, then a contention episode reorders aggressively.
+      // We model this as a per-run mixture: each run draws a regime, and
+      // the regime sets the shuffle window. Mixing regimes across runs
+      // produces the heavy-tailed, visibly non-Gaussian variability the
+      // paper reports for AO (Fig. 2).
+      const double regime = util::canonical(rng);
+      std::size_t window;
+      if (regime < 0.45) {
+        window = n < 1024 ? 4 : n / 1024;  // saturated: near-FIFO drain
+      } else if (regime < 0.8) {
+        window = n < 16 ? n : n / 16;  // moderate reordering
+      } else {
+        window = n;  // contention storm: fully scrambled
+      }
+      if (window < 2) window = 2;
+      return util::wave_permutation(n, window, rng);
+    }
+  }
+  // Unreachable for valid enum values.
+  std::vector<std::size_t> identity(n);
+  std::iota(identity.begin(), identity.end(), std::size_t{0});
+  return identity;
+}
+
+}  // namespace fpna::sim

@@ -1,0 +1,70 @@
+#pragma once
+// Descriptive statistics for variability samples: single-pass (Welford)
+// moments, quantiles, and bootstrap confidence intervals. The paper
+// reports variability as mean(std) pairs and extrema (max |Vs|); these are
+// the primitives behind those numbers.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "fpna/util/rng.hpp"
+
+namespace fpna::stats {
+
+/// Numerically stable streaming moments (Welford's algorithm), including
+/// third/fourth central moments for skewness/kurtosis.
+class Welford {
+ public:
+  void add(double x) noexcept;
+  void merge(const Welford& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  /// Population skewness g1; 0 for degenerate samples.
+  double skewness() const noexcept;
+  /// Excess kurtosis g2 (normal -> 0).
+  double excess_kurtosis() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double m3_ = 0.0;
+  double m4_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double skewness = 0.0;
+  double excess_kurtosis = 0.0;
+};
+
+Summary summarize(std::span<const double> samples) noexcept;
+
+/// Linear-interpolated quantile, q in [0, 1]. Copies and sorts internally.
+double quantile(std::span<const double> samples, double q);
+
+struct BootstrapCi {
+  double lower = 0.0;
+  double upper = 0.0;
+  double point = 0.0;
+};
+
+/// Percentile-bootstrap CI for the sample mean.
+BootstrapCi bootstrap_mean_ci(std::span<const double> samples,
+                              std::size_t resamples, double confidence,
+                              util::Xoshiro256pp& rng);
+
+}  // namespace fpna::stats

@@ -1,0 +1,30 @@
+#pragma once
+// Least-squares fits. The paper fits max|Vs| as a function of the array
+// size n with a power law beta * n^alpha (SIII.C) and reports alpha ~ 0.5
+// for uniform inputs; power_law_fit regenerates that analysis.
+
+#include <span>
+
+namespace fpna::stats {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Ordinary least squares y = slope * x + intercept.
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+struct PowerLawFit {
+  double alpha = 0.0;  // exponent
+  double beta = 0.0;   // prefactor
+  double r_squared = 0.0;
+};
+
+/// Fits y = beta * x^alpha by linear regression in log-log space.
+/// Requires strictly positive x and y.
+PowerLawFit power_law_fit(std::span<const double> x,
+                          std::span<const double> y);
+
+}  // namespace fpna::stats

@@ -1,0 +1,68 @@
+#pragma once
+// Histogram / empirical PDF estimation, used to regenerate the probability
+// density figures (paper Figs. 1-2) and as the input to the KL-divergence
+// normality criterion the paper applies in SIII.C.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fpna::stats {
+
+class Histogram {
+ public:
+  /// Fixed-range histogram with `bins` equal-width bins over [lo, hi].
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Builds a histogram spanning the sample range (slightly widened so the
+  /// max lands inside the last bin).
+  static Histogram from_samples(std::span<const double> samples,
+                                std::size_t bins);
+
+  void add(double x) noexcept;
+  void add(std::span<const double> samples) noexcept {
+    for (double x : samples) add(x);
+  }
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+  double bin_width() const noexcept { return width_; }
+  std::size_t total() const noexcept { return total_; }
+  std::size_t underflow() const noexcept { return underflow_; }
+  std::size_t overflow() const noexcept { return overflow_; }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  double bin_center(std::size_t bin) const;
+
+  /// Probability density estimate at bin center: count / (total * width).
+  double density(std::size_t bin) const;
+
+  /// Probability mass of the bin: count / total.
+  double mass(std::size_t bin) const;
+
+  /// gnuplot-ready "center density" lines.
+  std::string to_series() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+/// Kullback-Leibler divergence D(P_hist || Q) between the histogram's
+/// empirical distribution and a normal N(mu, sigma) discretised over the
+/// same bins (paper SIII.C uses KL against a fitted normal to decide
+/// whether SPA/AO variability is Gaussian). Empty bins contribute zero;
+/// result is in nats.
+double kl_divergence_vs_normal(const Histogram& hist, double mu,
+                               double sigma);
+
+/// Standard normal CDF.
+double normal_cdf(double z) noexcept;
+
+}  // namespace fpna::stats

@@ -1,0 +1,30 @@
+#pragma once
+// Normality tests for variability distributions. The paper (SIII.C) finds
+// that SPA variability converges to a normal distribution while AO's does
+// not; these tests make that claim checkable in CI rather than by eye.
+
+#include <span>
+
+namespace fpna::stats {
+
+struct KsResult {
+  double statistic = 0.0;  // sup |F_n(x) - F(x)|
+  double p_value = 1.0;    // asymptotic Kolmogorov distribution
+};
+
+/// One-sample Kolmogorov-Smirnov test against N(mu, sigma). Note: when mu
+/// and sigma are estimated from the same sample this is the (slightly
+/// conservative-biased) Lilliefors setting; we use it only to *rank*
+/// distributions, as the paper does with KL.
+KsResult ks_test_normal(std::span<const double> samples, double mu,
+                        double sigma);
+
+struct JarqueBeraResult {
+  double statistic = 0.0;  // n/6 (S^2 + K^2/4)
+  double p_value = 1.0;    // chi-squared with 2 dof
+};
+
+/// Jarque-Bera normality test (moment-based: skewness + excess kurtosis).
+JarqueBeraResult jarque_bera(std::span<const double> samples);
+
+}  // namespace fpna::stats

@@ -1,0 +1,139 @@
+#include "fpna/stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fpna::stats {
+
+void Welford::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const auto n = static_cast<double>(n_);
+  const double delta = x - mean_;
+  const double delta_n = delta / n;
+  const double delta_n2 = delta_n * delta_n;
+  const double term1 = delta * delta_n * (n - 1.0);
+  mean_ += delta_n;
+  m4_ += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * m2_ -
+         4.0 * delta_n * m3_;
+  m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
+  m2_ += term1;
+}
+
+void Welford::merge(const Welford& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double n = na + nb;
+  const double delta = other.mean_ - mean_;
+  const double delta2 = delta * delta;
+  const double delta3 = delta2 * delta;
+  const double delta4 = delta2 * delta2;
+
+  const double m2 = m2_ + other.m2_ + delta2 * na * nb / n;
+  const double m3 = m3_ + other.m3_ +
+                    delta3 * na * nb * (na - nb) / (n * n) +
+                    3.0 * delta * (na * other.m2_ - nb * m2_) / n;
+  const double m4 =
+      m4_ + other.m4_ +
+      delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n) +
+      6.0 * delta2 * (na * na * other.m2_ + nb * nb * m2_) / (n * n) +
+      4.0 * delta * (na * other.m3_ - nb * m3_) / n;
+
+  mean_ = (na * mean_ + nb * other.mean_) / n;
+  m2_ = m2;
+  m3_ = m3;
+  m4_ = m4;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Welford::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double Welford::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Welford::skewness() const noexcept {
+  if (n_ < 2 || m2_ <= 0.0) return 0.0;
+  const auto n = static_cast<double>(n_);
+  return std::sqrt(n) * m3_ / std::pow(m2_, 1.5);
+}
+
+double Welford::excess_kurtosis() const noexcept {
+  if (n_ < 2 || m2_ <= 0.0) return 0.0;
+  const auto n = static_cast<double>(n_);
+  return n * m4_ / (m2_ * m2_) - 3.0;
+}
+
+Summary summarize(std::span<const double> samples) noexcept {
+  Welford w;
+  for (double x : samples) w.add(x);
+  Summary s;
+  s.count = w.count();
+  s.mean = w.mean();
+  s.stddev = w.stddev();
+  s.min = w.min();
+  s.max = w.max();
+  s.skewness = w.skewness();
+  s.excess_kurtosis = w.excess_kurtosis();
+  return s;
+}
+
+double quantile(std::span<const double> samples, double q) {
+  if (samples.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q not in [0,1]");
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+BootstrapCi bootstrap_mean_ci(std::span<const double> samples,
+                              std::size_t resamples, double confidence,
+                              util::Xoshiro256pp& rng) {
+  if (samples.empty()) {
+    throw std::invalid_argument("bootstrap_mean_ci: empty sample");
+  }
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    throw std::invalid_argument("bootstrap_mean_ci: confidence not in (0,1)");
+  }
+  const std::size_t n = samples.size();
+  const util::UniformInt pick(0, static_cast<std::int64_t>(n) - 1);
+
+  std::vector<double> means;
+  means.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += samples[static_cast<std::size_t>(pick(rng))];
+    }
+    means.push_back(sum / static_cast<double>(n));
+  }
+
+  BootstrapCi ci;
+  const double alpha = 1.0 - confidence;
+  ci.lower = quantile(means, alpha / 2.0);
+  ci.upper = quantile(means, 1.0 - alpha / 2.0);
+  double total = 0.0;
+  for (double x : samples) total += x;
+  ci.point = total / static_cast<double>(n);
+  return ci;
+}
+
+}  // namespace fpna::stats

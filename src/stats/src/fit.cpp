@@ -1,0 +1,66 @@
+#include "fpna/stats/fit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace fpna::stats {
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("linear_fit: size mismatch");
+  }
+  if (x.size() < 2) {
+    throw std::invalid_argument("linear_fit: need at least 2 points");
+  }
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) throw std::invalid_argument("linear_fit: degenerate x");
+
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+PowerLawFit power_law_fit(std::span<const double> x,
+                          std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("power_law_fit: size mismatch");
+  }
+  std::vector<double> lx, ly;
+  lx.reserve(x.size());
+  ly.reserve(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!(x[i] > 0.0) || !(y[i] > 0.0)) {
+      throw std::invalid_argument("power_law_fit: need positive data");
+    }
+    lx.push_back(std::log(x[i]));
+    ly.push_back(std::log(y[i]));
+  }
+  const LinearFit lin = linear_fit(lx, ly);
+
+  PowerLawFit fit;
+  fit.alpha = lin.slope;
+  fit.beta = std::exp(lin.intercept);
+  fit.r_squared = lin.r_squared;
+  return fit;
+}
+
+}  // namespace fpna::stats

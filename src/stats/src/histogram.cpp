@@ -1,0 +1,105 @@
+#include "fpna/stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace fpna::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: zero bins");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+  width_ = (hi - lo) / static_cast<double>(bins);
+}
+
+Histogram Histogram::from_samples(std::span<const double> samples,
+                                  std::size_t bins) {
+  if (samples.empty()) {
+    throw std::invalid_argument("Histogram::from_samples: empty sample");
+  }
+  const auto [mn, mx] = std::minmax_element(samples.begin(), samples.end());
+  double lo = *mn;
+  double hi = *mx;
+  if (lo == hi) {  // degenerate: widen symmetrically
+    const double pad = lo == 0.0 ? 1.0 : std::fabs(lo) * 1e-6;
+    lo -= pad;
+    hi += pad;
+  } else {
+    const double pad = (hi - lo) * 1e-9;
+    hi += pad;
+  }
+  Histogram h(lo, hi, bins);
+  h.add(samples);
+  return h;
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  bin = std::min(bin, counts_.size() - 1);  // guard FP edge at hi_
+  ++counts_[bin];
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram::bin_center");
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double Histogram::density(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bin)) /
+         (static_cast<double>(total_) * width_);
+}
+
+double Histogram::mass(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+std::string Histogram::to_series() const {
+  std::ostringstream out;
+  out.setf(std::ios::scientific);
+  out.precision(9);
+  for (std::size_t b = 0; b < bins(); ++b) {
+    out << bin_center(b) << " " << density(b) << "\n";
+  }
+  return out.str();
+}
+
+double normal_cdf(double z) noexcept {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+double kl_divergence_vs_normal(const Histogram& hist, double mu,
+                               double sigma) {
+  if (sigma <= 0.0) {
+    throw std::invalid_argument("kl_divergence_vs_normal: sigma <= 0");
+  }
+  if (hist.total() == 0) return 0.0;
+
+  double kl = 0.0;
+  for (std::size_t b = 0; b < hist.bins(); ++b) {
+    const double p = hist.mass(b);
+    if (p <= 0.0) continue;
+    const double left = hist.lo() + static_cast<double>(b) * hist.bin_width();
+    const double right = left + hist.bin_width();
+    double q = normal_cdf((right - mu) / sigma) - normal_cdf((left - mu) / sigma);
+    // Clamp so samples in the far tail (q underflows to 0) give a large
+    // finite penalty instead of inf.
+    q = std::max(q, 1e-300);
+    kl += p * std::log(p / q);
+  }
+  return kl;
+}
+
+}  // namespace fpna::stats

@@ -1,0 +1,75 @@
+#include "fpna/stats/normality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "fpna/stats/descriptive.hpp"
+#include "fpna/stats/histogram.hpp"
+
+namespace fpna::stats {
+
+namespace {
+
+/// Asymptotic Kolmogorov distribution complement:
+/// P(sqrt(n) D > x) = 2 sum_{k>=1} (-1)^{k-1} exp(-2 k^2 x^2).
+double kolmogorov_p(double x) noexcept {
+  if (x <= 0.0) return 1.0;
+  double sum = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * x * x);
+    sum += (k % 2 == 1 ? term : -term);
+    if (term < 1e-16) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+}  // namespace
+
+KsResult ks_test_normal(std::span<const double> samples, double mu,
+                        double sigma) {
+  if (samples.empty()) {
+    throw std::invalid_argument("ks_test_normal: empty sample");
+  }
+  if (sigma <= 0.0) {
+    throw std::invalid_argument("ks_test_normal: sigma <= 0");
+  }
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  const auto n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double cdf = normal_cdf((sorted[i] - mu) / sigma);
+    const double above = static_cast<double>(i + 1) / n - cdf;
+    const double below = cdf - static_cast<double>(i) / n;
+    d = std::max({d, above, below});
+  }
+
+  KsResult result;
+  result.statistic = d;
+  const double sqrt_n = std::sqrt(n);
+  // Stephens' small-sample correction for the asymptotic formula.
+  result.p_value = kolmogorov_p((sqrt_n + 0.12 + 0.11 / sqrt_n) * d);
+  return result;
+}
+
+JarqueBeraResult jarque_bera(std::span<const double> samples) {
+  if (samples.size() < 4) {
+    throw std::invalid_argument("jarque_bera: need at least 4 samples");
+  }
+  const Summary s = summarize(samples);
+  const auto n = static_cast<double>(samples.size());
+  const double jb =
+      n / 6.0 *
+      (s.skewness * s.skewness + s.excess_kurtosis * s.excess_kurtosis / 4.0);
+
+  JarqueBeraResult result;
+  result.statistic = jb;
+  // Chi-squared(2) survival function is exp(-x/2).
+  result.p_value = std::exp(-jb / 2.0);
+  return result;
+}
+
+}  // namespace fpna::stats

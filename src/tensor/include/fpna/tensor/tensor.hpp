@@ -1,0 +1,172 @@
+#pragma once
+// A small dense N-d tensor (row-major, owning), the substrate for the
+// PyTorch-operation reproductions of paper SIV. Deliberately minimal: the
+// experiments need shapes, flat storage, multi-dimensional indexing and
+// bitwise comparison - not views, broadcasting or autograd.
+
+#include <bit>
+#include <cstdint>
+#include <initializer_list>
+#include <type_traits>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fpna::tensor {
+
+using Shape = std::vector<std::int64_t>;
+
+inline std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (const std::int64_t d : shape) {
+    if (d < 0) throw std::invalid_argument("Tensor: negative dimension");
+    n *= d;
+  }
+  return n;
+}
+
+inline std::string shape_string(const Shape& shape) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    out += std::to_string(shape[i]);
+    if (i + 1 < shape.size()) out += ", ";
+  }
+  return out + "]";
+}
+
+template <typename T>
+class Tensor {
+ public:
+  Tensor() : shape_{0}, strides_{1} {}
+
+  explicit Tensor(Shape shape, T fill = T{})
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_numel(shape_)), fill) {
+    compute_strides();
+  }
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape), T{}); }
+
+  static Tensor full(Shape shape, T value) {
+    return Tensor(std::move(shape), value);
+  }
+
+  static Tensor from_data(Shape shape, std::vector<T> data) {
+    Tensor t;
+    t.shape_ = std::move(shape);
+    if (shape_numel(t.shape_) != static_cast<std::int64_t>(data.size())) {
+      throw std::invalid_argument("Tensor::from_data: size mismatch: shape " +
+                                  shape_string(t.shape_) + " vs " +
+                                  std::to_string(data.size()) + " elements");
+    }
+    t.data_ = std::move(data);
+    t.compute_strides();
+    return t;
+  }
+
+  std::int64_t dim() const noexcept {
+    return static_cast<std::int64_t>(shape_.size());
+  }
+  const Shape& shape() const noexcept { return shape_; }
+  std::int64_t size(std::int64_t d) const { return shape_.at(check_dim(d)); }
+  std::int64_t numel() const noexcept {
+    return static_cast<std::int64_t>(data_.size());
+  }
+  const Shape& strides() const noexcept { return strides_; }
+  std::int64_t stride(std::int64_t d) const {
+    return strides_.at(check_dim(d));
+  }
+
+  std::span<T> data() noexcept { return {data_.data(), data_.size()}; }
+  std::span<const T> data() const noexcept {
+    return {data_.data(), data_.size()};
+  }
+  std::vector<T>& vec() noexcept { return data_; }
+  const std::vector<T>& vec() const noexcept { return data_; }
+
+  T& flat(std::int64_t i) { return data_.at(static_cast<std::size_t>(i)); }
+  const T& flat(std::int64_t i) const {
+    return data_.at(static_cast<std::size_t>(i));
+  }
+
+  /// Flat offset of a multi-dimensional index (bounds-checked).
+  std::int64_t offset(std::span<const std::int64_t> idx) const {
+    if (idx.size() != shape_.size()) {
+      throw std::invalid_argument("Tensor: index rank mismatch");
+    }
+    std::int64_t off = 0;
+    for (std::size_t d = 0; d < idx.size(); ++d) {
+      if (idx[d] < 0 || idx[d] >= shape_[d]) {
+        throw std::out_of_range("Tensor: index out of range at dim " +
+                                std::to_string(d));
+      }
+      off += idx[d] * strides_[d];
+    }
+    return off;
+  }
+
+  T& at(std::initializer_list<std::int64_t> idx) {
+    return data_[static_cast<std::size_t>(
+        offset(std::span<const std::int64_t>(idx.begin(), idx.size())))];
+  }
+  const T& at(std::initializer_list<std::int64_t> idx) const {
+    return data_[static_cast<std::size_t>(
+        offset(std::span<const std::int64_t>(idx.begin(), idx.size())))];
+  }
+
+  bool same_shape(const Tensor& other) const noexcept {
+    return shape_ == other.shape_;
+  }
+
+  /// Bitwise equality, the reproducibility notion used throughout.
+  bool bitwise_equal(const Tensor& other) const noexcept {
+    if (!same_shape(other)) return false;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      if (!bits_equal(data_[i], other.data_[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  static bool bits_equal(T a, T b) noexcept {
+    if constexpr (std::is_floating_point_v<T>) {
+      if constexpr (sizeof(T) == 8) {
+        return std::bit_cast<std::uint64_t>(a) ==
+               std::bit_cast<std::uint64_t>(b);
+      } else {
+        return std::bit_cast<std::uint32_t>(a) ==
+               std::bit_cast<std::uint32_t>(b);
+      }
+    } else {
+      return a == b;
+    }
+  }
+
+  std::size_t check_dim(std::int64_t d) const {
+    if (d < 0 || d >= dim()) {
+      throw std::out_of_range("Tensor: dim " + std::to_string(d) +
+                              " out of range for rank " + std::to_string(dim()));
+    }
+    return static_cast<std::size_t>(d);
+  }
+
+  void compute_strides() {
+    strides_.assign(shape_.size(), 1);
+    for (std::size_t d = shape_.size(); d-- > 1;) {
+      strides_[d - 1] = strides_[d] * (shape_[d] == 0 ? 1 : shape_[d]);
+    }
+    if (shape_.empty()) strides_ = {};
+  }
+
+  Shape shape_;
+  Shape strides_;
+  std::vector<T> data_;
+};
+
+using TensorF = Tensor<float>;
+using TensorD = Tensor<double>;
+using TensorI = Tensor<std::int64_t>;
+
+}  // namespace fpna::tensor

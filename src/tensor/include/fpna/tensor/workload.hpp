@@ -1,0 +1,57 @@
+#pragma once
+// Workload generators for the Table 5 / Figs. 3-5 experiments: random
+// tensors and the reduction-ratio-parameterised index tensors the paper
+// uses ("random integers drawn from a uniform distribution ... to mimic an
+// arbitrary graph structure", SIV.A).
+
+#include <cstdint>
+
+#include "fpna/tensor/tensor.hpp"
+#include "fpna/util/rng.hpp"
+
+namespace fpna::tensor {
+
+template <typename T>
+Tensor<T> random_uniform(Shape shape, double lo, double hi,
+                         util::Xoshiro256pp& rng);
+
+template <typename T>
+Tensor<T> random_normal(Shape shape, double mean, double sigma,
+                        util::Xoshiro256pp& rng);
+
+/// `count` uniform indices in [0, out_size).
+Tensor<std::int64_t> random_index(std::int64_t count, std::int64_t out_size,
+                                  util::Xoshiro256pp& rng);
+
+/// The paper's reduction ratio R = output dim size / source dim size.
+/// Returns max(1, round(R * input_dim)).
+std::int64_t output_dim_for_ratio(std::int64_t input_dim, double ratio);
+
+/// scatter_reduce workload (paper: 1-d source of `input_dim` elements,
+/// output of R*input_dim elements, uniform random index of source shape).
+template <typename T>
+struct ScatterWorkload {
+  Tensor<T> self;
+  Tensor<T> src;
+  Tensor<std::int64_t> index;
+};
+
+template <typename T>
+ScatterWorkload<T> make_scatter_workload(std::int64_t input_dim, double ratio,
+                                         util::Xoshiro256pp& rng);
+
+/// index_add workload (paper: 2-d square source input_dim x input_dim,
+/// output (R*input_dim) x input_dim, index of length input_dim).
+template <typename T>
+struct IndexAddWorkload {
+  Tensor<T> self;
+  Tensor<T> source;
+  Tensor<std::int64_t> index;
+};
+
+template <typename T>
+IndexAddWorkload<T> make_index_add_workload(std::int64_t input_dim,
+                                            double ratio,
+                                            util::Xoshiro256pp& rng);
+
+}  // namespace fpna::tensor

@@ -1,0 +1,4 @@
+// DeterminismContext is header-only (inline statics); this translation
+// unit exists so the library has a home for future out-of-line pieces and
+// keeps one-object-per-header symmetry.
+#include "fpna/tensor/determinism.hpp"

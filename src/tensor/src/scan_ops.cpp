@@ -1,0 +1,109 @@
+#include "fpna/tensor/scan_ops.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "fpna/util/permutation.hpp"
+
+namespace fpna::tensor {
+
+namespace {
+
+/// Scans one line (stride-accessed) of the tensor.
+template <typename T>
+void scan_line(std::span<T> data, std::int64_t start, std::int64_t stride,
+               std::int64_t length, const OpContext& ctx,
+               std::size_t scan_blocks) {
+  const auto at = [&](std::int64_t i) -> T& {
+    return data[static_cast<std::size_t>(start + i * stride)];
+  };
+
+  if (!ctx.nondeterministic() || length <= 2 || scan_blocks <= 1) {
+    // Deterministic serial scan.
+    for (std::int64_t i = 1; i < length; ++i) {
+      at(i) = static_cast<T>(at(i) + at(i - 1));
+    }
+    return;
+  }
+
+  // Blocked scan. Aggregate each block, then give block b the offset
+  // sum(aggregates[0..b-1]) accumulated in a per-run shuffled order -
+  // the association pattern of a decoupled-lookback scan whose partials
+  // arrive asynchronously.
+  const auto blocks = static_cast<std::int64_t>(
+      std::min<std::size_t>(scan_blocks, static_cast<std::size_t>(length)));
+  const std::int64_t base = length / blocks;
+  const std::int64_t rem = length % blocks;
+
+  std::vector<std::int64_t> begin(static_cast<std::size_t>(blocks) + 1, 0);
+  for (std::int64_t b = 0; b < blocks; ++b) {
+    begin[static_cast<std::size_t>(b) + 1] =
+        begin[static_cast<std::size_t>(b)] + base + (b < rem ? 1 : 0);
+  }
+
+  std::vector<T> aggregate(static_cast<std::size_t>(blocks), T{0});
+  for (std::int64_t b = 0; b < blocks; ++b) {
+    T acc{0};
+    for (std::int64_t i = begin[static_cast<std::size_t>(b)];
+         i < begin[static_cast<std::size_t>(b) + 1]; ++i) {
+      acc = static_cast<T>(acc + at(i));
+    }
+    aggregate[static_cast<std::size_t>(b)] = acc;
+  }
+
+  auto& rng = ctx.run->rng();
+  std::vector<T> offset(static_cast<std::size_t>(blocks), T{0});
+  for (std::int64_t b = 1; b < blocks; ++b) {
+    // The b-1 preceding aggregates arrive in scheduler order.
+    std::vector<std::size_t> order = util::random_permutation(
+        static_cast<std::size_t>(b), rng);
+    T acc{0};
+    for (const std::size_t j : order) acc = static_cast<T>(acc + aggregate[j]);
+    offset[static_cast<std::size_t>(b)] = acc;
+  }
+
+  for (std::int64_t b = 0; b < blocks; ++b) {
+    T acc = offset[static_cast<std::size_t>(b)];
+    for (std::int64_t i = begin[static_cast<std::size_t>(b)];
+         i < begin[static_cast<std::size_t>(b) + 1]; ++i) {
+      acc = static_cast<T>(acc + at(i));
+      at(i) = acc;
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+Tensor<T> cumsum(const Tensor<T>& self, std::int64_t dim, const OpContext& ctx,
+                 std::size_t scan_blocks) {
+  if (dim < 0 || dim >= self.dim()) {
+    throw std::out_of_range("cumsum: dim out of range");
+  }
+  Tensor<T> out = self;
+  const std::int64_t length = self.size(dim);
+  if (length == 0) return out;
+  const std::int64_t stride = self.stride(dim);
+
+  // Enumerate all lines along `dim`: outer x inner decomposition.
+  std::int64_t outer = 1;
+  for (std::int64_t d = 0; d < dim; ++d) outer *= self.size(d);
+  std::int64_t inner = 1;
+  for (std::int64_t d = dim + 1; d < self.dim(); ++d) inner *= self.size(d);
+
+  for (std::int64_t o = 0; o < outer; ++o) {
+    for (std::int64_t i = 0; i < inner; ++i) {
+      const std::int64_t start = o * length * inner + i;
+      scan_line<T>(out.data(), start, stride, length, ctx, scan_blocks);
+    }
+  }
+  return out;
+}
+
+template Tensor<float> cumsum<float>(const Tensor<float>&, std::int64_t,
+                                     const OpContext&, std::size_t);
+template Tensor<double> cumsum<double>(const Tensor<double>&, std::int64_t,
+                                       const OpContext&, std::size_t);
+
+}  // namespace fpna::tensor

@@ -1,0 +1,95 @@
+#include "fpna/tensor/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fpna::tensor {
+
+template <typename T>
+Tensor<T> random_uniform(Shape shape, double lo, double hi,
+                         util::Xoshiro256pp& rng) {
+  Tensor<T> t(std::move(shape));
+  const util::UniformReal dist(lo, hi);
+  for (auto& x : t.vec()) x = static_cast<T>(dist(rng));
+  return t;
+}
+
+template <typename T>
+Tensor<T> random_normal(Shape shape, double mean, double sigma,
+                        util::Xoshiro256pp& rng) {
+  Tensor<T> t(std::move(shape));
+  util::Normal dist(mean, sigma);
+  for (auto& x : t.vec()) x = static_cast<T>(dist(rng));
+  return t;
+}
+
+Tensor<std::int64_t> random_index(std::int64_t count, std::int64_t out_size,
+                                  util::Xoshiro256pp& rng) {
+  if (out_size <= 0) {
+    throw std::invalid_argument("random_index: out_size must be positive");
+  }
+  Tensor<std::int64_t> index(Shape{count});
+  const util::UniformInt dist(0, out_size - 1);
+  for (auto& x : index.vec()) x = dist(rng);
+  return index;
+}
+
+std::int64_t output_dim_for_ratio(std::int64_t input_dim, double ratio) {
+  if (input_dim <= 0) {
+    throw std::invalid_argument("output_dim_for_ratio: input_dim <= 0");
+  }
+  if (ratio <= 0.0 || ratio > 1.0) {
+    throw std::invalid_argument(
+        "output_dim_for_ratio: ratio must be in (0, 1]");
+  }
+  const auto out = static_cast<std::int64_t>(
+      std::llround(ratio * static_cast<double>(input_dim)));
+  return std::max<std::int64_t>(1, out);
+}
+
+template <typename T>
+ScatterWorkload<T> make_scatter_workload(std::int64_t input_dim, double ratio,
+                                         util::Xoshiro256pp& rng) {
+  const std::int64_t out_dim = output_dim_for_ratio(input_dim, ratio);
+  ScatterWorkload<T> w{
+      random_uniform<T>(Shape{out_dim}, 0.0, 1.0, rng),
+      random_uniform<T>(Shape{input_dim}, 0.0, 1.0, rng),
+      Tensor<std::int64_t>(Shape{input_dim}),
+  };
+  const util::UniformInt dist(0, out_dim - 1);
+  for (auto& x : w.index.vec()) x = dist(rng);
+  return w;
+}
+
+template <typename T>
+IndexAddWorkload<T> make_index_add_workload(std::int64_t input_dim,
+                                            double ratio,
+                                            util::Xoshiro256pp& rng) {
+  const std::int64_t out_dim = output_dim_for_ratio(input_dim, ratio);
+  IndexAddWorkload<T> w{
+      random_uniform<T>(Shape{out_dim, input_dim}, 0.0, 1.0, rng),
+      random_uniform<T>(Shape{input_dim, input_dim}, 0.0, 1.0, rng),
+      Tensor<std::int64_t>(Shape{input_dim}),
+  };
+  const util::UniformInt dist(0, out_dim - 1);
+  for (auto& x : w.index.vec()) x = dist(rng);
+  return w;
+}
+
+#define FPNA_INSTANTIATE_WORKLOAD(T)                                          \
+  template Tensor<T> random_uniform<T>(Shape, double, double,                 \
+                                       util::Xoshiro256pp&);                  \
+  template Tensor<T> random_normal<T>(Shape, double, double,                  \
+                                      util::Xoshiro256pp&);                   \
+  template ScatterWorkload<T> make_scatter_workload<T>(std::int64_t, double,  \
+                                                       util::Xoshiro256pp&);  \
+  template IndexAddWorkload<T> make_index_add_workload<T>(                    \
+      std::int64_t, double, util::Xoshiro256pp&);
+
+FPNA_INSTANTIATE_WORKLOAD(float)
+FPNA_INSTANTIATE_WORKLOAD(double)
+
+#undef FPNA_INSTANTIATE_WORKLOAD
+
+}  // namespace fpna::tensor

@@ -1,0 +1,39 @@
+#pragma once
+// Tiny command-line flag parser shared by the bench harnesses and examples.
+// Supports `--name=value`, `--name value`, and bare boolean `--name`.
+// Unknown flags are collected so harnesses can reject typos.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fpna::util {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  bool flag(const std::string& name, bool fallback = false) const;
+  std::int64_t integer(const std::string& name, std::int64_t fallback) const;
+  double real(const std::string& name, double fallback) const;
+  std::string text(const std::string& name, const std::string& fallback) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names seen on the command line that were never queried. Call after all
+  /// flag lookups to warn about typos.
+  std::vector<std::string> unconsumed() const;
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> consumed_;
+};
+
+}  // namespace fpna::util

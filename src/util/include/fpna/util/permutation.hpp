@@ -1,0 +1,112 @@
+#pragma once
+// Seeded permutations: the core mechanism of the paper. A non-deterministic
+// parallel sum is modelled as a random permutation of the operand order
+// followed by a serial sum (paper SIII), so all "scheduler" behaviour in the
+// toolkit reduces to drawing permutations from seeded generators.
+
+#include <cstddef>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "fpna/util/rng.hpp"
+
+namespace fpna::util {
+
+/// In-place Fisher-Yates shuffle driven by our portable generator.
+template <typename T>
+void shuffle(std::span<T> values, Xoshiro256pp& rng) {
+  if (values.size() < 2) return;
+  for (std::size_t i = values.size() - 1; i > 0; --i) {
+    const UniformInt pick(0, static_cast<std::int64_t>(i));
+    const auto j = static_cast<std::size_t>(pick(rng));
+    std::swap(values[i], values[j]);
+  }
+}
+
+template <typename T>
+void shuffle(std::vector<T>& values, Xoshiro256pp& rng) {
+  shuffle(std::span<T>(values), rng);
+}
+
+/// Uniformly random permutation of {0, ..., n-1}.
+inline std::vector<std::size_t> random_permutation(std::size_t n,
+                                                   Xoshiro256pp& rng) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  shuffle(std::span<std::size_t>(perm), rng);
+  return perm;
+}
+
+/// Applies `perm` out-of-place: result[i] = values[perm[i]].
+template <typename T>
+std::vector<T> permute(std::span<const T> values,
+                       std::span<const std::size_t> perm) {
+  std::vector<T> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) out[i] = values[perm[i]];
+  return out;
+}
+
+template <typename T>
+std::vector<T> permute(const std::vector<T>& values,
+                       const std::vector<std::size_t>& perm) {
+  return permute(std::span<const T>(values),
+                 std::span<const std::size_t>(perm));
+}
+
+/// A "reservoir" (sliding-resident-set) permutation: models a scheduler
+/// that keeps at most `window` items resident and completes a uniformly
+/// random resident item at each step, admitting the next item in issue
+/// order. An item can commit at most `window - 1` slots early; lateness
+/// has a geometric tail. For `window >= n` this is a uniform shuffle;
+/// `window <= 1` is the identity. This is the block-completion model of a
+/// GPU grid scheduler (n blocks, `window` concurrently resident).
+inline std::vector<std::size_t> reservoir_permutation(std::size_t n,
+                                                      std::size_t window,
+                                                      Xoshiro256pp& rng) {
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  if (window <= 1 || n < 2) {
+    order.resize(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    return order;
+  }
+  std::vector<std::size_t> resident;
+  resident.reserve(window);
+  std::size_t next = 0;
+  while (order.size() < n) {
+    while (next < n && resident.size() < window) resident.push_back(next++);
+    const UniformInt pick(0, static_cast<std::int64_t>(resident.size()) - 1);
+    const auto slot = static_cast<std::size_t>(pick(rng));
+    order.push_back(resident[slot]);
+    resident[slot] = resident.back();
+    resident.pop_back();
+  }
+  return order;
+}
+
+/// A "wave-limited" shuffle: elements may move only within sliding windows
+/// of `wave` slots. Models a GPU scheduler that launches blocks in waves of
+/// at most `wave` concurrent blocks: ordering is scrambled inside a wave but
+/// waves retire roughly in issue order. `wave >= n` degenerates to a full
+/// shuffle; `wave <= 1` is the identity.
+std::vector<std::size_t> inline wave_permutation(std::size_t n,
+                                                 std::size_t wave,
+                                                 Xoshiro256pp& rng) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  if (wave <= 1 || n < 2) return perm;
+  for (std::size_t start = 0; start < n; start += wave) {
+    const std::size_t len = std::min(wave, n - start);
+    shuffle(std::span<std::size_t>(perm.data() + start, len), rng);
+  }
+  // Adjacent waves overlap in hardware; a second shuffled pass over
+  // half-offset windows lets elements cross wave boundaries locally.
+  for (std::size_t start = wave / 2; start < n; start += wave) {
+    const std::size_t len = std::min(wave, n - start);
+    shuffle(std::span<std::size_t>(perm.data() + start, len), rng);
+  }
+  return perm;
+}
+
+}  // namespace fpna::util

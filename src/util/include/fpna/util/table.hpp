@@ -1,0 +1,40 @@
+#pragma once
+// Console table formatter used by every bench harness to print paper-style
+// tables (aligned columns, optional CSV emission for plotting).
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fpna::util {
+
+/// Formats a double in the paper's scientific style, e.g.
+/// "-1.776356839400250e-15".
+std::string sci(double value, int precision = 15);
+
+/// Formats a double with fixed precision.
+std::string fixed(double value, int precision = 6);
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Pretty-prints with a header rule and aligned columns.
+  void print(std::ostream& out) const;
+
+  /// Comma-separated form for downstream plotting.
+  void print_csv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner, e.g. "== Table 4: ... ==".
+void banner(std::ostream& out, const std::string& title);
+
+}  // namespace fpna::util

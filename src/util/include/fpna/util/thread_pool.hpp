@@ -1,0 +1,51 @@
+#pragma once
+// Minimal fixed-size thread pool with a parallel_for convenience wrapper.
+// Used by the CPU reduction implementations (src/reduce) both to measure
+// real wall-clock costs and to demonstrate genuine (OS-scheduled) run-to-run
+// variability where the host exposes it.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fpna::util {
+
+class ThreadPool {
+ public:
+  /// `num_threads == 0` selects std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; the future resolves when the task has run.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Splits [0, n) into `chunks` contiguous ranges (default: one per
+  /// worker) and runs body(begin, end, chunk_index) on the pool. Blocks
+  /// until every chunk completes. Exceptions propagate from the first
+  /// failing chunk.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t,
+                                             std::size_t)>& body,
+                    std::size_t chunks = 0);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace fpna::util

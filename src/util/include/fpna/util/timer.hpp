@@ -1,0 +1,50 @@
+#pragma once
+// Wall-clock measurement helpers. The paper reports kernel timings as
+// mean(std) over repeated runs (Tables 4, 6, 8); TimingStats mirrors that
+// presentation.
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace fpna::util {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+  double elapsed_us() const { return elapsed_seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+struct TimingStats {
+  double mean_seconds = 0.0;
+  double stddev_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+  std::size_t repetitions = 0;
+
+  double mean_ms() const { return mean_seconds * 1e3; }
+  double stddev_ms() const { return stddev_seconds * 1e3; }
+  double mean_us() const { return mean_seconds * 1e6; }
+  double stddev_us() const { return stddev_seconds * 1e6; }
+
+  /// Formats "mean(std)" with the given unit scale, e.g. "6.456(0.008)".
+  std::string mean_std_string(double unit_scale, int precision = 3) const;
+};
+
+/// Runs `fn` `reps` times (after `warmup` unmeasured runs) and returns the
+/// timing distribution.
+TimingStats time_repeated(const std::function<void()>& fn, std::size_t reps,
+                          std::size_t warmup = 1);
+
+}  // namespace fpna::util

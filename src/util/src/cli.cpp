@@ -1,0 +1,90 @@
+#include "fpna/util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace fpna::util {
+
+namespace {
+
+bool looks_like_flag(const std::string& arg) {
+  return arg.size() > 2 && arg[0] == '-' && arg[1] == '-';
+}
+
+}  // namespace
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!looks_like_flag(arg)) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--name value` form, unless the next token is itself a flag (then
+    // this is a bare boolean).
+    if (i + 1 < argc && !looks_like_flag(argv[i + 1])) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const {
+  consumed_[name] = true;
+  return values_.count(name) > 0;
+}
+
+bool Cli::flag(const std::string& name, bool fallback) const {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v.empty() || v == "1" || v == "true" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("Cli: flag --" + name +
+                              " has non-boolean value '" + v + "'");
+}
+
+std::int64_t Cli::integer(const std::string& name,
+                          std::int64_t fallback) const {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  // Accept scientific shorthand like 1e6 for convenience on size flags.
+  const double as_real = std::strtod(it->second.c_str(), nullptr);
+  return static_cast<std::int64_t>(as_real);
+}
+
+double Cli::real(const std::string& name, double fallback) const {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string Cli::text(const std::string& name,
+                      const std::string& fallback) const {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::vector<std::string> Cli::unconsumed() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : values_) {
+    if (!consumed_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace fpna::util

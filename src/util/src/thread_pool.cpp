@@ -1,0 +1,75 @@
+#include "fpna/util/thread_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fpna::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  auto future = packaged.get_future();
+  {
+    const std::lock_guard lock(mutex_);
+    if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
+    tasks_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+    std::size_t chunks) {
+  if (n == 0) return;
+  if (chunks == 0) chunks = size();
+  chunks = std::min(chunks, n);
+  const std::size_t base = n / chunks;
+  const std::size_t rem = n % chunks;
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t len = base + (c < rem ? 1 : 0);
+    const std::size_t end = begin + len;
+    futures.push_back(submit([&body, begin, end, c] { body(begin, end, c); }));
+    begin = end;
+  }
+  for (auto& future : futures) future.get();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+}  // namespace fpna::util

@@ -1,0 +1,56 @@
+#include "fpna/util/timer.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace fpna::util {
+
+std::string TimingStats::mean_std_string(double unit_scale,
+                                         int precision) const {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << mean_seconds * unit_scale << "(" << stddev_seconds * unit_scale
+      << ")";
+  return out.str();
+}
+
+TimingStats time_repeated(const std::function<void()>& fn, std::size_t reps,
+                          std::size_t warmup) {
+  for (std::size_t i = 0; i < warmup; ++i) fn();
+
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (std::size_t i = 0; i < reps; ++i) {
+    const Timer timer;
+    fn();
+    samples.push_back(timer.elapsed_seconds());
+  }
+
+  TimingStats stats;
+  stats.repetitions = reps;
+  if (reps == 0) return stats;
+
+  double sum = 0.0;
+  stats.min_seconds = std::numeric_limits<double>::infinity();
+  stats.max_seconds = -std::numeric_limits<double>::infinity();
+  for (double s : samples) {
+    sum += s;
+    stats.min_seconds = std::min(stats.min_seconds, s);
+    stats.max_seconds = std::max(stats.max_seconds, s);
+  }
+  stats.mean_seconds = sum / static_cast<double>(reps);
+
+  double sq = 0.0;
+  for (double s : samples) {
+    const double d = s - stats.mean_seconds;
+    sq += d * d;
+  }
+  stats.stddev_seconds =
+      reps > 1 ? std::sqrt(sq / static_cast<double>(reps - 1)) : 0.0;
+  return stats;
+}
+
+}  // namespace fpna::util

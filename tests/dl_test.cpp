@@ -1,0 +1,470 @@
+// Unit tests for fpna::dl: graph, synthetic dataset, linear algebra,
+// layers (with numerical gradient checks), Adam, and the trainer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "fpna/core/harness.hpp"
+#include "fpna/core/metrics.hpp"
+#include "fpna/dl/adam.hpp"
+#include "fpna/dl/dataset.hpp"
+#include "fpna/dl/graph.hpp"
+#include "fpna/dl/layers.hpp"
+#include "fpna/dl/linalg.hpp"
+#include "fpna/dl/model.hpp"
+#include "fpna/dl/trainer.hpp"
+#include "fpna/sim/lpu.hpp"
+#include "fpna/tensor/workload.hpp"
+
+namespace fpna::dl {
+namespace {
+
+// --------------------------------------------------------------- graph --
+
+TEST(Graph, DegreesAndValidity) {
+  Graph g;
+  g.num_nodes = 4;
+  g.add_undirected_edge(0, 1);
+  g.add_edge(2, 1);
+  EXPECT_EQ(g.num_edges(), 3);
+  const auto deg = g.in_degrees();
+  EXPECT_EQ(deg[1], 2);
+  EXPECT_EQ(deg[0], 1);
+  EXPECT_EQ(deg[3], 0);
+  EXPECT_TRUE(g.valid());
+  EXPECT_THROW(g.add_edge(0, 7), std::out_of_range);
+}
+
+// ------------------------------------------------------------- dataset --
+
+TEST(Dataset, ShapesMatchConfig) {
+  const auto config = DatasetConfig::small();
+  const auto ds = make_synthetic_citation_dataset(config);
+  EXPECT_EQ(ds.num_nodes(), config.num_nodes);
+  EXPECT_EQ(ds.num_features(), config.num_features);
+  EXPECT_EQ(ds.graph.num_edges(), 2 * config.num_undirected_edges);
+  EXPECT_EQ(ds.num_classes, config.num_classes);
+  EXPECT_TRUE(ds.graph.valid());
+  EXPECT_GT(ds.train_count(), 0);
+  EXPECT_LT(ds.train_count(), ds.num_nodes());
+}
+
+TEST(Dataset, IsDeterministicInSeed) {
+  const auto a = make_synthetic_citation_dataset(DatasetConfig::small());
+  const auto b = make_synthetic_citation_dataset(DatasetConfig::small());
+  EXPECT_TRUE(a.features.bitwise_equal(b.features));
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.graph.edge_src, b.graph.edge_src);
+}
+
+TEST(Dataset, DifferentSeedsDiffer) {
+  auto config = DatasetConfig::small();
+  const auto a = make_synthetic_citation_dataset(config);
+  config.seed += 1;
+  const auto b = make_synthetic_citation_dataset(config);
+  EXPECT_FALSE(a.features.bitwise_equal(b.features));
+}
+
+TEST(Dataset, EdgesAreHomophilous) {
+  const auto ds = make_synthetic_citation_dataset(DatasetConfig::small());
+  std::int64_t same = 0;
+  for (std::int64_t e = 0; e < ds.graph.num_edges(); ++e) {
+    const auto u = static_cast<std::size_t>(ds.graph.edge_src[e]);
+    const auto v = static_cast<std::size_t>(ds.graph.edge_dst[e]);
+    same += ds.labels[u] == ds.labels[v];
+  }
+  const double fraction =
+      static_cast<double>(same) / static_cast<double>(ds.graph.num_edges());
+  EXPECT_GT(fraction, 0.6);  // homophily makes classes learnable
+}
+
+TEST(Dataset, FeaturesAreRowNormalisedIndicators) {
+  const auto config = DatasetConfig::small();
+  const auto ds = make_synthetic_citation_dataset(config);
+  for (std::int64_t v = 0; v < 5; ++v) {
+    double norm_sq = 0.0;
+    for (std::int64_t f = 0; f < ds.num_features(); ++f) {
+      norm_sq += ds.features.at({v, f}) * ds.features.at({v, f});
+    }
+    EXPECT_NEAR(norm_sq, 1.0, 1e-5);
+  }
+}
+
+// -------------------------------------------------------------- linalg --
+
+TEST(Linalg, MatmulIdentity) {
+  const auto a = Matrix::from_data(tensor::Shape{2, 2}, {1, 2, 3, 4});
+  const auto eye = Matrix::from_data(tensor::Shape{2, 2}, {1, 0, 0, 1});
+  EXPECT_TRUE(matmul(a, eye).bitwise_equal(a));
+}
+
+TEST(Linalg, MatmulKnown) {
+  const auto a = Matrix::from_data(tensor::Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  const auto b = Matrix::from_data(tensor::Shape{3, 2}, {7, 8, 9, 10, 11, 12});
+  const auto c = matmul(a, b);
+  EXPECT_EQ(c.at({0, 0}), 58.0f);
+  EXPECT_EQ(c.at({0, 1}), 64.0f);
+  EXPECT_EQ(c.at({1, 0}), 139.0f);
+  EXPECT_EQ(c.at({1, 1}), 154.0f);
+}
+
+TEST(Linalg, TransposeVariantsAgree) {
+  util::Xoshiro256pp rng(1);
+  const auto a = tensor::random_uniform<float>(tensor::Shape{5, 4}, -1, 1, rng);
+  const auto b = tensor::random_uniform<float>(tensor::Shape{5, 6}, -1, 1, rng);
+  // a^T b via matmul_transpose_a must equal manual transpose + matmul.
+  Matrix at(tensor::Shape{4, 5});
+  for (std::int64_t i = 0; i < 5; ++i) {
+    for (std::int64_t j = 0; j < 4; ++j) at.at({j, i}) = a.at({i, j});
+  }
+  const auto direct = matmul(at, b);
+  const auto fused = matmul_transpose_a(a, b);
+  for (std::int64_t i = 0; i < direct.numel(); ++i) {
+    EXPECT_NEAR(direct.flat(i), fused.flat(i), 1e-5);
+  }
+}
+
+TEST(Linalg, MatmulTransposeB) {
+  util::Xoshiro256pp rng(2);
+  const auto a = tensor::random_uniform<float>(tensor::Shape{3, 4}, -1, 1, rng);
+  const auto b = tensor::random_uniform<float>(tensor::Shape{5, 4}, -1, 1, rng);
+  const auto c = matmul_transpose_b(a, b);  // [3,5]
+  EXPECT_EQ(c.shape(), (tensor::Shape{3, 5}));
+  float manual = 0.0f;
+  for (std::int64_t k = 0; k < 4; ++k) manual += a.at({1, k}) * b.at({2, k});
+  EXPECT_NEAR(c.at({1, 2}), manual, 1e-6);
+}
+
+TEST(Linalg, BiasAndColumnSums) {
+  auto a = Matrix::from_data(tensor::Shape{2, 2}, {1, 2, 3, 4});
+  const auto bias = Matrix::from_data(tensor::Shape{2}, {10, 20});
+  add_bias_rows(a, bias);
+  EXPECT_EQ(a.at({1, 1}), 24.0f);
+  const auto sums = column_sums(a);
+  EXPECT_EQ(sums.at({0}), 24.0f);
+  EXPECT_EQ(sums.at({1}), 46.0f);
+}
+
+TEST(Linalg, GatherRows) {
+  const auto x = Matrix::from_data(tensor::Shape{3, 2}, {1, 2, 3, 4, 5, 6});
+  const auto out = gather_rows(x, {2, 0, 2});
+  EXPECT_EQ(out.shape(), (tensor::Shape{3, 2}));
+  EXPECT_EQ(out.at({0, 0}), 5.0f);
+  EXPECT_EQ(out.at({1, 1}), 2.0f);
+  EXPECT_EQ(out.at({2, 0}), 5.0f);
+  EXPECT_THROW(gather_rows(x, {3}), std::out_of_range);
+}
+
+// -------------------------------------------------------------- layers --
+
+Graph line_graph(std::int64_t n) {
+  Graph g;
+  g.num_nodes = n;
+  for (std::int64_t i = 0; i + 1 < n; ++i) g.add_undirected_edge(i, i + 1);
+  return g;
+}
+
+TEST(Layers, MeanAggregateAveragesNeighbours) {
+  const Graph g = line_graph(3);  // 0-1-2
+  const auto x = Matrix::from_data(tensor::Shape{3, 1}, {1.0f, 2.0f, 4.0f});
+  const tensor::OpContext ctx;
+  const auto h = mean_aggregate(x, g, ctx);
+  EXPECT_EQ(h.at({0, 0}), 2.0f);   // neighbour of 0 is 1
+  EXPECT_EQ(h.at({1, 0}), 2.5f);   // mean(1, 4)
+  EXPECT_EQ(h.at({2, 0}), 2.0f);   // neighbour of 2 is 1
+}
+
+TEST(Layers, IsolatedNodeAggregatesToZero) {
+  Graph g;
+  g.num_nodes = 2;
+  const auto x = Matrix::from_data(tensor::Shape{2, 1}, {3.0f, 4.0f});
+  const tensor::OpContext ctx;
+  const auto h = mean_aggregate(x, g, ctx);
+  EXPECT_EQ(h.at({0, 0}), 0.0f);
+  EXPECT_EQ(h.at({1, 0}), 0.0f);
+}
+
+TEST(Layers, ReluAndBackward) {
+  const auto x = Matrix::from_data(tensor::Shape{1, 3}, {-1.0f, 0.0f, 2.0f});
+  const auto y = relu(x);
+  EXPECT_EQ(y.at({0, 0}), 0.0f);
+  EXPECT_EQ(y.at({0, 2}), 2.0f);
+  const auto d = Matrix::from_data(tensor::Shape{1, 3}, {5.0f, 5.0f, 5.0f});
+  const auto dz = relu_backward(x, d);
+  EXPECT_EQ(dz.at({0, 0}), 0.0f);
+  EXPECT_EQ(dz.at({0, 1}), 0.0f);  // derivative at 0 defined as 0
+  EXPECT_EQ(dz.at({0, 2}), 5.0f);
+}
+
+TEST(Layers, LogSoftmaxRowsNormalises) {
+  const auto x = Matrix::from_data(tensor::Shape{1, 3}, {1.0f, 2.0f, 3.0f});
+  const auto lp = log_softmax_rows(x);
+  double total = 0.0;
+  for (std::int64_t c = 0; c < 3; ++c) total += std::exp(lp.at({0, c}));
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  // Shift invariance.
+  const auto y = Matrix::from_data(tensor::Shape{1, 3}, {101.f, 102.f, 103.f});
+  const auto lp2 = log_softmax_rows(y);
+  for (std::int64_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(lp.at({0, c}), lp2.at({0, c}), 1e-5);
+  }
+}
+
+TEST(Layers, NllLossGradientIsSoftmaxMinusOnehot) {
+  const auto logits = Matrix::from_data(tensor::Shape{1, 2}, {0.0f, 0.0f});
+  const auto lp = log_softmax_rows(logits);
+  const auto r = nll_loss_masked(lp, {1}, {1});
+  EXPECT_NEAR(r.loss, std::log(2.0), 1e-6);
+  EXPECT_NEAR(r.d_logits.at({0, 0}), 0.5f, 1e-6);
+  EXPECT_NEAR(r.d_logits.at({0, 1}), -0.5f, 1e-6);
+}
+
+TEST(Layers, NllLossRespectsMask) {
+  const auto logits =
+      Matrix::from_data(tensor::Shape{2, 2}, {0.0f, 10.0f, 0.0f, 10.0f});
+  const auto lp = log_softmax_rows(logits);
+  const auto r = nll_loss_masked(lp, {0, 1}, {0, 1});  // only row 1 counts
+  EXPECT_NEAR(r.loss, -lp.at({1, 1}), 1e-6);
+  EXPECT_EQ(r.d_logits.at({0, 0}), 0.0f);
+}
+
+// Numerical gradient check of the full model loss w.r.t. a few weights.
+TEST(Layers, GradientCheckThroughModel) {
+  auto config = DatasetConfig::small();
+  config.num_nodes = 24;
+  config.num_undirected_edges = 40;
+  config.num_features = 12;
+  config.words_per_node = 4;
+  const auto ds = make_synthetic_citation_dataset(config);
+
+  GraphSageModel model(ds.num_features(), 5, ds.num_classes, 7);
+  const tensor::OpContext ctx;
+
+  const auto loss_at = [&]() {
+    const Matrix lp = model.forward(ds.features, ds.graph, ctx, nullptr);
+    return nll_loss_masked(lp, ds.labels, ds.train_mask).loss;
+  };
+
+  GraphSageModel::ForwardCache cache;
+  const Matrix lp = model.forward(ds.features, ds.graph, ctx, &cache);
+  const auto loss = nll_loss_masked(lp, ds.labels, ds.train_mask);
+  model.zero_grad();
+  model.backward(cache, loss.d_logits, ds.graph, ctx);
+
+  // Check a scatter of weight coordinates in both layers.
+  struct Probe {
+    Matrix* w;
+    Matrix* g;
+    std::int64_t i;
+  };
+  const std::vector<Probe> probes{
+      {&model.conv1.lin_self.weight, &model.conv1.lin_self.grad_weight, 3},
+      {&model.conv1.lin_neigh.weight, &model.conv1.lin_neigh.grad_weight, 11},
+      {&model.conv2.lin_self.weight, &model.conv2.lin_self.grad_weight, 0},
+      {&model.conv2.lin_self.bias, &model.conv2.lin_self.grad_bias, 2},
+      {&model.conv2.lin_neigh.weight, &model.conv2.lin_neigh.grad_weight, 8},
+  };
+  for (const auto& probe : probes) {
+    const float eps = 1e-3f;
+    const float original = probe.w->flat(probe.i);
+    probe.w->flat(probe.i) = original + eps;
+    const double up = loss_at();
+    probe.w->flat(probe.i) = original - eps;
+    const double down = loss_at();
+    probe.w->flat(probe.i) = original;
+    const double numeric = (up - down) / (2.0 * eps);
+    const double analytic = probe.g->flat(probe.i);
+    EXPECT_NEAR(analytic, numeric, 5e-3 + 0.05 * std::fabs(numeric));
+  }
+}
+
+// ---------------------------------------------------------------- adam --
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimise f(w) = 0.5 * (w - 3)^2 elementwise.
+  Matrix w(tensor::Shape{4}, 0.0f);
+  Matrix g(tensor::Shape{4}, 0.0f);
+  Adam opt(AdamConfig{.lr = 0.1f});
+  opt.add_parameter(&w, &g);
+  for (int step = 0; step < 500; ++step) {
+    for (std::int64_t i = 0; i < 4; ++i) g.flat(i) = w.flat(i) - 3.0f;
+    opt.step();
+  }
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_NEAR(w.flat(i), 3.0f, 1e-2);
+}
+
+TEST(Adam, ValidatesShapes) {
+  Matrix w(tensor::Shape{4}, 0.0f);
+  Matrix g(tensor::Shape{3}, 0.0f);
+  Adam opt;
+  EXPECT_THROW(opt.add_parameter(&w, &g), std::invalid_argument);
+  EXPECT_THROW(opt.add_parameter(nullptr, &g), std::invalid_argument);
+}
+
+TEST(Adam, DeterministicUpdates) {
+  const auto run_once = [] {
+    Matrix w(tensor::Shape{8}, 1.0f);
+    Matrix g(tensor::Shape{8}, 0.0f);
+    Adam opt(AdamConfig{.lr = 0.05f});
+    opt.add_parameter(&w, &g);
+    for (int s = 0; s < 50; ++s) {
+      for (std::int64_t i = 0; i < 8; ++i) {
+        g.flat(i) = 0.3f * w.flat(i) + static_cast<float>(i) * 0.01f;
+      }
+      opt.step();
+    }
+    return w;
+  };
+  EXPECT_TRUE(run_once().bitwise_equal(run_once()));
+}
+
+// --------------------------------------------------------------- model --
+
+TEST(Model, InitialisationIsSeedDeterministic) {
+  const GraphSageModel a(32, 8, 7, 99);
+  const GraphSageModel b(32, 8, 7, 99);
+  EXPECT_EQ(a.flattened_weights(), b.flattened_weights());
+  const GraphSageModel c(32, 8, 7, 100);
+  EXPECT_NE(a.flattened_weights(), c.flattened_weights());
+}
+
+TEST(Model, LayersUseDifferentInitStreams) {
+  const GraphSageModel m(8, 8, 8, 1);
+  // conv1 and conv2 have same-shape self weights here; they must differ.
+  EXPECT_FALSE(m.conv1.lin_self.weight.bitwise_equal(m.conv2.lin_self.weight));
+}
+
+// ------------------------------------------------------------- trainer --
+
+DatasetConfig tiny_config() {
+  auto config = DatasetConfig::small();
+  config.num_nodes = 120;
+  config.num_undirected_edges = 300;
+  config.num_features = 32;
+  config.words_per_node = 5;
+  return config;
+}
+
+TEST(Trainer, DeterministicTrainingIsBitwiseReproducible) {
+  const auto ds = make_synthetic_citation_dataset(tiny_config());
+  TrainConfig config;
+  config.epochs = 5;
+  config.hidden = 8;
+  config.deterministic = true;
+
+  const auto kernel = [&](core::RunContext& run) {
+    return train(ds, config, run).final_weights;
+  };
+  const auto cert = core::certify_deterministic(kernel, 4, 17);
+  EXPECT_TRUE(cert.deterministic);
+}
+
+TEST(Trainer, NonDeterministicTrainingProducesUniqueModels) {
+  const auto ds = make_synthetic_citation_dataset(tiny_config());
+  TrainConfig config;
+  config.epochs = 5;
+  config.hidden = 8;
+  config.deterministic = false;
+
+  std::vector<std::vector<double>> weights;
+  for (std::uint64_t r = 0; r < 8; ++r) {
+    core::RunContext run(23, r);
+    weights.push_back(train(ds, config, run).final_weights);
+  }
+  // Paper SV.B: every ND-trained model is unique.
+  EXPECT_EQ(core::count_unique_outputs(weights), weights.size());
+}
+
+TEST(Trainer, LossDecreasesAndFits) {
+  const auto ds = make_synthetic_citation_dataset(tiny_config());
+  TrainConfig config;
+  config.epochs = 30;
+  config.hidden = 16;
+  config.deterministic = true;
+  core::RunContext run(29, 0);
+  const auto result = train(ds, config, run);
+  EXPECT_LT(result.epoch_losses.back(), result.epoch_losses.front());
+  // Homophilous features + labels are learnable well above chance (1/7).
+  EXPECT_GT(result.train_accuracy, 0.5);
+}
+
+TEST(Trainer, SnapshotsPerEpoch) {
+  const auto ds = make_synthetic_citation_dataset(tiny_config());
+  TrainConfig config;
+  config.epochs = 3;
+  config.hidden = 4;
+  config.snapshot_epochs = true;
+  core::RunContext run(31, 0);
+  const auto result = train(ds, config, run);
+  EXPECT_EQ(result.epoch_weights.size(), 3u);
+  EXPECT_EQ(result.epoch_weights.back(), result.final_weights);
+}
+
+TEST(Trainer, InferenceDvsNd) {
+  const auto ds = make_synthetic_citation_dataset(tiny_config());
+  TrainConfig config;
+  config.epochs = 3;
+  config.hidden = 8;
+  core::RunContext train_run(37, 0);
+  const auto result = train(ds, config, train_run);
+
+  const tensor::OpContext det;
+  const Matrix a = infer(result.model, ds, det);
+  const Matrix b = infer(result.model, ds, det);
+  EXPECT_TRUE(a.bitwise_equal(b));
+
+  bool varies = false;
+  for (std::uint64_t r = 0; r < 10 && !varies; ++r) {
+    core::RunContext run(41, r);
+    const auto ctx = tensor::nd_context(run);
+    varies = !infer(result.model, ds, ctx).bitwise_equal(a);
+  }
+  EXPECT_TRUE(varies);
+}
+
+TEST(Trainer, AccuracyHelper) {
+  const auto scores =
+      Matrix::from_data(tensor::Shape{2, 2}, {0.9f, 0.1f, 0.2f, 0.8f});
+  EXPECT_DOUBLE_EQ(accuracy(scores, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy(scores, {1, 0}), 0.0);
+  const std::vector<char> mask{1, 0};
+  EXPECT_DOUBLE_EQ(accuracy(scores, {0, 0}, &mask), 1.0);
+}
+
+// ---------------------------------------------------------- timing model --
+
+TEST(TimingModel, Table8Shape) {
+  const auto h100 = sim::DeviceProfile::h100();
+  const auto ds = make_synthetic_citation_dataset(DatasetConfig::cora());
+  const auto dims = ModelDims::of(ds, 16);
+
+  const double nd_ms = modeled_gpu_inference_ms(h100, dims, false);
+  const double d_ms = modeled_gpu_inference_ms(h100, dims, true);
+  EXPECT_GT(d_ms, nd_ms);              // determinism costs time on GPU
+  EXPECT_GT(d_ms / nd_ms, 1.3);
+  EXPECT_LT(d_ms / nd_ms, 3.0);
+  EXPECT_NEAR(nd_ms, 2.17, 1.0);       // paper magnitudes
+
+  const sim::LpuDevice lpu;
+  const double lpu_ms = lpu_inference_ms(lpu, dims);
+  EXPECT_LT(lpu_ms, nd_ms / 10.0);     // LPU ~30x faster than GPU
+  EXPECT_NEAR(lpu_ms, 0.066, 0.05);
+}
+
+TEST(TimingModel, TrainingShape) {
+  const auto h100 = sim::DeviceProfile::h100();
+  const auto ds = make_synthetic_citation_dataset(DatasetConfig::cora());
+  const auto dims = ModelDims::of(ds, 16);
+  const double d = modeled_gpu_training_s(h100, dims, 10, true);
+  const double nd = modeled_gpu_training_s(h100, dims, 10, false);
+  EXPECT_GT(d, nd);
+  EXPECT_GT(d / nd, 2.0);
+  EXPECT_LT(d / nd, 4.0);
+  EXPECT_NEAR(nd, 0.18, 0.1);
+}
+
+}  // namespace
+}  // namespace fpna::dl

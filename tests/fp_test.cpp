@@ -1,0 +1,443 @@
+// Unit and property tests for fpna::fp: bit utilities, error-free
+// transforms, compensated/pairwise summation, double-double arithmetic,
+// and the reproducible superaccumulator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "fpna/fp/binned_sum.hpp"
+#include "fpna/fp/bits.hpp"
+#include "fpna/fp/double_double.hpp"
+#include "fpna/fp/eft.hpp"
+#include "fpna/fp/summation.hpp"
+#include "fpna/fp/superaccumulator.hpp"
+#include "fpna/util/permutation.hpp"
+#include "fpna/util/rng.hpp"
+
+namespace fpna::fp {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+std::vector<double> random_values(std::size_t n, double lo, double hi,
+                                  std::uint64_t seed) {
+  util::Xoshiro256pp rng(seed);
+  const util::UniformReal dist(lo, hi);
+  std::vector<double> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+// ---------------------------------------------------------------- bits --
+
+TEST(Bits, RoundTrip) {
+  for (const double x : {0.0, -0.0, 1.0, -3.5, 1e300, 5e-324}) {
+    EXPECT_EQ(from_bits(to_bits(x)), x);
+  }
+}
+
+TEST(Bits, BitwiseEqualDistinguishesSignedZero) {
+  EXPECT_TRUE(bitwise_equal(0.0, 0.0));
+  EXPECT_FALSE(bitwise_equal(0.0, -0.0));
+  EXPECT_TRUE(is_negative_zero(-0.0));
+  EXPECT_FALSE(is_negative_zero(0.0));
+}
+
+TEST(Bits, BitwiseEqualTreatsSameNanAsEqual) {
+  EXPECT_TRUE(bitwise_equal(kNaN, kNaN));
+  EXPECT_FALSE(kNaN == kNaN);  // contrast with operator==
+}
+
+TEST(Bits, UlpDistanceAdjacent) {
+  const double x = 1.0;
+  const double next = std::nextafter(x, 2.0);
+  EXPECT_EQ(ulp_distance(x, next), 1);
+  EXPECT_EQ(ulp_distance(next, x), 1);
+  EXPECT_EQ(ulp_distance(x, x), 0);
+}
+
+TEST(Bits, UlpDistanceAcrossZero) {
+  const double tiny = 5e-324;  // smallest denormal
+  EXPECT_EQ(ulp_distance(-tiny, tiny), 2);
+  EXPECT_EQ(ulp_distance(0.0, -0.0), 0);  // zeros collapse
+}
+
+TEST(Bits, UlpDistanceNanSaturates) {
+  EXPECT_EQ(ulp_distance(kNaN, 1.0), std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(Bits, UlpSpacingGrowsWithMagnitude) {
+  EXPECT_LT(ulp(1.0), ulp(1e10));
+  EXPECT_DOUBLE_EQ(ulp(1.0), std::pow(2.0, -52));
+}
+
+// ----------------------------------------------------------------- eft --
+
+TEST(Eft, TwoSumIsExact) {
+  util::Xoshiro256pp rng(1);
+  const util::UniformReal dist(-1e10, 1e10);
+  for (int i = 0; i < 10000; ++i) {
+    const double a = dist(rng);
+    const double b = dist(rng) * 1e-8;  // widely different magnitudes
+    const auto [s, e] = two_sum(a, b);
+    // Verify a + b == s + e exactly in double-double.
+    DoubleDouble lhs(a);
+    lhs += b;
+    DoubleDouble rhs(s);
+    rhs += e;
+    EXPECT_EQ(lhs.to_double(), rhs.to_double());
+    EXPECT_EQ(s, a + b);  // s is the rounded sum
+  }
+}
+
+TEST(Eft, TwoSumRecoversCancellationError) {
+  const double a = 1e16;
+  const double b = 1.0;
+  const auto [s, e] = two_sum(a, b);
+  EXPECT_EQ(s, 1e16);  // b vanished from the rounded sum...
+  EXPECT_EQ(e, 1.0);   // ...and is exactly the error term
+}
+
+TEST(Eft, FastTwoSumAgreesWhenOrdered) {
+  const double a = 3.14159e8;
+  const double b = 2.71828e-8;
+  const auto [s1, e1] = two_sum(a, b);
+  const auto [s2, e2] = fast_two_sum(a, b);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(e1, e2);
+}
+
+TEST(Eft, TwoProdIsExact) {
+  const double a = 1.0 + std::pow(2.0, -30);
+  const double b = 1.0 + std::pow(2.0, -29);
+  const auto [p, e] = two_prod(a, b);
+  EXPECT_EQ(p, a * b);
+  // Exact product reconstructed: p + e == a*b in exact arithmetic; verify
+  // via long double (80-bit on x86 is enough for 53x2 bits here).
+  const long double exact = static_cast<long double>(a) * b;
+  EXPECT_EQ(static_cast<long double>(p) + e, exact);
+}
+
+// ------------------------------------------------------------ summation --
+
+TEST(Summation, SerialMatchesStdAccumulateOrder) {
+  const std::vector<double> v{1.0, 1e-16, 1e-16, 1e-16};
+  double expected = 0.0;
+  for (const double x : v) expected += x;
+  EXPECT_EQ(sum_serial(v), expected);
+}
+
+TEST(Summation, EmptyAndSingle) {
+  const std::vector<double> empty;
+  EXPECT_EQ(sum_serial(empty), 0.0);
+  const std::vector<double> one{42.0};
+  EXPECT_EQ(sum_serial(one), 42.0);
+  EXPECT_EQ(sum_pairwise(one), 42.0);
+  EXPECT_EQ(sum_kahan(one), 42.0);
+}
+
+TEST(Summation, AllAgreeOnExactlyRepresentableData) {
+  // Integers up to 2^20 sum exactly in double: every algorithm must give
+  // the identical (exact) result.
+  std::vector<double> v;
+  for (int i = 1; i <= 1000; ++i) v.push_back(i);
+  const double exact = 500500.0;
+  EXPECT_EQ(sum_serial(v), exact);
+  EXPECT_EQ(sum_pairwise(v), exact);
+  EXPECT_EQ(sum_pairwise(v, 1), exact);
+  EXPECT_EQ(sum_kahan(v), exact);
+  EXPECT_EQ(sum_neumaier(v), exact);
+  EXPECT_EQ(sum_klein(v), exact);
+  EXPECT_EQ(sum_double_double(v), exact);
+  EXPECT_EQ(sum_vectorized(v), exact);
+  EXPECT_EQ(Superaccumulator::sum(v), exact);
+}
+
+TEST(Summation, NeumaierHandlesLargeThenSmall) {
+  // Classic Kahan failure case: the first element is much larger than
+  // the running sum at add time.
+  const std::vector<double> v{1.0, 1e100, 1.0, -1e100};
+  EXPECT_EQ(sum_neumaier(v), 2.0);
+  EXPECT_EQ(sum_klein(v), 2.0);
+  EXPECT_EQ(Superaccumulator::sum(v), 2.0);
+  EXPECT_EQ(sum_serial(v), 0.0);  // naive sum loses both ones
+}
+
+TEST(Summation, CompensatedBeatsSerialOnIllConditioned) {
+  const auto v = random_values(100000, -1.0, 1.0, 3);
+  const double reference = Superaccumulator::sum(v);
+  const double serial_err = std::fabs(sum_serial(v) - reference);
+  const double kahan_err = std::fabs(sum_kahan(v) - reference);
+  const double dd_err = std::fabs(sum_double_double(v) - reference);
+  EXPECT_LE(kahan_err, serial_err);
+  EXPECT_LE(dd_err, serial_err);
+}
+
+TEST(Summation, PairwiseBaseCaseDoesNotChangeExactness) {
+  const auto v = random_values(1237, 0.0, 10.0, 5);
+  // Different base cases give different (all deterministic) roundings,
+  // each within a tight bound of the exact sum.
+  const double exact = Superaccumulator::sum(v);
+  for (const std::size_t base : {1u, 2u, 8u, 32u, 128u}) {
+    EXPECT_NEAR(sum_pairwise(v, base), exact, 1e-9);
+  }
+}
+
+TEST(Summation, VectorizedLanesChangeRounding) {
+  // Demonstrates the TPRC compiler-sensitivity the paper mentions: lane
+  // count changes association, and may change the rounded value.
+  const auto v = random_values(100001, -1.0, 1.0, 7);
+  const double s1 = sum_vectorized(v, 1);
+  EXPECT_EQ(s1, sum_serial(v));
+  const double exact = Superaccumulator::sum(v);
+  for (const std::size_t lanes : {2u, 4u, 8u}) {
+    EXPECT_NEAR(sum_vectorized(v, lanes), exact, 1e-10);
+  }
+}
+
+TEST(Summation, DotSerial) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{4.0, 5.0, 6.0};
+  EXPECT_EQ(dot_serial(a, b), 32.0);
+}
+
+// -------------------------------------------------------- double-double --
+
+TEST(DoubleDouble, TracksTinyIncrements) {
+  DoubleDouble acc(1e16);
+  for (int i = 0; i < 1000; ++i) acc += 1.0;
+  acc += -1e16;
+  EXPECT_EQ(acc.to_double(), 1000.0);
+}
+
+TEST(DoubleDouble, MergeMatchesSequential) {
+  const auto v = random_values(10000, -5.0, 5.0, 11);
+  DoubleDouble whole;
+  for (const double x : v) whole += x;
+  DoubleDouble left, right;
+  for (std::size_t i = 0; i < v.size() / 2; ++i) left += v[i];
+  for (std::size_t i = v.size() / 2; i < v.size(); ++i) right += v[i];
+  left += right;
+  EXPECT_NEAR(left.to_double(), whole.to_double(), 1e-18);
+}
+
+TEST(DoubleDouble, ScalarProduct) {
+  DoubleDouble x(1.0, 1e-20);
+  const DoubleDouble y = x * 3.0;
+  EXPECT_DOUBLE_EQ(y.hi(), 3.0);
+  EXPECT_NEAR(y.lo(), 3e-20, 1e-26);
+}
+
+// ------------------------------------------------------ superaccumulator --
+
+TEST(Superaccumulator, ExactForSmallIntegers) {
+  Superaccumulator acc;
+  for (int i = 1; i <= 10000; ++i) acc.add(static_cast<double>(i));
+  EXPECT_EQ(acc.round(), 50005000.0);
+}
+
+TEST(Superaccumulator, NegativeTotals) {
+  Superaccumulator acc;
+  acc.add(1.5);
+  acc.add(-4.25);
+  EXPECT_EQ(acc.round(), -2.75);
+}
+
+TEST(Superaccumulator, CancellationIsExact) {
+  Superaccumulator acc;
+  acc.add(1e308);
+  acc.add(-1e308);
+  acc.add(3.0);
+  EXPECT_EQ(acc.round(), 3.0);
+}
+
+TEST(Superaccumulator, DenormalsAccumulate) {
+  const double tiny = 5e-324;
+  Superaccumulator acc;
+  for (int i = 0; i < 16; ++i) acc.add(tiny);
+  EXPECT_EQ(acc.round(), 16 * tiny);
+}
+
+TEST(Superaccumulator, HugeAndTinyTogether) {
+  Superaccumulator acc;
+  acc.add(1e300);
+  acc.add(5e-324);
+  acc.add(-1e300);
+  EXPECT_EQ(acc.round(), 5e-324);
+}
+
+TEST(Superaccumulator, InfAndNanSemantics) {
+  Superaccumulator pos;
+  pos.add(kInf);
+  pos.add(1.0);
+  EXPECT_EQ(pos.round(), kInf);
+
+  Superaccumulator neg;
+  neg.add(-kInf);
+  EXPECT_EQ(neg.round(), -kInf);
+
+  Superaccumulator both;
+  both.add(kInf);
+  both.add(-kInf);
+  EXPECT_TRUE(std::isnan(both.round()));
+
+  Superaccumulator nan;
+  nan.add(kNaN);
+  nan.add(2.0);
+  EXPECT_TRUE(std::isnan(nan.round()));
+}
+
+TEST(Superaccumulator, MergeEqualsBulkAdd) {
+  const auto v = random_values(5000, -100.0, 100.0, 13);
+  Superaccumulator whole;
+  whole.add(v);
+
+  Superaccumulator a, b;
+  a.add(std::span<const double>(v).first(1234));
+  b.add(std::span<const double>(v).subspan(1234));
+  a.add(b);
+
+  EXPECT_TRUE(a.equals(whole));
+  EXPECT_EQ(a.round(), whole.round());
+}
+
+TEST(Superaccumulator, RoundIsFaithfulAgainstKlein) {
+  const auto v = random_values(50000, -1e6, 1e6, 17);
+  const double super = Superaccumulator::sum(v);
+  const double klein = sum_klein(v);
+  // Klein's result is itself within a couple of ulps of exact; the
+  // superaccumulator must land within 1 ulp of it.
+  EXPECT_LE(ulp_distance(super, klein), 2);
+}
+
+// Property sweep: permutation invariance across sizes and distributions -
+// the defining reproducibility property.
+struct PermutationCase {
+  std::size_t size;
+  double lo;
+  double hi;
+};
+
+class SuperaccumulatorPermutation
+    : public ::testing::TestWithParam<PermutationCase> {};
+
+TEST_P(SuperaccumulatorPermutation, BitwiseInvariantUnderShuffles) {
+  const auto& param = GetParam();
+  auto v = random_values(param.size, param.lo, param.hi, param.size);
+  const double reference = Superaccumulator::sum(v);
+
+  util::Xoshiro256pp rng(999);
+  for (int trial = 0; trial < 10; ++trial) {
+    util::shuffle(v, rng);
+    EXPECT_TRUE(bitwise_equal(Superaccumulator::sum(v), reference));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndRanges, SuperaccumulatorPermutation,
+    ::testing::Values(PermutationCase{10, -1.0, 1.0},
+                      PermutationCase{100, 0.0, 10.0},
+                      PermutationCase{1000, -1e10, 1e10},
+                      PermutationCase{10000, -1e-10, 1e-10},
+                      PermutationCase{4096, -1e100, 1e100}));
+
+// ----------------------------------------------------------- binned sum --
+
+TEST(BinnedSum, ExactForSmallIntegers) {
+  std::vector<double> v;
+  for (int i = 1; i <= 10000; ++i) v.push_back(i);
+  EXPECT_EQ(BinnedSum::sum(v), 50005000.0);
+}
+
+TEST(BinnedSum, EmptyZerosAndSignedZeros) {
+  const std::vector<double> empty;
+  EXPECT_EQ(BinnedSum::sum(empty), 0.0);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_EQ(BinnedSum::sum(zeros), 0.0);
+  const std::vector<double> neg_zeros{-0.0, -0.0};
+  EXPECT_TRUE(is_negative_zero(BinnedSum::sum(neg_zeros)));
+}
+
+TEST(BinnedSum, ExceptionalValues) {
+  const std::vector<double> with_nan{1.0, kNaN};
+  EXPECT_TRUE(std::isnan(BinnedSum::sum(with_nan)));
+  const std::vector<double> with_inf{1.0, kInf};
+  EXPECT_EQ(BinnedSum::sum(with_inf), kInf);
+  const std::vector<double> with_neg_inf{-kInf, 1.0};
+  EXPECT_EQ(BinnedSum::sum(with_neg_inf), -kInf);
+  const std::vector<double> both_inf{kInf, -kInf};
+  EXPECT_TRUE(std::isnan(BinnedSum::sum(both_inf)));
+}
+
+TEST(BinnedSum, FaithfulAgainstSuperaccumulator) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto v = random_values(50000, -1e6, 1e6, seed);
+    const double exact = Superaccumulator::sum(v);
+    EXPECT_LE(ulp_distance(BinnedSum::sum(v), exact), 2) << "seed " << seed;
+  }
+}
+
+TEST(BinnedSum, NearOverflowAnchorsFallBackSafely) {
+  const std::vector<double> v{1e308, -1e308, 3.0, 4.0};
+  EXPECT_EQ(BinnedSum::sum(v), 7.0);
+}
+
+TEST(BinnedSum, DistributedBinsMergeExactly) {
+  const auto v = random_values(20000, -1e3, 1e3, 4);
+  double anchor = 0.0;
+  for (const double x : v) anchor = std::max(anchor, std::fabs(x));
+
+  const auto whole = BinnedSum::bin(v, anchor);
+  auto left = BinnedSum::bin(std::span<const double>(v).first(7777), anchor);
+  const auto right =
+      BinnedSum::bin(std::span<const double>(v).subspan(7777), anchor);
+  left.merge(right);
+  for (int k = 0; k < BinnedSum::kFolds; ++k) {
+    EXPECT_TRUE(bitwise_equal(left.total[k], whole.total[k]));
+  }
+  EXPECT_TRUE(
+      bitwise_equal(BinnedSum::round(left), BinnedSum::round(whole)));
+}
+
+class BinnedSumPermutation : public ::testing::TestWithParam<PermutationCase> {
+};
+
+TEST_P(BinnedSumPermutation, BitwiseInvariantUnderShuffles) {
+  const auto& param = GetParam();
+  auto v = random_values(param.size, param.lo, param.hi, param.size + 99);
+  const double reference = BinnedSum::sum(v);
+
+  util::Xoshiro256pp rng(1234);
+  for (int trial = 0; trial < 10; ++trial) {
+    util::shuffle(v, rng);
+    EXPECT_TRUE(bitwise_equal(BinnedSum::sum(v), reference));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndRanges, BinnedSumPermutation,
+    ::testing::Values(PermutationCase{10, -1.0, 1.0},
+                      PermutationCase{1000, 0.0, 10.0},
+                      PermutationCase{10000, -1e10, 1e10},
+                      PermutationCase{4096, -1e-10, 1e-10}));
+
+// Contrast property: the serial sum is NOT permutation invariant on the
+// same data (this is the premise of the whole paper).
+TEST(Summation, SerialSumIsOrderSensitive) {
+  auto v = random_values(100000, -1e10, 1e10, 23);
+  const double first = sum_serial(v);
+  util::Xoshiro256pp rng(5);
+  bool any_different = false;
+  for (int trial = 0; trial < 10 && !any_different; ++trial) {
+    util::shuffle(v, rng);
+    any_different = !bitwise_equal(sum_serial(v), first);
+  }
+  EXPECT_TRUE(any_different);
+}
+
+}  // namespace
+}  // namespace fpna::fp

@@ -1,0 +1,336 @@
+// Unit tests for fpna::sim: device profiles, scheduler policies, the
+// block execution engine, the cost model and the LPU model.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "fpna/core/run_context.hpp"
+#include "fpna/sim/cost_model.hpp"
+#include "fpna/sim/device.hpp"
+#include "fpna/sim/device_profile.hpp"
+#include "fpna/sim/lpu.hpp"
+#include "fpna/sim/scheduler.hpp"
+#include "fpna/stats/descriptive.hpp"
+
+namespace fpna::sim {
+namespace {
+
+bool is_permutation_of_iota(const std::vector<std::size_t>& perm) {
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  return seen.size() == perm.size() && (perm.empty() || *seen.rbegin() == perm.size() - 1);
+}
+
+// ------------------------------------------------------------ profiles --
+
+TEST(DeviceProfile, PresetsAreDistinctAndNamed) {
+  const auto v100 = DeviceProfile::v100();
+  const auto gh200 = DeviceProfile::gh200();
+  const auto h100 = DeviceProfile::h100();
+  const auto mi = DeviceProfile::mi250x();
+  EXPECT_EQ(v100.name, "V100");
+  EXPECT_EQ(gh200.name, "GH200");
+  EXPECT_EQ(h100.name, "H100");
+  EXPECT_EQ(mi.name, "Mi250X");
+  EXPECT_GT(gh200.mem_bandwidth_gb_s, v100.mem_bandwidth_gb_s);
+  // AMD FP64 atomics are the expensive CAS path.
+  EXPECT_GT(mi.atomic_same_address_ns, v100.atomic_same_address_ns);
+}
+
+// ----------------------------------------------------------- scheduler --
+
+TEST(Scheduler, AllPoliciesProducePermutations) {
+  const auto profile = DeviceProfile::v100();
+  const Scheduler scheduler(profile);
+  util::Xoshiro256pp rng(1);
+  for (const auto policy :
+       {SchedulerPolicy::kUniformShuffle, SchedulerPolicy::kWaveShuffle,
+        SchedulerPolicy::kContentionMixture}) {
+    for (const std::size_t n : {1u, 2u, 100u, 1000u}) {
+      EXPECT_TRUE(is_permutation_of_iota(scheduler.commit_order(n, policy, rng)))
+          << "policy " << static_cast<int>(policy) << " n " << n;
+    }
+  }
+}
+
+TEST(Scheduler, SameSeedSameOrder) {
+  const auto profile = DeviceProfile::gh200();
+  const Scheduler scheduler(profile);
+  util::Xoshiro256pp a(7), b(7);
+  EXPECT_EQ(scheduler.block_commit_order(500, a),
+            scheduler.block_commit_order(500, b));
+}
+
+TEST(Scheduler, DifferentSeedsUsuallyDiffer) {
+  const auto profile = DeviceProfile::gh200();
+  const Scheduler scheduler(profile);
+  util::Xoshiro256pp a(7), b(8);
+  EXPECT_NE(scheduler.block_commit_order(500, a),
+            scheduler.block_commit_order(500, b));
+}
+
+TEST(Scheduler, WaveShuffleRespectsResidencyBound) {
+  auto profile = DeviceProfile::v100();
+  profile.max_concurrent_blocks = 32;
+  const Scheduler scheduler(profile);
+  util::Xoshiro256pp rng(3);
+  const auto order =
+      scheduler.commit_order(4096, SchedulerPolicy::kWaveShuffle, rng);
+  double total_displacement = 0.0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    // A block cannot commit before it becomes resident: at commit step i
+    // at most i + window blocks have been admitted.
+    EXPECT_LT(order[i], i + 32);
+    total_displacement += order[i] > i ? static_cast<double>(order[i] - i)
+                                       : static_cast<double>(i - order[i]);
+  }
+  // Mean displacement is on the order of the resident-set size.
+  EXPECT_LT(total_displacement / 4096.0, 4.0 * 32.0);
+  EXPECT_GT(total_displacement / 4096.0, 2.0);
+}
+
+TEST(Scheduler, ContentionMixtureHasRegimes) {
+  // Across many runs the contention policy should sometimes stay nearly
+  // in-order and sometimes scramble heavily - that bimodality is its
+  // defining feature.
+  const auto profile = DeviceProfile::v100();
+  const Scheduler scheduler(profile);
+  std::vector<double> mean_displacements;
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    util::Xoshiro256pp rng(seed);
+    const auto order =
+        scheduler.commit_order(2048, SchedulerPolicy::kContentionMixture, rng);
+    double total = 0.0;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      total += order[i] > i ? static_cast<double>(order[i] - i)
+                            : static_cast<double>(i - order[i]);
+    }
+    mean_displacements.push_back(total / 2048.0);
+  }
+  const auto [mn, mx] = std::minmax_element(mean_displacements.begin(),
+                                            mean_displacements.end());
+  EXPECT_GT(*mx, *mn * 5.0);  // regimes differ by a large factor
+}
+
+// -------------------------------------------------------------- device --
+
+TEST(SimDevice, ExecutesEveryBlockExactlyOnce) {
+  SimDevice device(DeviceProfile::v100());
+  util::Xoshiro256pp rng(5);
+  std::vector<int> visits(100, 0);
+  const auto record = device.launch({100, 32, 0}, rng, [&](BlockCtx& ctx) {
+    ++visits[ctx.block_id()];
+    EXPECT_EQ(ctx.grid_blocks(), 100u);
+    EXPECT_EQ(ctx.threads_per_block(), 32u);
+  });
+  EXPECT_EQ(record.blocks, 100u);
+  for (const int v : visits) EXPECT_EQ(v, 1);
+  EXPECT_TRUE(is_permutation_of_iota(record.commit_order));
+}
+
+TEST(SimDevice, CommitPositionsMatchOrder) {
+  SimDevice device(DeviceProfile::v100());
+  util::Xoshiro256pp rng(6);
+  std::vector<std::size_t> position_of_block(50);
+  const auto record = device.launch({50, 1, 0}, rng, [&](BlockCtx& ctx) {
+    position_of_block[ctx.block_id()] = ctx.commit_position();
+  });
+  for (std::size_t pos = 0; pos < record.commit_order.size(); ++pos) {
+    EXPECT_EQ(position_of_block[record.commit_order[pos]], pos);
+  }
+}
+
+TEST(SimDevice, SharedMemoryZeroedPerBlock) {
+  SimDevice device(DeviceProfile::v100());
+  util::Xoshiro256pp rng(7);
+  device.launch({10, 4, 8}, rng, [&](BlockCtx& ctx) {
+    for (const double v : ctx.shared()) EXPECT_EQ(v, 0.0);
+    ctx.shared()[0] = 123.0;  // must not leak into the next block
+  });
+}
+
+TEST(SimDevice, AtomicAddAccumulatesInCommitOrder) {
+  SimDevice device(DeviceProfile::v100());
+  util::Xoshiro256pp rng(8);
+  AtomicDouble acc(0.0);
+  std::vector<double> observed_old;
+  const auto record = device.launch({5, 1, 0}, rng, [&](BlockCtx& ctx) {
+    observed_old.push_back(acc.fetch_add(static_cast<double>(ctx.block_id())));
+  });
+  // The k-th fetch_add must observe the sum of the first k scheduled
+  // blocks' contributions.
+  double expected = 0.0;
+  for (std::size_t k = 0; k < record.commit_order.size(); ++k) {
+    EXPECT_EQ(observed_old[k], expected);
+    expected += static_cast<double>(record.commit_order[k]);
+  }
+  EXPECT_EQ(acc.load(), 0.0 + 1 + 2 + 3 + 4);
+}
+
+TEST(SimDevice, RetirementCounterIdentifiesLastBlock) {
+  SimDevice device(DeviceProfile::gh200());
+  util::Xoshiro256pp rng(9);
+  RetirementCounter counter(64);
+  std::size_t last_block = 9999;
+  const auto record = device.launch({64, 1, 0}, rng, [&](BlockCtx& ctx) {
+    if (counter.fetch_inc() == 63) last_block = ctx.block_id();
+  });
+  EXPECT_EQ(last_block, record.commit_order.back());
+}
+
+TEST(RetirementCounter, WrapsLikeAtomicInc) {
+  RetirementCounter counter(3);
+  EXPECT_EQ(counter.fetch_inc(), 0u);
+  EXPECT_EQ(counter.fetch_inc(), 1u);
+  EXPECT_EQ(counter.fetch_inc(), 2u);
+  EXPECT_EQ(counter.fetch_inc(), 3u);  // old value at wrap boundary
+  EXPECT_EQ(counter.load(), 0u);
+}
+
+TEST(SimDevice, FenceAccounting) {
+  SimDevice device(DeviceProfile::v100());
+  util::Xoshiro256pp rng(10);
+  const auto record = device.launch({8, 1, 0}, rng, [&](BlockCtx& ctx) {
+    if (ctx.block_id() % 2 == 0) ctx.threadfence();
+  });
+  EXPECT_EQ(record.fenced_blocks, 4u);
+}
+
+TEST(SimDevice, RejectsEmptyLaunches) {
+  SimDevice device(DeviceProfile::v100());
+  util::Xoshiro256pp rng(11);
+  EXPECT_THROW(device.launch({0, 32, 0}, rng, [](BlockCtx&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(device.launch({1, 0, 0}, rng, [](BlockCtx&) {}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------- cost model --
+
+TEST(CostModel, Table2Properties) {
+  EXPECT_TRUE(is_deterministic(SumMethod::kCU));
+  EXPECT_TRUE(is_deterministic(SumMethod::kSPTR));
+  EXPECT_TRUE(is_deterministic(SumMethod::kSPRG));
+  EXPECT_TRUE(is_deterministic(SumMethod::kTPRC));
+  EXPECT_FALSE(is_deterministic(SumMethod::kSPA));
+  EXPECT_FALSE(is_deterministic(SumMethod::kAO));
+  EXPECT_STREQ(synchronization_method(SumMethod::kSPTR), "__threadfence");
+  EXPECT_STREQ(synchronization_method(SumMethod::kTPRC),
+               "stream synchronization");
+  EXPECT_STREQ(synchronization_method(SumMethod::kAO), "atomicAdd");
+  EXPECT_EQ(kernel_count(SumMethod::kTPRC), 2);
+  EXPECT_EQ(kernel_count(SumMethod::kSPA), 1);
+}
+
+TEST(CostModel, AoIsTwoOrdersSlower) {
+  // The paper's headline performance result (Table 4).
+  constexpr std::size_t kN = 4194304;
+  for (const auto& profile : {DeviceProfile::v100(), DeviceProfile::gh200()}) {
+    const double ao = estimated_sum_time_us(profile, SumMethod::kAO, kN, 512, 128);
+    const double spa =
+        estimated_sum_time_us(profile, SumMethod::kSPA, kN, 512, 128);
+    EXPECT_GT(ao / spa, 100.0) << profile.name;
+    EXPECT_LT(ao / spa, 500.0) << profile.name;
+  }
+}
+
+TEST(CostModel, DeterministicPenaltyIsMarginalOnV100) {
+  constexpr std::size_t kN = 4194304;
+  const auto v100 = DeviceProfile::v100();
+  const double spa = estimated_sum_time_us(v100, SumMethod::kSPA, kN, 512, 128);
+  const double sptr =
+      estimated_sum_time_us(v100, SumMethod::kSPTR, kN, 512, 128);
+  const double tprc =
+      estimated_sum_time_us(v100, SumMethod::kTPRC, kN, 512, 128);
+  EXPECT_GT(sptr, spa);
+  EXPECT_LT((sptr - spa) / spa, 0.02);  // well under 2%
+  EXPECT_LT((tprc - spa) / spa, 0.02);
+}
+
+TEST(CostModel, TprcWinsOnMi250x) {
+  constexpr std::size_t kN = 4194304;
+  const auto mi = DeviceProfile::mi250x();
+  const double tprc = estimated_sum_time_us(mi, SumMethod::kTPRC, kN, 512, 256);
+  const double spa = estimated_sum_time_us(mi, SumMethod::kSPA, kN, 512, 256);
+  const double sptr = estimated_sum_time_us(mi, SumMethod::kSPTR, kN, 256, 512);
+  EXPECT_LT(tprc, spa);
+  EXPECT_LT(tprc, sptr);
+}
+
+TEST(CostModel, ZeroSizedLaunchThrows) {
+  EXPECT_THROW(estimated_sum_time_us(DeviceProfile::v100(), SumMethod::kSPA, 0,
+                                     512, 128),
+               std::invalid_argument);
+}
+
+TEST(CostModel, IndexedOpsMatchTable6Shape) {
+  const auto h100 = DeviceProfile::h100();
+  // scatter_reduce has no deterministic GPU kernel.
+  EXPECT_FALSE(estimated_indexed_op_time_us(
+                   h100, IndexedOpKind::kScatterReduceSum, 1000, true)
+                   .has_value());
+  const auto sum_nd = estimated_indexed_op_time_us(
+      h100, IndexedOpKind::kScatterReduceSum, 1000, false);
+  const auto mean_nd = estimated_indexed_op_time_us(
+      h100, IndexedOpKind::kScatterReduceMean, 1000, false);
+  ASSERT_TRUE(sum_nd && mean_nd);
+  EXPECT_GT(*mean_nd, *sum_nd * 2.0);  // mean is the two-pass kernel
+
+  const auto ia_nd = estimated_indexed_op_time_us(
+      h100, IndexedOpKind::kIndexAdd, 1000000, false);
+  const auto ia_d = estimated_indexed_op_time_us(
+      h100, IndexedOpKind::kIndexAdd, 1000000, true);
+  ASSERT_TRUE(ia_nd && ia_d);
+  // Table 6: deterministic index_add is ~12x slower than the atomic one.
+  EXPECT_GT(*ia_d / *ia_nd, 5.0);
+  EXPECT_LT(*ia_d / *ia_nd, 30.0);
+}
+
+// ----------------------------------------------------------------- LPU --
+
+TEST(Lpu, ProgramsAreDeterministic) {
+  const LpuDevice lpu;
+  const auto p1 = lpu.compile(LpuOp::kScatterReduceSum, 1000);
+  const auto p2 = lpu.compile(LpuOp::kScatterReduceSum, 1000);
+  EXPECT_EQ(p1.total_cycles(), p2.total_cycles());
+  ASSERT_EQ(p1.stages.size(), p2.stages.size());
+  for (std::size_t i = 0; i < p1.stages.size(); ++i) {
+    EXPECT_EQ(p1.stages[i].cycles, p2.stages[i].cycles);
+    EXPECT_EQ(p1.stages[i].unit, p2.stages[i].unit);
+  }
+}
+
+TEST(Lpu, CyclesGrowWithWork) {
+  const LpuDevice lpu;
+  EXPECT_LT(lpu.op_time_us(LpuOp::kIndexAdd, 1000),
+            lpu.op_time_us(LpuOp::kIndexAdd, 1000000));
+}
+
+TEST(Lpu, Table6Magnitudes) {
+  const LpuDevice lpu;
+  // scatter_reduce(sum), n=1000 -> ~10.5 us; mean -> ~28.9 us;
+  // index_add over 1000x1000 -> ~12 us (paper Table 6).
+  EXPECT_NEAR(lpu.op_time_us(LpuOp::kScatterReduceSum, 1000), 10.5, 1.0);
+  EXPECT_NEAR(lpu.op_time_us(LpuOp::kScatterReduceMean, 1000), 28.9, 2.0);
+  EXPECT_NEAR(lpu.op_time_us(LpuOp::kIndexAdd, 1000000), 12.0, 2.0);
+}
+
+TEST(Lpu, FasterThanGpuForIndexedOps) {
+  const LpuDevice lpu;
+  const auto h100 = DeviceProfile::h100();
+  const auto gpu_nd = estimated_indexed_op_time_us(
+      h100, IndexedOpKind::kScatterReduceSum, 1000, false);
+  EXPECT_LT(lpu.op_time_us(LpuOp::kScatterReduceSum, 1000), *gpu_nd);
+}
+
+TEST(Lpu, StageNamesExposeStaticSchedule) {
+  const LpuDevice lpu;
+  const auto program = lpu.compile(LpuOp::kCumsum, 512);
+  ASSERT_FALSE(program.stages.empty());
+  EXPECT_EQ(program.stages.front().unit, "ICU.dispatch");
+}
+
+}  // namespace
+}  // namespace fpna::sim

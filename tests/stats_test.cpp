@@ -1,0 +1,292 @@
+// Unit tests for fpna::stats: streaming moments, quantiles, histograms,
+// KL divergence, normality tests and least-squares fits.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fpna/stats/descriptive.hpp"
+#include "fpna/stats/fit.hpp"
+#include "fpna/stats/histogram.hpp"
+#include "fpna/stats/normality.hpp"
+#include "fpna/util/rng.hpp"
+
+namespace fpna::stats {
+namespace {
+
+std::vector<double> normal_samples(std::size_t n, double mu, double sigma,
+                                   std::uint64_t seed) {
+  util::Xoshiro256pp rng(seed);
+  util::Normal dist(mu, sigma);
+  std::vector<double> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+std::vector<double> uniform_samples(std::size_t n, double lo, double hi,
+                                    std::uint64_t seed) {
+  util::Xoshiro256pp rng(seed);
+  const util::UniformReal dist(lo, hi);
+  std::vector<double> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+// ------------------------------------------------------------- Welford --
+
+TEST(Welford, MatchesDirectComputation) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  Welford w;
+  for (const double x : v) w.add(x);
+  EXPECT_EQ(w.count(), 5u);
+  EXPECT_DOUBLE_EQ(w.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 2.5);  // sample variance
+  EXPECT_DOUBLE_EQ(w.min(), 1.0);
+  EXPECT_DOUBLE_EQ(w.max(), 5.0);
+}
+
+TEST(Welford, DegenerateCases) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_EQ(w.variance(), 0.0);
+  w.add(7.0);
+  EXPECT_EQ(w.variance(), 0.0);
+  EXPECT_EQ(w.mean(), 7.0);
+  EXPECT_EQ(w.skewness(), 0.0);
+}
+
+TEST(Welford, StableForLargeOffset) {
+  // Classic catastrophic-cancellation case for naive sum-of-squares.
+  Welford w;
+  for (int i = 0; i < 1000; ++i) w.add(1e9 + (i % 2 == 0 ? 0.5 : -0.5));
+  EXPECT_NEAR(w.variance(), 0.25 * 1000.0 / 999.0, 1e-6);
+}
+
+TEST(Welford, MergeEqualsSequential) {
+  const auto v = normal_samples(10000, 3.0, 2.0, 1);
+  Welford whole;
+  for (const double x : v) whole.add(x);
+
+  Welford a, b;
+  for (std::size_t i = 0; i < 3333; ++i) a.add(v[i]);
+  for (std::size_t i = 3333; i < v.size(); ++i) b.add(v[i]);
+  a.merge(b);
+
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_NEAR(a.skewness(), whole.skewness(), 1e-7);
+  EXPECT_NEAR(a.excess_kurtosis(), whole.excess_kurtosis(), 1e-7);
+}
+
+TEST(Welford, NormalSampleMomentsAreNormalish) {
+  const auto v = normal_samples(200000, 0.0, 1.0, 2);
+  const Summary s = summarize(v);
+  EXPECT_NEAR(s.mean, 0.0, 0.02);
+  EXPECT_NEAR(s.stddev, 1.0, 0.02);
+  EXPECT_NEAR(s.skewness, 0.0, 0.05);
+  EXPECT_NEAR(s.excess_kurtosis, 0.0, 0.1);
+}
+
+TEST(Welford, UniformKurtosisIsNegative) {
+  const auto v = uniform_samples(100000, 0.0, 1.0, 3);
+  const Summary s = summarize(v);
+  EXPECT_NEAR(s.excess_kurtosis, -1.2, 0.1);  // theory: -6/5
+}
+
+// ------------------------------------------------------------ quantile --
+
+TEST(Quantile, ExactOrderStatistics) {
+  const std::vector<double> v{3.0, 1.0, 2.0, 5.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.0);
+}
+
+TEST(Quantile, Interpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.1), 1.0);
+}
+
+TEST(Quantile, Validation) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(quantile(v, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(v, 1.1), std::invalid_argument);
+}
+
+TEST(Bootstrap, CoversTrueMean) {
+  const auto v = normal_samples(2000, 5.0, 1.0, 4);
+  util::Xoshiro256pp rng(99);
+  const auto ci = bootstrap_mean_ci(v, 500, 0.95, rng);
+  EXPECT_LT(ci.lower, 5.0);
+  EXPECT_GT(ci.upper, 5.0);
+  EXPECT_LT(ci.upper - ci.lower, 0.2);
+  EXPECT_NEAR(ci.point, 5.0, 0.1);
+}
+
+// ----------------------------------------------------------- histogram --
+
+TEST(Histogram, CountsAndDensity) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(0.55);  // all in bin 0
+  EXPECT_EQ(h.count(0), 100u);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_DOUBLE_EQ(h.density(0), 1.0);  // all mass in one unit-width bin
+  EXPECT_DOUBLE_EQ(h.mass(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+}
+
+TEST(Histogram, UnderOverflowTracked) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-1.0);
+  h.add(2.0);
+  h.add(0.5);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, FromSamplesCoversRange) {
+  const auto v = uniform_samples(10000, -2.0, 3.0, 5);
+  const auto h = Histogram::from_samples(v, 50);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.total(), 10000u);
+}
+
+TEST(Histogram, DegenerateConstantSample) {
+  const std::vector<double> v(100, 3.0);
+  const auto h = Histogram::from_samples(v, 10);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_EQ(h.underflow() + h.overflow(), 0u);
+}
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 0.0, 4), std::invalid_argument);
+}
+
+// -------------------------------------------------------- KL divergence --
+
+TEST(KlDivergence, NearZeroForNormalSamples) {
+  const auto v = normal_samples(100000, 1.0, 2.0, 6);
+  const auto h = Histogram::from_samples(v, 60);
+  const double kl = kl_divergence_vs_normal(h, 1.0, 2.0);
+  EXPECT_LT(kl, 0.01);
+}
+
+TEST(KlDivergence, LargeForUniformVsNormal) {
+  const auto v = uniform_samples(100000, -1.0, 1.0, 7);
+  const auto h = Histogram::from_samples(v, 60);
+  const Summary s = summarize(v);
+  const double kl = kl_divergence_vs_normal(h, s.mean, s.stddev);
+  // Theoretical KL(U || fitted N) ~ 0.097 nats; well above the normal
+  // case's noise floor.
+  EXPECT_GT(kl, 0.05);
+}
+
+TEST(KlDivergence, RanksNormalAboveBimodal) {
+  // Bimodal mixture: far from normal.
+  auto v = normal_samples(50000, -3.0, 0.5, 8);
+  const auto right = normal_samples(50000, 3.0, 0.5, 9);
+  v.insert(v.end(), right.begin(), right.end());
+  const Summary s = summarize(v);
+  const auto h = Histogram::from_samples(v, 60);
+  const double kl_bimodal = kl_divergence_vs_normal(h, s.mean, s.stddev);
+
+  const auto g = normal_samples(100000, 0.0, 1.0, 10);
+  const auto hg = Histogram::from_samples(g, 60);
+  const double kl_normal = kl_divergence_vs_normal(hg, 0.0, 1.0);
+
+  EXPECT_GT(kl_bimodal, 10.0 * kl_normal);
+}
+
+// ----------------------------------------------------------- normality --
+
+TEST(KsTest, AcceptsNormalSamples) {
+  const auto v = normal_samples(5000, 0.0, 1.0, 11);
+  const auto r = ks_test_normal(v, 0.0, 1.0);
+  EXPECT_LT(r.statistic, 0.03);
+  EXPECT_GT(r.p_value, 0.05);
+}
+
+TEST(KsTest, RejectsUniformSamples) {
+  const auto v = uniform_samples(5000, -1.7320508, 1.7320508, 12);  // var 1
+  const auto r = ks_test_normal(v, 0.0, 1.0);
+  EXPECT_LT(r.p_value, 0.001);
+}
+
+TEST(KsTest, Validation) {
+  EXPECT_THROW(ks_test_normal({}, 0.0, 1.0), std::invalid_argument);
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_THROW(ks_test_normal(v, 0.0, 0.0), std::invalid_argument);
+}
+
+TEST(JarqueBera, AcceptsNormalRejectsExponential) {
+  const auto good = normal_samples(20000, 0.0, 1.0, 13);
+  EXPECT_GT(jarque_bera(good).p_value, 0.01);
+
+  util::Xoshiro256pp rng(14);
+  const util::Exponential dist(1.0);
+  std::vector<double> skewed(20000);
+  for (auto& x : skewed) x = dist(rng);
+  EXPECT_LT(jarque_bera(skewed).p_value, 1e-6);
+}
+
+// ---------------------------------------------------------------- fits --
+
+TEST(LinearFit, ExactLine) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{3.0, 5.0, 7.0, 9.0};  // y = 2x + 1
+  const auto fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, Validation) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(linear_fit(one, one), std::invalid_argument);
+  const std::vector<double> x{1.0, 1.0};
+  const std::vector<double> y{1.0, 2.0};
+  EXPECT_THROW(linear_fit(x, y), std::invalid_argument);
+}
+
+TEST(PowerLawFit, RecoversExactExponent) {
+  // y = 3 n^0.5
+  std::vector<double> x, y;
+  for (const double n : {1e2, 1e3, 1e4, 1e5, 1e6}) {
+    x.push_back(n);
+    y.push_back(3.0 * std::sqrt(n));
+  }
+  const auto fit = power_law_fit(x, y);
+  EXPECT_NEAR(fit.alpha, 0.5, 1e-10);
+  EXPECT_NEAR(fit.beta, 3.0, 1e-8);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(PowerLawFit, RecoversNoisyExponent) {
+  util::Xoshiro256pp rng(15);
+  util::Normal noise(0.0, 0.05);
+  std::vector<double> x, y;
+  for (double n = 100; n <= 1e6; n *= 2) {
+    x.push_back(n);
+    y.push_back(0.7 * std::pow(n, 0.63) * std::exp(noise(rng)));
+  }
+  const auto fit = power_law_fit(x, y);
+  EXPECT_NEAR(fit.alpha, 0.63, 0.05);
+  EXPECT_GT(fit.r_squared, 0.98);
+}
+
+TEST(PowerLawFit, RejectsNonPositive) {
+  const std::vector<double> x{1.0, 2.0};
+  const std::vector<double> y{1.0, -2.0};
+  EXPECT_THROW(power_law_fit(x, y), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fpna::stats

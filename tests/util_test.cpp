@@ -1,0 +1,365 @@
+// Unit tests for fpna::util: generators, distributions, permutations,
+// thread pool, CLI parsing and table formatting.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "fpna/util/cli.hpp"
+#include "fpna/util/permutation.hpp"
+#include "fpna/util/rng.hpp"
+#include "fpna/util/table.hpp"
+#include "fpna/util/thread_pool.hpp"
+#include "fpna/util/timer.hpp"
+
+namespace fpna::util {
+namespace {
+
+TEST(Xoshiro, SameSeedSameStream) {
+  Xoshiro256pp a(12345);
+  Xoshiro256pp b(12345);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDifferentStreams) {
+  Xoshiro256pp a(1);
+  Xoshiro256pp b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro, ReseedRestartsStream) {
+  Xoshiro256pp rng(777);
+  const auto first = rng();
+  rng();
+  rng.reseed(777);
+  EXPECT_EQ(rng(), first);
+}
+
+TEST(Xoshiro, JumpDecorrelates) {
+  Xoshiro256pp a(42);
+  Xoshiro256pp b(42);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Canonical, InHalfOpenUnitInterval) {
+  Xoshiro256pp rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = canonical(rng);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(UniformReal, RespectsBounds) {
+  Xoshiro256pp rng(5);
+  const UniformReal dist(-3.5, 7.25);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = dist(rng);
+    EXPECT_GE(x, -3.5);
+    EXPECT_LT(x, 7.25);
+  }
+}
+
+TEST(UniformReal, MeanApproximatesMidpoint) {
+  Xoshiro256pp rng(6);
+  const UniformReal dist(0.0, 10.0);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += dist(rng);
+  EXPECT_NEAR(sum / kN, 5.0, 0.05);
+}
+
+TEST(UniformInt, CoversAllValuesInSmallRange) {
+  Xoshiro256pp rng(7);
+  const UniformInt dist(2, 5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = dist(rng);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(UniformInt, SingletonRange) {
+  Xoshiro256pp rng(8);
+  const UniformInt dist(42, 42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(dist(rng), 42);
+}
+
+TEST(UniformInt, NegativeRange) {
+  Xoshiro256pp rng(8);
+  const UniformInt dist(-10, -1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = dist(rng);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -1);
+  }
+}
+
+TEST(UniformInt, ApproximatelyUniform) {
+  Xoshiro256pp rng(99);
+  const UniformInt dist(0, 9);
+  std::array<int, 10> counts{};
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[static_cast<std::size_t>(dist(rng))];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kN / 10, kN / 10 * 0.1);
+  }
+}
+
+TEST(Normal, MomentsMatch) {
+  Xoshiro256pp rng(11);
+  Normal dist(2.0, 3.0);
+  constexpr int kN = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = dist(rng);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.2);
+}
+
+TEST(Exponential, MeanMatches) {
+  Xoshiro256pp rng(13);
+  const Exponential dist(0.5);  // mean 2
+  constexpr int kN = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = dist(rng);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 2.0, 0.05);
+}
+
+TEST(Permutation, IsValidPermutation) {
+  Xoshiro256pp rng(17);
+  const auto perm = random_permutation(257, rng);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 257u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 256u);
+}
+
+TEST(Permutation, SameSeedSamePermutation) {
+  Xoshiro256pp a(31), b(31);
+  EXPECT_EQ(random_permutation(100, a), random_permutation(100, b));
+}
+
+TEST(Permutation, ShuffleIsActuallyShuffling) {
+  Xoshiro256pp rng(37);
+  const auto perm = random_permutation(1000, rng);
+  std::size_t fixed = 0;
+  for (std::size_t i = 0; i < perm.size(); ++i) fixed += (perm[i] == i);
+  EXPECT_LT(fixed, 20u);  // expected ~1 fixed point
+}
+
+TEST(Permutation, PermuteAppliesMapping) {
+  const std::vector<int> values{10, 20, 30, 40};
+  const std::vector<std::size_t> perm{3, 0, 2, 1};
+  const auto out = permute(values, perm);
+  EXPECT_EQ(out, (std::vector<int>{40, 10, 30, 20}));
+}
+
+TEST(Permutation, WaveRespectsLocality) {
+  Xoshiro256pp rng(41);
+  constexpr std::size_t kN = 10000;
+  constexpr std::size_t kWave = 64;
+  const auto perm = wave_permutation(kN, kWave, rng);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    const auto displacement = perm[i] > i ? perm[i] - i : i - perm[i];
+    EXPECT_LE(displacement, 2 * kWave);
+  }
+}
+
+TEST(Permutation, WaveDegeneratesToIdentityForUnitWave) {
+  Xoshiro256pp rng(43);
+  const auto perm = wave_permutation(100, 1, rng);
+  for (std::size_t i = 0; i < perm.size(); ++i) EXPECT_EQ(perm[i], i);
+}
+
+TEST(Permutation, ReservoirIsValidPermutation) {
+  Xoshiro256pp rng(47);
+  const auto perm = reservoir_permutation(1000, 32, rng);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Permutation, ReservoirEarlinessBoundedByWindow) {
+  Xoshiro256pp rng(53);
+  constexpr std::size_t kWindow = 16;
+  const auto perm = reservoir_permutation(2000, kWindow, rng);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_LT(perm[i], i + kWindow);  // cannot commit before admission
+  }
+}
+
+TEST(Permutation, ReservoirDegenerateWindows) {
+  Xoshiro256pp rng(59);
+  const auto identity = reservoir_permutation(50, 1, rng);
+  for (std::size_t i = 0; i < identity.size(); ++i) EXPECT_EQ(identity[i], i);
+  // window >= n behaves like a full shuffle: few fixed points.
+  const auto full = reservoir_permutation(1000, 1000, rng);
+  std::size_t fixed = 0;
+  for (std::size_t i = 0; i < full.size(); ++i) fixed += (full[i] == i);
+  EXPECT_LT(fixed, 20u);
+}
+
+TEST(ThreadPool, RunsAllChunks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  pool.parallel_for(1000, [&](std::size_t begin, std::size_t end,
+                              std::size_t) {
+    counter += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, ChunkIndicesAreDistinct) {
+  ThreadPool pool(3);
+  std::mutex m;
+  std::set<std::size_t> chunk_ids;
+  pool.parallel_for(
+      100,
+      [&](std::size_t, std::size_t, std::size_t chunk) {
+        const std::lock_guard lock(m);
+        chunk_ids.insert(chunk);
+      },
+      5);
+  EXPECT_EQ(chunk_ids.size(), 5u);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(10,
+                        [](std::size_t, std::size_t, std::size_t) {
+                          throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitReturnsCompletableFuture) {
+  ThreadPool pool(1);
+  auto future = pool.submit([] {});
+  future.get();  // must not hang
+  SUCCEED();
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--size=100", "--ratio=0.5"};
+  const Cli cli(3, argv);
+  EXPECT_EQ(cli.integer("size", 0), 100);
+  EXPECT_DOUBLE_EQ(cli.real("ratio", 0.0), 0.5);
+}
+
+TEST(Cli, ParsesSpaceForm) {
+  const char* argv[] = {"prog", "--runs", "42"};
+  const Cli cli(3, argv);
+  EXPECT_EQ(cli.integer("runs", 0), 42);
+}
+
+TEST(Cli, BareBooleanFlag) {
+  const char* argv[] = {"prog", "--full", "--csv"};
+  const Cli cli(3, argv);
+  EXPECT_TRUE(cli.flag("full"));
+  EXPECT_TRUE(cli.flag("csv"));
+  EXPECT_FALSE(cli.flag("absent"));
+}
+
+TEST(Cli, ScientificIntegerShorthand) {
+  const char* argv[] = {"prog", "--size=1e6"};
+  const Cli cli(2, argv);
+  EXPECT_EQ(cli.integer("size", 0), 1000000);
+}
+
+TEST(Cli, FallbacksWhenMissing) {
+  const char* argv[] = {"prog"};
+  const Cli cli(1, argv);
+  EXPECT_EQ(cli.integer("n", 7), 7);
+  EXPECT_DOUBLE_EQ(cli.real("x", 1.5), 1.5);
+  EXPECT_EQ(cli.text("s", "dflt"), "dflt");
+}
+
+TEST(Cli, TracksUnconsumedFlags) {
+  const char* argv[] = {"prog", "--known=1", "--typo=2"};
+  const Cli cli(3, argv);
+  (void)cli.integer("known", 0);
+  const auto leftover = cli.unconsumed();
+  ASSERT_EQ(leftover.size(), 1u);
+  EXPECT_EQ(leftover[0], "typo");
+}
+
+TEST(Cli, RejectsBadBoolean) {
+  const char* argv[] = {"prog", "--flag=banana"};
+  const Cli cli(2, argv);
+  EXPECT_THROW(cli.flag("flag"), std::invalid_argument);
+}
+
+TEST(Table, AlignsAndPrints) {
+  Table t({"a", "long_header"});
+  t.add_row({"1", "2"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("long_header"), std::string::npos);
+  EXPECT_NE(s.find("| 1"), std::string::npos);
+}
+
+TEST(Table, RejectsRaggedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream out;
+  t.print_csv(out);
+  EXPECT_EQ(out.str(), "x,y\n1,2\n");
+}
+
+TEST(TableFormat, SciMatchesPaperStyle) {
+  EXPECT_EQ(sci(-1.776356839400250e-15), "-1.776356839400250e-15");
+  EXPECT_EQ(sci(0.5, 3), "5.000e-01");
+}
+
+TEST(Timer, MeasuresElapsed) {
+  const Timer timer;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  EXPECT_GT(timer.elapsed_seconds(), 0.0);
+}
+
+TEST(Timer, RepeatedStatsShape) {
+  const auto stats = time_repeated([] {}, 10, 2);
+  EXPECT_EQ(stats.repetitions, 10u);
+  EXPECT_GE(stats.max_seconds, stats.min_seconds);
+  EXPECT_GE(stats.mean_seconds, 0.0);
+}
+
+TEST(Timer, MeanStdString) {
+  TimingStats s;
+  s.mean_seconds = 6.456e-3;
+  s.stddev_seconds = 8e-6;
+  EXPECT_EQ(s.mean_std_string(1e3), "6.456(0.008)");
+}
+
+}  // namespace
+}  // namespace fpna::util
