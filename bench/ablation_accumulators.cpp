@@ -1,8 +1,10 @@
 // Ablation (DESIGN.md SS4.2): accuracy, cost and order-stability of the
 // summation algorithms - why the binned superaccumulator is the right
 // reference ("gold") sum for determinism certification. For each
-// algorithm: error vs the exact sum, wall-clock throughput, and the
-// spread of results over input shuffles (0 = reproducible).
+// *registered* algorithm (the table is driven by fp::AlgorithmRegistry, so
+// a newly registered accumulator shows up here automatically): error vs
+// the exact sum, wall-clock throughput, the spread of results over input
+// shuffles (0 = reproducible), and the traits it declared at registration.
 //
 // Flags: --size --shuffles --seed --csv
 
@@ -10,10 +12,8 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "fpna/fp/binned_sum.hpp"
+#include "fpna/fp/accumulator.hpp"
 #include "fpna/fp/bits.hpp"
-#include "fpna/fp/summation.hpp"
-#include "fpna/fp/superaccumulator.hpp"
 #include "fpna/util/permutation.hpp"
 #include "fpna/util/table.hpp"
 #include "fpna/util/timer.hpp"
@@ -32,41 +32,18 @@ int main(int argc, char** argv) {
                    std::to_string(size) + " FP64 from N(0,1e6))");
 
   auto data = bench::normal_array(size, 0.0, 1e6, seed);
-  const double exact = fp::Superaccumulator::sum(data);
-
-  struct Algo {
-    const char* name;
-    double (*fn)(std::span<const double>);
-  };
-  const std::vector<Algo> algos{
-      {"serial (recursive)",
-       +[](std::span<const double> v) { return fp::sum_serial(v); }},
-      {"pairwise (base 32)",
-       +[](std::span<const double> v) { return fp::sum_pairwise(v, 32); }},
-      {"vectorized (4 lanes)",
-       +[](std::span<const double> v) { return fp::sum_vectorized(v, 4); }},
-      {"kahan",
-       +[](std::span<const double> v) { return fp::sum_kahan(v); }},
-      {"neumaier",
-       +[](std::span<const double> v) { return fp::sum_neumaier(v); }},
-      {"klein",
-       +[](std::span<const double> v) { return fp::sum_klein(v); }},
-      {"double-double",
-       +[](std::span<const double> v) { return fp::sum_double_double(v); }},
-      {"binned (Demmel-Nguyen)",
-       +[](std::span<const double> v) { return fp::BinnedSum::sum(v); }},
-      {"superaccumulator",
-       +[](std::span<const double> v) { return fp::Superaccumulator::sum(v); }},
-  };
+  const double exact =
+      fp::AlgorithmRegistry::sum("superaccumulator", data);
 
   util::Table table({"algorithm", "abs error vs exact", "ulps", "Melem/s",
-                     "spread over shuffles (ulps)"});
-  for (const auto& algo : algos) {
-    const double value = algo.fn(data);
+                     "spread over shuffles (ulps)", "perm-invariant?"});
+  for (const auto& algo : fp::AlgorithmRegistry::instance().entries()) {
+    const double value = algo.reduce(data);
     const double err = std::fabs(value - exact);
     const auto ulps = fp::ulp_distance(value, exact);
 
-    const auto stats = util::time_repeated([&] { (void)algo.fn(data); }, 3, 1);
+    const auto stats =
+        util::time_repeated([&] { (void)algo.reduce(data); }, 3, 1);
     const double melem_s =
         static_cast<double>(size) / stats.mean_seconds / 1e6;
 
@@ -76,10 +53,11 @@ int main(int argc, char** argv) {
     std::int64_t spread = 0;
     for (std::size_t s = 0; s < shuffles; ++s) {
       util::shuffle(copy, rng);
-      spread = std::max(spread, fp::ulp_distance(algo.fn(copy), value));
+      spread = std::max(spread, fp::ulp_distance(algo.reduce(copy), value));
     }
     table.add_row({algo.name, util::sci(err, 3), std::to_string(ulps),
-                   util::fixed(melem_s, 1), std::to_string(spread)});
+                   util::fixed(melem_s, 1), std::to_string(spread),
+                   algo.traits.permutation_invariant ? "yes" : "no"});
   }
   if (csv) {
     table.print_csv(std::cout);

@@ -1,16 +1,24 @@
 // google-benchmark microbenchmarks for the summation kernels: the real
-// wall-clock complement to the Table 4 cost model. Measures the serial,
-// pairwise, compensated and reproducible sums plus the CPU reduction
-// strategies across sizes.
+// wall-clock complement to the Table 4 cost model.
+//
+// One benchmark per *registered* accumulation algorithm (so a newly
+// registered algorithm appears here with zero bench changes), plus:
+//  * BM_FreeFunctionSerial - the pre-refactor free function, the baseline
+//    the registry-dispatched serial sum is compared against (the dispatch
+//    is one switch per call; the acceptance bar is <5% regression);
+//  * the CPU reduction strategies, routed through the unified
+//    reduce::cpu_sum(data, EvalContext) entry point.
 
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "fpna/core/eval_context.hpp"
 #include "fpna/core/run_context.hpp"
+#include "fpna/fp/accumulator.hpp"
 #include "fpna/fp/summation.hpp"
-#include "fpna/fp/superaccumulator.hpp"
 #include "fpna/reduce/cpu_sum.hpp"
 
 namespace {
@@ -25,50 +33,27 @@ const std::vector<double>& data_of_size(std::int64_t n) {
   return cache.back();
 }
 
-void BM_SumSerial(benchmark::State& state) {
+void BM_FreeFunctionSerial(benchmark::State& state) {
   const auto& v = data_of_size(state.range(0));
   for (auto _ : state) benchmark::DoNotOptimize(fpna::fp::sum_serial(v));
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 
-void BM_SumPairwise(benchmark::State& state) {
-  const auto& v = data_of_size(state.range(0));
-  for (auto _ : state) benchmark::DoNotOptimize(fpna::fp::sum_pairwise(v, 32));
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-
-void BM_SumKahan(benchmark::State& state) {
-  const auto& v = data_of_size(state.range(0));
-  for (auto _ : state) benchmark::DoNotOptimize(fpna::fp::sum_kahan(v));
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-
-void BM_SumNeumaier(benchmark::State& state) {
-  const auto& v = data_of_size(state.range(0));
-  for (auto _ : state) benchmark::DoNotOptimize(fpna::fp::sum_neumaier(v));
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-
-void BM_SumDoubleDouble(benchmark::State& state) {
+void BM_RegistrySum(benchmark::State& state,
+                    const fpna::fp::AlgorithmRegistry::Entry* entry) {
   const auto& v = data_of_size(state.range(0));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(fpna::fp::sum_double_double(v));
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-
-void BM_SumSuperaccumulator(benchmark::State& state) {
-  const auto& v = data_of_size(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(fpna::fp::Superaccumulator::sum(v));
+    benchmark::DoNotOptimize(
+        fpna::fp::reduce(entry->id, std::span<const double>(v)));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 
 void BM_CpuSumChunkedDeterministic(benchmark::State& state) {
   const auto& v = data_of_size(state.range(0));
+  const fpna::core::EvalContext ctx;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(fpna::reduce::cpu_sum_chunked_deterministic(v, 8));
+    benchmark::DoNotOptimize(fpna::reduce::cpu_sum(v, ctx, 8));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
@@ -77,16 +62,19 @@ void BM_CpuSumUnordered(benchmark::State& state) {
   const auto& v = data_of_size(state.range(0));
   std::uint64_t run = 0;
   for (auto _ : state) {
-    fpna::core::RunContext ctx(7, run++);
-    benchmark::DoNotOptimize(fpna::reduce::cpu_sum_unordered(v, ctx, 8));
+    fpna::core::RunContext rc(7, run++);
+    benchmark::DoNotOptimize(fpna::reduce::cpu_sum(
+        v, fpna::core::EvalContext::nondeterministic_on(rc), 8));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 
 void BM_CpuSumReproducible(benchmark::State& state) {
   const auto& v = data_of_size(state.range(0));
+  fpna::core::EvalContext ctx;
+  ctx.accumulator = fpna::fp::AlgorithmId::kSuperaccumulator;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(fpna::reduce::cpu_sum_reproducible(v, 8));
+    benchmark::DoNotOptimize(fpna::reduce::cpu_sum(v, ctx, 8));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
@@ -96,14 +84,24 @@ constexpr std::int64_t kLarge = 1 << 20;
 
 }  // namespace
 
-BENCHMARK(BM_SumSerial)->Arg(kSmall)->Arg(kLarge);
-BENCHMARK(BM_SumPairwise)->Arg(kSmall)->Arg(kLarge);
-BENCHMARK(BM_SumKahan)->Arg(kSmall)->Arg(kLarge);
-BENCHMARK(BM_SumNeumaier)->Arg(kSmall)->Arg(kLarge);
-BENCHMARK(BM_SumDoubleDouble)->Arg(kSmall)->Arg(kLarge);
-BENCHMARK(BM_SumSuperaccumulator)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_FreeFunctionSerial)->Arg(kSmall)->Arg(kLarge);
 BENCHMARK(BM_CpuSumChunkedDeterministic)->Arg(kLarge);
 BENCHMARK(BM_CpuSumUnordered)->Arg(kLarge);
 BENCHMARK(BM_CpuSumReproducible)->Arg(kLarge);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // One benchmark per registered algorithm, by name: the registry drives
+  // the bench list, not a private table.
+  for (const auto& entry :
+       fpna::fp::AlgorithmRegistry::instance().entries()) {
+    benchmark::RegisterBenchmark(("BM_Sum/" + entry.name).c_str(),
+                                 BM_RegistrySum, &entry)
+        ->Arg(kSmall)
+        ->Arg(kLarge);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

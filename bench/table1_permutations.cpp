@@ -3,14 +3,17 @@
 // Vs for shuffled re-summations (two rows per size, like the paper).
 //
 // Flags: --seed, --reps (shuffles per size), --sizes (comma list),
-//        --distribution {normal|uniform|exponential}, --csv
+//        --distribution {normal|uniform|exponential},
+//        --algorithm (any fp::AlgorithmRegistry name; default serial -
+//        e.g. --algorithm=kahan shows how compensation shrinks the
+//        permutation effect, --algorithm=superaccumulator kills it), --csv
 
 #include <iostream>
 #include <sstream>
 
 #include "bench_common.hpp"
 #include "fpna/core/metrics.hpp"
-#include "fpna/fp/summation.hpp"
+#include "fpna/fp/accumulator.hpp"
 #include "fpna/util/permutation.hpp"
 #include "fpna/util/table.hpp"
 
@@ -51,20 +54,22 @@ int main(int argc, char** argv) {
   const std::string distribution = cli.text("distribution", "normal");
   const auto sizes =
       parse_sizes(cli.text("sizes", "100,1000,10000,100000,1000000"));
+  const auto& algo =
+      fp::AlgorithmRegistry::instance().at(cli.text("algorithm", "serial"));
   const bool csv = cli.flag("csv");
 
   util::banner(std::cout,
                "Table 1: effects of permutations on sums of floating-point "
-               "numbers (x ~ " + distribution + ")");
+               "numbers (x ~ " + distribution + ", " + algo.name + ")");
 
   util::Table table({"size", "Snd - Sd", "Vs"});
   util::Xoshiro256pp shuffle_rng(seed ^ 0x5eedULL);
   for (const std::size_t n : sizes) {
     auto values = draw(distribution, n, seed + n);
-    const double s_d = fp::sum_serial(values);
+    const double s_d = algo.reduce(values);
     for (std::size_t rep = 0; rep < reps; ++rep) {
       util::shuffle(values, shuffle_rng);
-      const double s_nd = fp::sum_serial(values);
+      const double s_nd = algo.reduce(values);
       table.add_row({std::to_string(n), util::sci(s_nd - s_d),
                      util::sci(core::vs(s_nd, s_d))});
     }

@@ -13,9 +13,8 @@
 
 #include "fpna/core/harness.hpp"
 #include "fpna/core/metrics.hpp"
+#include "fpna/fp/accumulator.hpp"
 #include "fpna/fp/bits.hpp"
-#include "fpna/fp/summation.hpp"
-#include "fpna/fp/superaccumulator.hpp"
 #include "fpna/reduce/gpu_sum.hpp"
 #include "fpna/util/permutation.hpp"
 #include "fpna/util/rng.hpp"
@@ -33,10 +32,14 @@ int main() {
   std::vector<double> values(100000);
   for (auto& x : values) x = dist(rng);
 
-  const double in_order = fp::sum_serial(values);
+  // Algorithms are picked from the registry by name - the same lookup
+  // every bench and reduction backend uses.
+  const auto& registry = fp::AlgorithmRegistry::instance();
+  const auto& serial = registry.at("serial");
+  const double in_order = serial.reduce(values);
   auto shuffled = values;
   util::shuffle(shuffled, rng);
-  const double permuted = fp::sum_serial(shuffled);
+  const double permuted = serial.reduce(shuffled);
   std::cout << "  serial sum:          " << util::sci(in_order) << "\n"
             << "  after a permutation: " << util::sci(permuted) << "\n"
             << "  difference:          " << util::sci(permuted - in_order)
@@ -76,13 +79,24 @@ int main() {
   // 4. The reproducible fix: an order-invariant sum.
   // ------------------------------------------------------------------
   std::cout << "== 4. Reproducible summation ==\n";
-  const double gold = fp::Superaccumulator::sum(values);
-  const double gold_shuffled = fp::Superaccumulator::sum(shuffled);
+  const auto& gold_algo = registry.at("superaccumulator");
+  const double gold = gold_algo.reduce(values);
+  const double gold_shuffled = gold_algo.reduce(shuffled);
   std::cout << "  superaccumulator(values):   " << util::sci(gold) << "\n"
             << "  superaccumulator(shuffled): " << util::sci(gold_shuffled)
             << "\n"
             << "  bitwise identical: "
             << (fp::bitwise_equal(gold, gold_shuffled) ? "yes" : "NO")
-            << "\n";
+            << "\n\n";
+
+  // ------------------------------------------------------------------
+  // 5. The registry: every algorithm, one catalogue.
+  // ------------------------------------------------------------------
+  std::cout << "== 5. Registered accumulation algorithms ==\n";
+  for (const auto& entry : registry.entries()) {
+    std::cout << "  " << entry.name
+              << (entry.traits.permutation_invariant ? " [reproducible]" : "")
+              << " - " << entry.description << "\n";
+  }
   return 0;
 }

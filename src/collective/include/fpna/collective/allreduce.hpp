@@ -29,6 +29,7 @@
 #include <span>
 #include <vector>
 
+#include "fpna/core/eval_context.hpp"
 #include "fpna/core/run_context.hpp"
 
 namespace fpna::collective {
@@ -86,12 +87,25 @@ enum class Algorithm {
 const char* to_string(Algorithm algorithm) noexcept;
 bool is_deterministic(Algorithm algorithm) noexcept;
 
+/// Unified dispatcher: runs the selected collective under an EvalContext.
+/// kArrivalTree draws its arrival orders from ctx.run (required for that
+/// algorithm only); the deterministic variants ignore the context's run.
+template <typename T>
+std::vector<T> allreduce(const RankDataT<T>& contributions,
+                         Algorithm algorithm, const core::EvalContext& ctx,
+                         std::size_t block_elements = 1024);
+
 /// Distributed sum of one logical data set: shard across `ranks`, reduce
-/// each shard locally (serial sum; superaccumulator for kReproducible),
-/// then combine the per-rank partials with the chosen collective. `ctx`
-/// is required for (and only consumed by) kArrivalTree. The reproducible
-/// algorithm returns bitwise-identical results for every rank count and
-/// every arrival order - the "MPI-safe" reduction (property-tested).
+/// each shard locally through the context's registry-selected accumulator
+/// (exact-state merge for kReproducible), then combine the per-rank
+/// partials with the chosen collective. ctx.run is required for (and only
+/// consumed by) kArrivalTree. The reproducible algorithm returns
+/// bitwise-identical results for every rank count and every arrival order
+/// - the "MPI-safe" reduction (property-tested).
+double distributed_sum(std::span<const double> data, std::size_t ranks,
+                       Algorithm algorithm, const core::EvalContext& ctx);
+
+/// Historic entry point: optional RunContext, serial local accumulation.
 double distributed_sum(std::span<const double> data, std::size_t ranks,
                        Algorithm algorithm,
                        core::RunContext* ctx = nullptr);

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "fpna/fp/superaccumulator.hpp"
+#include "fpna/fp/accumulator.hpp"
 #include "fpna/util/permutation.hpp"
 
 namespace fpna::collective {
@@ -115,17 +115,41 @@ std::vector<T> allreduce_reproducible(const RankDataT<T>& contributions) {
   const std::size_t ranks = contributions.size();
   const std::size_t n = contributions.front().size();
 
+  // Each rank contributes to the registry's exact long accumulator; the
+  // merge is exact, so the rounded result is bitwise independent of
+  // arrival order, rank count and sharding.
   std::vector<T> result(n, T{0});
   for (std::size_t i = 0; i < n; ++i) {
-    fp::Superaccumulator acc;
+    fp::LongAccumulator<double> acc;
     for (std::size_t r = 0; r < ranks; ++r) {
       acc.add(static_cast<double>(contributions[r][i]));
     }
     // The exact double-rounded value, narrowed once: still order- and
     // rank-count-invariant for T = float (single final rounding).
-    result[i] = static_cast<T>(acc.round());
+    result[i] = static_cast<T>(acc.result());
   }
   return result;
+}
+
+template <typename T>
+std::vector<T> allreduce(const RankDataT<T>& contributions,
+                         Algorithm algorithm, const core::EvalContext& ctx,
+                         std::size_t block_elements) {
+  switch (algorithm) {
+    case Algorithm::kRing:
+      return allreduce_ring(contributions);
+    case Algorithm::kRecursiveDoubling:
+      return allreduce_recursive_doubling(contributions);
+    case Algorithm::kArrivalTree:
+      if (ctx.run == nullptr) {
+        throw std::invalid_argument(
+            "allreduce: arrival-tree needs EvalContext.run");
+      }
+      return allreduce_arrival_tree(contributions, *ctx.run, block_elements);
+    case Algorithm::kReproducible:
+      return allreduce_reproducible(contributions);
+  }
+  throw std::invalid_argument("allreduce: unknown algorithm");
 }
 
 // Explicit instantiations for the wire types the experiments use.
@@ -137,7 +161,10 @@ std::vector<T> allreduce_reproducible(const RankDataT<T>& contributions) {
   template std::vector<T> allreduce_arrival_tree<T>(const RankDataT<T>&,      \
                                                     core::RunContext&,        \
                                                     std::size_t);             \
-  template std::vector<T> allreduce_reproducible<T>(const RankDataT<T>&);
+  template std::vector<T> allreduce_reproducible<T>(const RankDataT<T>&);     \
+  template std::vector<T> allreduce<T>(const RankDataT<T>&, Algorithm,        \
+                                       const core::EvalContext&,              \
+                                       std::size_t);
 
 FPNA_INSTANTIATE_ALLREDUCE(double)
 FPNA_INSTANTIATE_ALLREDUCE(float)
@@ -159,28 +186,28 @@ bool is_deterministic(Algorithm algorithm) noexcept {
 }
 
 double distributed_sum(std::span<const double> data, std::size_t ranks,
-                       Algorithm algorithm, core::RunContext* ctx) {
+                       Algorithm algorithm, const core::EvalContext& ctx) {
   if (ranks == 0) throw std::invalid_argument("distributed_sum: zero ranks");
   const RankData shards = shard(data, ranks);
 
   if (algorithm == Algorithm::kReproducible) {
-    // Exact local accumulation, exact merge: independent of the sharding
-    // and of the merge order.
-    fp::Superaccumulator total;
+    // Exact local accumulation, exact merge through the registry's long
+    // accumulator: independent of the sharding and of the merge order.
+    fp::LongAccumulator<double> total;
     for (const auto& local : shards) {
-      fp::Superaccumulator partial;
+      fp::LongAccumulator<double> partial;
       partial.add(std::span<const double>(local));
-      total.add(partial);
+      total.merge(partial);
     }
-    return total.round();
+    return total.result();
   }
 
-  // Local serial partial per rank, then a P-element collective.
+  // Local partial per rank through the context's registry-selected
+  // accumulator, then a P-element collective over the rounded partials.
   RankData partials(ranks, std::vector<double>(1, 0.0));
   for (std::size_t r = 0; r < ranks; ++r) {
-    double acc = 0.0;
-    for (const double x : shards[r]) acc += x;
-    partials[r][0] = acc;
+    partials[r][0] =
+        fp::reduce(ctx.accumulator_in_effect(), std::span<const double>(shards[r]));
   }
   switch (algorithm) {
     case Algorithm::kRing:
@@ -188,16 +215,24 @@ double distributed_sum(std::span<const double> data, std::size_t ranks,
     case Algorithm::kRecursiveDoubling:
       return allreduce_recursive_doubling(partials)[0];
     case Algorithm::kArrivalTree: {
-      if (ctx == nullptr) {
+      if (ctx.run == nullptr) {
         throw std::invalid_argument(
             "distributed_sum: arrival-tree needs a RunContext");
       }
-      return allreduce_arrival_tree(partials, *ctx)[0];
+      return allreduce_arrival_tree(partials, *ctx.run)[0];
     }
     case Algorithm::kReproducible:
       break;  // handled above
   }
   throw std::invalid_argument("distributed_sum: unknown algorithm");
+}
+
+double distributed_sum(std::span<const double> data, std::size_t ranks,
+                       Algorithm algorithm, core::RunContext* ctx) {
+  core::EvalContext ec;
+  ec.run = ctx;
+  ec.deterministic_override = false;
+  return distributed_sum(data, ranks, algorithm, ec);
 }
 
 RankData shard(std::span<const double> data, std::size_t ranks) {

@@ -1,0 +1,107 @@
+#pragma once
+// EvalContext: the one execution context every reduction layer takes.
+//
+// The seed grew five parallel context conventions - fp free functions with
+// ad-hoc parameters, reduce's (RunContext&, num_threads) pairs, collective's
+// optional RunContext*, tensor's OpContext and the dl trainer's config
+// booleans. EvalContext subsumes them: it bundles
+//
+//   * run        - identity/entropy of one run of a non-deterministic
+//                  kernel (nullptr selects the deterministic path);
+//   * profile    - the simulated device whose scheduler policy orders
+//                  asynchronous commits (nullptr: default H100);
+//   * pool       - a shared thread pool for real-thread execution paths;
+//   * accumulator- the registry-selected accumulation algorithm every
+//                  inner reduction routes through (default: serial, which
+//                  reproduces the historic values bit for bit);
+//   * deterministic_override - per-context override of the global
+//                  DeterminismContext switch (unset: defer to the global).
+//
+// tensor::OpContext is an alias of this type, so tensor ops and everything
+// layered on them (dl) take the same context as reduce and collective.
+
+#include <optional>
+
+#include "fpna/core/determinism.hpp"
+#include "fpna/core/run_context.hpp"
+#include "fpna/fp/algorithm_id.hpp"
+#include "fpna/sim/device_profile.hpp"
+
+namespace fpna::util {
+class ThreadPool;
+}
+
+namespace fpna::core {
+
+struct EvalContext {
+  /// Run identity for the non-deterministic path; nullptr selects the
+  /// deterministic implementation.
+  RunContext* run = nullptr;
+  /// Device whose scheduler policy orders the atomic commits; nullptr
+  /// selects the default (H100) profile.
+  const sim::DeviceProfile* profile = nullptr;
+  /// Thread pool for real-thread execution (wall-clock measurement and
+  /// genuine OS-scheduled variability); nullptr: simulated/serial paths.
+  util::ThreadPool* pool = nullptr;
+  /// The accumulation algorithm inner reductions route through, selected
+  /// from fp::AlgorithmRegistry. Unset means "the kernel's historic
+  /// default" - serial almost everywhere, but e.g. TPRC's host tail is
+  /// historically vectorised - and is distinguishable from an explicit
+  /// kSerial request, which always means serial. The default reproduces
+  /// the seed's hand-rolled loops bitwise.
+  std::optional<fp::AlgorithmId> accumulator{};
+  /// Tri-state determinism override: unset defers to the process-wide
+  /// DeterminismContext switch; set forces this context one way.
+  std::optional<bool> deterministic_override{};
+  /// Scale factor on the race probability of plain *stores* (index_copy,
+  /// scatter, non-accumulating index_put). Accumulations race whenever
+  /// two requests overlap in flight, but a store's outcome flips only
+  /// when the final two writes land essentially simultaneously - a far
+  /// rarer coincidence. The default is calibrated so duplicate-index
+  /// write ops land in the paper's Table 5 Vermv band (~1e-6) instead of
+  /// flipping winners on most runs. Tests raise it to 1.0 to exercise the
+  /// mechanics quickly.
+  double store_race_scale = 1e-4;
+
+  /// The profile actually in effect.
+  const sim::DeviceProfile& effective_profile() const noexcept {
+    return profile != nullptr ? *profile : default_profile();
+  }
+
+  /// The accumulator actually in effect for kernels whose historic
+  /// default is the serial fold (i.e. all of them except noted special
+  /// cases, which consult the optional directly).
+  fp::AlgorithmId accumulator_in_effect() const noexcept {
+    return accumulator.value_or(fp::AlgorithmId::kSerial);
+  }
+
+  /// Whether deterministic implementations are required in this context
+  /// (the override beats the global switch).
+  bool deterministic_in_effect() const noexcept {
+    return deterministic_override.value_or(DeterminismContext::deterministic());
+  }
+
+  /// True iff an op should take its non-deterministic path.
+  bool nondeterministic() const noexcept {
+    return run != nullptr && !deterministic_in_effect();
+  }
+
+  static const sim::DeviceProfile& default_profile() noexcept {
+    static const sim::DeviceProfile kDefault = sim::DeviceProfile::h100();
+    return kDefault;
+  }
+
+  /// Convenience: a context committed to the non-deterministic path (the
+  /// seed's reduce/collective entry points never consulted the global
+  /// switch; their wrappers preserve that via this factory).
+  static EvalContext nondeterministic_on(
+      RunContext& run, const sim::DeviceProfile* profile = nullptr) noexcept {
+    EvalContext ctx;
+    ctx.run = &run;
+    ctx.profile = profile;
+    ctx.deterministic_override = false;
+    return ctx;
+  }
+};
+
+}  // namespace fpna::core

@@ -93,7 +93,13 @@ struct LossResult {
 };
 
 /// Mean negative log-likelihood over masked rows. `log_probs` must be the
-/// output of log_softmax_rows on the logits.
+/// output of log_softmax_rows on the logits. The loss reduction over rows
+/// routes through the context's registry-selected accumulator (the serial
+/// default reproduces the historic value bitwise).
+LossResult nll_loss_masked(const Matrix& log_probs,
+                           const std::vector<std::int64_t>& labels,
+                           const std::vector<char>& mask,
+                           const core::EvalContext& ctx);
 LossResult nll_loss_masked(const Matrix& log_probs,
                            const std::vector<std::int64_t>& labels,
                            const std::vector<char>& mask);

@@ -7,8 +7,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "fpna/core/eval_context.hpp"
 #include "fpna/dl/dataset.hpp"
 #include "fpna/dl/model.hpp"
+#include "fpna/fp/algorithm_id.hpp"
 #include "fpna/sim/device_profile.hpp"
 #include "fpna/sim/lpu.hpp"
 
@@ -26,9 +28,26 @@ struct TrainConfig {
   /// GPU profile supplying scheduler policy for the ND path (nullptr:
   /// default H100).
   const sim::DeviceProfile* profile = nullptr;
+  /// Registry-selected accumulation algorithm threaded through the whole
+  /// training EvalContext: neighbour aggregation (index_add), the loss
+  /// reduction, and any other deterministic accumulation the kernels
+  /// perform. kSerial reproduces the seed's training values bitwise.
+  fp::AlgorithmId accumulator = fp::AlgorithmId::kSerial;
   /// Record flattened weights after every epoch (needed by the epoch-
   /// variability experiment; costs memory).
   bool snapshot_epochs = false;
+
+  /// The EvalContext this config describes. `run` supplies scheduling
+  /// entropy for the ND kernels (ignored when deterministic).
+  core::EvalContext eval_context(core::RunContext& run) const noexcept {
+    core::EvalContext ctx;
+    if (!deterministic) {
+      ctx.run = &run;
+      ctx.profile = profile;
+    }
+    ctx.accumulator = accumulator;
+    return ctx;
+  }
 };
 
 struct TrainResult {

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "fpna/fp/accumulator.hpp"
 #include "fpna/tensor/indexed_ops.hpp"
 
 namespace fpna::dl {
@@ -170,7 +171,8 @@ Matrix log_softmax_rows(const Matrix& logits) {
 
 LossResult nll_loss_masked(const Matrix& log_probs,
                            const std::vector<std::int64_t>& labels,
-                           const std::vector<char>& mask) {
+                           const std::vector<char>& mask,
+                           const core::EvalContext& ctx) {
   const std::int64_t rows = log_probs.size(0);
   const std::int64_t cols = log_probs.size(1);
   if (static_cast<std::int64_t>(labels.size()) != rows ||
@@ -186,14 +188,18 @@ LossResult nll_loss_masked(const Matrix& log_probs,
   result.d_logits = Matrix(tensor::Shape{rows, cols}, 0.0f);
   const float inv_count = 1.0f / static_cast<float>(count);
 
-  double loss = 0.0;
+  // Gradient pass (accumulator-independent); the masked per-row loss
+  // terms are gathered and folded through the registry afterwards, so the
+  // rows*cols softmax loop monomorphises once, not per algorithm.
+  std::vector<double> loss_terms;
+  loss_terms.reserve(static_cast<std::size_t>(count));
   for (std::int64_t r = 0; r < rows; ++r) {
     if (!mask[static_cast<std::size_t>(r)]) continue;
     const std::int64_t y = labels[static_cast<std::size_t>(r)];
     if (y < 0 || y >= cols) {
       throw std::out_of_range("nll_loss_masked: label out of range");
     }
-    loss -= static_cast<double>(log_probs.flat(r * cols + y));
+    loss_terms.push_back(-static_cast<double>(log_probs.flat(r * cols + y)));
     // d(logits) of mean-NLL(log_softmax): (softmax - onehot) / count.
     for (std::int64_t c = 0; c < cols; ++c) {
       const float softmax = std::exp(log_probs.flat(r * cols + c));
@@ -201,8 +207,16 @@ LossResult nll_loss_masked(const Matrix& log_probs,
       result.d_logits.flat(r * cols + c) = (softmax - onehot) * inv_count;
     }
   }
+  const double loss = fp::reduce(ctx.accumulator_in_effect(),
+                                 std::span<const double>(loss_terms));
   result.loss = loss / static_cast<double>(count);
   return result;
+}
+
+LossResult nll_loss_masked(const Matrix& log_probs,
+                           const std::vector<std::int64_t>& labels,
+                           const std::vector<char>& mask) {
+  return nll_loss_masked(log_probs, labels, mask, core::EvalContext{});
 }
 
 std::vector<std::int64_t> argmax_rows(const Matrix& scores) {

@@ -22,11 +22,7 @@ TrainResult train(const Dataset& dataset, const TrainConfig& config,
                      {},
                      0.0};
 
-  tensor::OpContext ctx;
-  if (!config.deterministic) {
-    ctx.run = &run;
-    ctx.profile = config.profile;
-  }
+  const core::EvalContext ctx = config.eval_context(run);
 
   Adam optimizer(AdamConfig{.lr = config.lr});
   for (auto& [param, grad] : result.model.parameters()) {
@@ -37,7 +33,7 @@ TrainResult train(const Dataset& dataset, const TrainConfig& config,
     const Matrix log_probs =
         result.model.forward(dataset.features, dataset.graph, ctx, &cache);
     const LossResult loss =
-        nll_loss_masked(log_probs, dataset.labels, dataset.train_mask);
+        nll_loss_masked(log_probs, dataset.labels, dataset.train_mask, ctx);
     result.epoch_losses.push_back(loss.loss);
 
     result.model.zero_grad();
@@ -53,7 +49,8 @@ TrainResult train(const Dataset& dataset, const TrainConfig& config,
 
   // Accuracy evaluated with the deterministic forward so it reflects the
   // trained weights, not inference noise.
-  const tensor::OpContext det_ctx;
+  core::EvalContext det_ctx;
+  det_ctx.accumulator = config.accumulator;
   const Matrix final_probs =
       result.model.forward(dataset.features, dataset.graph, det_ctx, nullptr);
   result.train_accuracy =

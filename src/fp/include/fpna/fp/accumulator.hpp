@@ -1,0 +1,550 @@
+#pragma once
+// The unified accumulation layer: every reduction in the toolkit - the
+// serial kernels in this module, the CPU/GPU reductions in src/reduce, the
+// collectives in src/collective, the tensor ops in src/tensor and the DL
+// trainer in src/dl - selects its inner accumulation algorithm from one
+// registry instead of a per-layer switch table.
+//
+// Two complementary interfaces per algorithm:
+//
+//  * a one-shot `reduce(span)` that reproduces the historic free functions
+//    of summation.hpp bit for bit (this is what the registry's function
+//    pointer calls, so existing certified values never move);
+//  * a stateful Accumulator type for element-at-a-time streaming and
+//    chunk-merge use (thread partials, block partials, per-destination
+//    scatter reductions). Streaming state is merged with `merge`, which is
+//    exact for the reproducible algorithms and deterministic for all.
+//
+// Dispatch is a static visitor (`visit_algorithm`): the switch happens once
+// per reduction call and hands the hot loop a concrete accumulator type, so
+// no per-element indirect call ever appears in the inner loop.
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fpna/fp/algorithm_id.hpp"
+#include "fpna/fp/binned_sum.hpp"
+#include "fpna/fp/double_double.hpp"
+#include "fpna/fp/summation.hpp"
+#include "fpna/fp/superaccumulator.hpp"
+
+namespace fpna::fp {
+
+// -------------------------------------------------------------- concept --
+
+/// A streaming accumulator: default-constructible empty state, element and
+/// span ingestion, deterministic state merge, and a rounded result.
+template <typename A>
+concept Accumulator =
+    std::default_initializable<A> &&
+    requires(A a, const A& other, typename A::value_type x,
+             std::span<const typename A::value_type> s) {
+      typename A::value_type;
+      { a.add(x) } -> std::same_as<void>;
+      { a.add(s) } -> std::same_as<void>;
+      { a.merge(other) } -> std::same_as<void>;
+      { other.result() } -> std::convertible_to<typename A::value_type>;
+    };
+
+// ------------------------------------------------- streaming accumulators --
+
+/// Left-to-right recursive accumulation (the "sequential recursive method").
+template <typename T = double>
+class SerialAccumulator {
+ public:
+  using value_type = T;
+  void add(T x) noexcept { sum_ = static_cast<T>(sum_ + x); }
+  void add(std::span<const T> values) noexcept {
+    for (const T x : values) add(x);
+  }
+  void merge(const SerialAccumulator& other) noexcept { add(other.sum_); }
+  T result() const noexcept { return sum_; }
+
+ private:
+  T sum_{};
+};
+
+/// Streaming cascade (binary-counter pairwise): base blocks of kBase
+/// elements are summed serially, then combined in binary-carry order - the
+/// same O(log n) error growth as the recursive cascade of sum_pairwise,
+/// with O(log n) state instead of the whole input.
+template <typename T = double>
+class PairwiseAccumulator {
+ public:
+  using value_type = T;
+  static constexpr std::size_t kBase = 32;
+
+  void add(T x) {
+    block_ = static_cast<T>(block_ + x);
+    if (++block_count_ == kBase) {
+      push_block(block_);
+      block_ = T{};
+      block_count_ = 0;
+    }
+  }
+  void add(std::span<const T> values) {
+    for (const T x : values) add(x);
+  }
+  /// Folds the other accumulator's rounded result in as one element:
+  /// deterministic (and the natural chunked-pairwise association).
+  void merge(const PairwiseAccumulator& other) { add(other.result()); }
+  T result() const {
+    T acc = block_;
+    std::uint64_t mask = blocks_;
+    for (std::size_t level = 0; mask != 0; ++level, mask >>= 1) {
+      if (mask & 1) acc = static_cast<T>(levels_[level] + acc);
+    }
+    return acc;
+  }
+
+ private:
+  void push_block(T v) {
+    std::size_t level = 0;
+    std::uint64_t mask = blocks_;
+    while (mask & 1) {
+      v = static_cast<T>(levels_[level] + v);
+      mask >>= 1;
+      ++level;
+    }
+    if (level == levels_.size()) {
+      levels_.push_back(v);
+    } else {
+      levels_[level] = v;
+    }
+    ++blocks_;
+  }
+
+  T block_{};
+  std::size_t block_count_ = 0;
+  std::uint64_t blocks_ = 0;  // bit b set <=> levels_[b] holds a partial
+  std::vector<T> levels_;
+};
+
+/// Kahan compensated accumulation.
+template <typename T = double>
+class KahanAccumulator {
+ public:
+  using value_type = T;
+  void add(T x) noexcept {
+    const T y = static_cast<T>(x - comp_);
+    const T t = static_cast<T>(sum_ + y);
+    comp_ = static_cast<T>(static_cast<T>(t - sum_) - y);
+    sum_ = t;
+  }
+  void add(std::span<const T> values) noexcept {
+    for (const T x : values) add(x);
+  }
+  void merge(const KahanAccumulator& other) noexcept {
+    add(other.sum_);
+    add(static_cast<T>(-other.comp_));
+  }
+  T result() const noexcept { return sum_; }
+
+ private:
+  T sum_{};
+  T comp_{};
+};
+
+/// Neumaier's improvement of Kahan (additive correction term).
+template <typename T = double>
+class NeumaierAccumulator {
+ public:
+  using value_type = T;
+  void add(T x) noexcept {
+    const T t = static_cast<T>(sum_ + x);
+    if (abs_(sum_) >= abs_(x)) {
+      comp_ = static_cast<T>(comp_ + static_cast<T>(sum_ - t) + x);
+    } else {
+      comp_ = static_cast<T>(comp_ + static_cast<T>(x - t) + sum_);
+    }
+    sum_ = t;
+  }
+  void add(std::span<const T> values) noexcept {
+    for (const T x : values) add(x);
+  }
+  void merge(const NeumaierAccumulator& other) noexcept {
+    add(other.sum_);
+    comp_ = static_cast<T>(comp_ + other.comp_);
+  }
+  T result() const noexcept { return static_cast<T>(sum_ + comp_); }
+
+ private:
+  static T abs_(T v) noexcept { return v < T{} ? static_cast<T>(-v) : v; }
+  T sum_{};
+  T comp_{};
+};
+
+/// Klein's second-order ("iterative Kahan-Babuska") compensation.
+template <typename T = double>
+class KleinAccumulator {
+ public:
+  using value_type = T;
+  void add(T x) noexcept {
+    T t = static_cast<T>(sum_ + x);
+    T c;
+    if (abs_(sum_) >= abs_(x)) {
+      c = static_cast<T>(static_cast<T>(sum_ - t) + x);
+    } else {
+      c = static_cast<T>(static_cast<T>(x - t) + sum_);
+    }
+    sum_ = t;
+    t = static_cast<T>(cs_ + c);
+    T cc;
+    if (abs_(cs_) >= abs_(c)) {
+      cc = static_cast<T>(static_cast<T>(cs_ - t) + c);
+    } else {
+      cc = static_cast<T>(static_cast<T>(c - t) + cs_);
+    }
+    cs_ = t;
+    ccs_ = static_cast<T>(ccs_ + cc);
+  }
+  void add(std::span<const T> values) noexcept {
+    for (const T x : values) add(x);
+  }
+  void merge(const KleinAccumulator& other) noexcept {
+    add(other.sum_);
+    cs_ = static_cast<T>(cs_ + other.cs_);
+    ccs_ = static_cast<T>(ccs_ + other.ccs_);
+  }
+  T result() const noexcept {
+    return static_cast<T>(static_cast<T>(sum_ + cs_) + ccs_);
+  }
+
+ private:
+  static T abs_(T v) noexcept { return v < T{} ? static_cast<T>(-v) : v; }
+  T sum_{};
+  T cs_{};
+  T ccs_{};
+};
+
+/// Double-double (~106-bit) accumulation, rounded to T at the end.
+template <typename T = double>
+class DoubleDoubleAccumulator {
+ public:
+  using value_type = T;
+  void add(T x) noexcept { acc_ += static_cast<double>(x); }
+  void add(std::span<const T> values) noexcept {
+    for (const T x : values) add(x);
+  }
+  void merge(const DoubleDoubleAccumulator& other) noexcept {
+    acc_ += other.acc_;
+  }
+  T result() const noexcept { return static_cast<T>(acc_.to_double()); }
+
+ private:
+  DoubleDouble acc_;
+};
+
+/// Round-robin lane partials combined left-to-right - the streaming
+/// analogue of a compiler-vectorised accumulation loop.
+template <typename T = double>
+class VectorizedAccumulator {
+ public:
+  using value_type = T;
+  static constexpr std::size_t kLanes = 4;
+
+  void add(T x) noexcept {
+    lanes_[next_] = static_cast<T>(lanes_[next_] + x);
+    next_ = (next_ + 1) % kLanes;
+  }
+  void add(std::span<const T> values) noexcept {
+    for (const T x : values) add(x);
+  }
+  void merge(const VectorizedAccumulator& other) noexcept {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      lanes_[l] = static_cast<T>(lanes_[l] + other.lanes_[l]);
+    }
+  }
+  T result() const noexcept {
+    T sum{};
+    for (const T lane : lanes_) sum = static_cast<T>(sum + lane);
+    return sum;
+  }
+
+ private:
+  T lanes_[kLanes] = {};
+  std::size_t next_ = 0;
+};
+
+/// Demmel-Nguyen binned sum. Binning needs the global max magnitude, so the
+/// streaming form buffers its inputs (in double) and bins at result() time;
+/// BinnedSum::sum is permutation-invariant, which makes both add order and
+/// merge order irrelevant to the result.
+template <typename T = double>
+class BinnedAccumulator {
+ public:
+  using value_type = T;
+  void add(T x) { buffer_.push_back(static_cast<double>(x)); }
+  void add(std::span<const T> values) {
+    buffer_.reserve(buffer_.size() + values.size());
+    for (const T x : values) buffer_.push_back(static_cast<double>(x));
+  }
+  void merge(const BinnedAccumulator& other) {
+    buffer_.insert(buffer_.end(), other.buffer_.begin(), other.buffer_.end());
+  }
+  T result() const {
+    return static_cast<T>(BinnedSum::sum(std::span<const double>(buffer_)));
+  }
+
+ private:
+  std::vector<double> buffer_;
+};
+
+/// Long-accumulator (superaccumulator) streaming state: exact adds, exact
+/// merges, one rounding at result(). Bitwise invariant to any ordering,
+/// chunking or merge tree. (Named after the ExBLAS "long accumulator" to
+/// avoid a case-only collision with the underlying fp::Superaccumulator.)
+template <typename T = double>
+class LongAccumulator {
+ public:
+  using value_type = T;
+  void add(T x) noexcept { acc_.add(static_cast<double>(x)); }
+  void add(std::span<const T> values) noexcept {
+    for (const T x : values) acc_.add(static_cast<double>(x));
+  }
+  void merge(const LongAccumulator& other) noexcept { acc_.add(other.acc_); }
+  T result() const noexcept { return static_cast<T>(acc_.round()); }
+
+ private:
+  Superaccumulator acc_;
+};
+
+static_assert(Accumulator<SerialAccumulator<double>>);
+static_assert(Accumulator<SerialAccumulator<float>>);
+static_assert(Accumulator<PairwiseAccumulator<double>>);
+static_assert(Accumulator<KahanAccumulator<double>>);
+static_assert(Accumulator<NeumaierAccumulator<double>>);
+static_assert(Accumulator<KleinAccumulator<double>>);
+static_assert(Accumulator<DoubleDoubleAccumulator<double>>);
+static_assert(Accumulator<VectorizedAccumulator<double>>);
+static_assert(Accumulator<BinnedAccumulator<double>>);
+static_assert(Accumulator<LongAccumulator<double>>);
+static_assert(Accumulator<LongAccumulator<float>>);
+
+// ---------------------------------------------------------------- tags --
+
+// One tag type per algorithm. A tag carries the streaming accumulator
+// template, the canonical one-shot reduction (bitwise identical to the
+// historic free function for double), and the declared traits - everything
+// the static visitor hands to a monomorphised hot loop.
+
+namespace tags {
+
+struct Serial {
+  static constexpr AlgorithmId id = AlgorithmId::kSerial;
+  static constexpr AlgorithmTraits traits{};
+  template <typename T>
+  using accumulator_t = SerialAccumulator<T>;
+  static double reduce(std::span<const double> v) noexcept {
+    return sum_serial(v);
+  }
+};
+
+struct Pairwise {
+  static constexpr AlgorithmId id = AlgorithmId::kPairwise;
+  static constexpr AlgorithmTraits traits{};
+  template <typename T>
+  using accumulator_t = PairwiseAccumulator<T>;
+  static double reduce(std::span<const double> v) noexcept {
+    return sum_pairwise(v, 32);
+  }
+};
+
+struct Kahan {
+  static constexpr AlgorithmId id = AlgorithmId::kKahan;
+  static constexpr AlgorithmTraits traits{};
+  template <typename T>
+  using accumulator_t = KahanAccumulator<T>;
+  static double reduce(std::span<const double> v) noexcept {
+    return sum_kahan(v);
+  }
+};
+
+struct Neumaier {
+  static constexpr AlgorithmId id = AlgorithmId::kNeumaier;
+  static constexpr AlgorithmTraits traits{};
+  template <typename T>
+  using accumulator_t = NeumaierAccumulator<T>;
+  static double reduce(std::span<const double> v) noexcept {
+    return sum_neumaier(v);
+  }
+};
+
+struct Klein {
+  static constexpr AlgorithmId id = AlgorithmId::kKlein;
+  static constexpr AlgorithmTraits traits{};
+  template <typename T>
+  using accumulator_t = KleinAccumulator<T>;
+  static double reduce(std::span<const double> v) noexcept {
+    return sum_klein(v);
+  }
+};
+
+struct DoubleDoubleTag {
+  static constexpr AlgorithmId id = AlgorithmId::kDoubleDouble;
+  static constexpr AlgorithmTraits traits{};
+  template <typename T>
+  using accumulator_t = DoubleDoubleAccumulator<T>;
+  static double reduce(std::span<const double> v) noexcept {
+    return sum_double_double(v);
+  }
+};
+
+struct Vectorized {
+  static constexpr AlgorithmId id = AlgorithmId::kVectorized;
+  static constexpr AlgorithmTraits traits{};
+  template <typename T>
+  using accumulator_t = VectorizedAccumulator<T>;
+  static double reduce(std::span<const double> v) noexcept {
+    return sum_vectorized(v, 4);
+  }
+};
+
+struct Binned {
+  static constexpr AlgorithmId id = AlgorithmId::kBinned;
+  static constexpr AlgorithmTraits traits{
+      .deterministic_fixed_order = true,
+      .permutation_invariant = true,
+      .exact_merge = true,
+  };
+  template <typename T>
+  using accumulator_t = BinnedAccumulator<T>;
+  static double reduce(std::span<const double> v) { return BinnedSum::sum(v); }
+};
+
+struct Super {
+  static constexpr AlgorithmId id = AlgorithmId::kSuperaccumulator;
+  static constexpr AlgorithmTraits traits{
+      .deterministic_fixed_order = true,
+      .permutation_invariant = true,
+      .exact_merge = true,
+  };
+  template <typename T>
+  using accumulator_t = LongAccumulator<T>;
+  static double reduce(std::span<const double> v) noexcept {
+    return Superaccumulator::sum(v);
+  }
+};
+
+}  // namespace tags
+
+/// Static visitor: one switch per reduction *call*, monomorphised inner
+/// loops. `f` receives the tag by value and can read its accumulator_t,
+/// reduce and traits without any virtual dispatch. An id outside the enum
+/// (e.g. cast from an untrusted config integer) throws rather than
+/// silently computing a different algorithm - in a toolkit certifying
+/// which algorithm produced which bits, a quiet fallback would be a
+/// correctness bug.
+template <typename F>
+decltype(auto) visit_algorithm(AlgorithmId id, F&& f) {
+  switch (id) {
+    case AlgorithmId::kSerial: return f(tags::Serial{});
+    case AlgorithmId::kPairwise: return f(tags::Pairwise{});
+    case AlgorithmId::kKahan: return f(tags::Kahan{});
+    case AlgorithmId::kNeumaier: return f(tags::Neumaier{});
+    case AlgorithmId::kKlein: return f(tags::Klein{});
+    case AlgorithmId::kDoubleDouble: return f(tags::DoubleDoubleTag{});
+    case AlgorithmId::kVectorized: return f(tags::Vectorized{});
+    case AlgorithmId::kBinned: return f(tags::Binned{});
+    case AlgorithmId::kSuperaccumulator: return f(tags::Super{});
+  }
+  throw std::invalid_argument(
+      "visit_algorithm: AlgorithmId outside the registered enum");
+}
+
+/// One-shot reduction through the selected algorithm. For double this is
+/// bitwise identical to the historic summation.hpp free functions; other
+/// element types stream through the algorithm's accumulator in T precision
+/// (matching how a device kernel would accumulate that dtype).
+template <typename T = double>
+T reduce(AlgorithmId id, std::span<const T> values) {
+  return visit_algorithm(id, [&](auto tag) -> T {
+    if constexpr (std::same_as<T, double>) {
+      return decltype(tag)::reduce(values);
+    } else {
+      typename decltype(tag)::template accumulator_t<T> acc;
+      acc.add(values);
+      return acc.result();
+    }
+  });
+}
+
+// ------------------------------------------------------------- registry --
+
+/// String/enum-keyed catalogue of every accumulation algorithm. Built-ins
+/// self-register (see accumulator.cpp). Adding an algorithm is three
+/// mechanical steps in this module: (1) a new AlgorithmId enum value in
+/// algorithm_id.hpp, (2) a tag + visit_algorithm case here (the visitor
+/// is a deliberately closed set so an id it does not know throws instead
+/// of silently running the wrong algorithm), (3) one
+/// FPNA_REGISTER_ACCUMULATOR line in accumulator.cpp - after which the
+/// algorithm appears in every name-driven surface (bench tables,
+/// --algorithm flags, registry sums) and every streaming reduction with
+/// no changes outside src/fp.
+class AlgorithmRegistry {
+ public:
+  struct Entry {
+    std::string name;  // CLI-facing key, e.g. "kahan"
+    AlgorithmId id = AlgorithmId::kSerial;
+    std::string description;
+    AlgorithmTraits traits{};
+    /// One-shot double reduction (bitwise = historic free function).
+    double (*reduce)(std::span<const double>) = nullptr;
+  };
+
+  static AlgorithmRegistry& instance();
+
+  /// Registers an algorithm; throws std::invalid_argument on a duplicate
+  /// name or id.
+  void register_algorithm(Entry entry);
+
+  /// nullptr when `name` is unknown.
+  const Entry* find(std::string_view name) const noexcept;
+
+  /// Throwing lookups; the error message lists the registered names so CLI
+  /// typos are self-explaining.
+  const Entry& at(std::string_view name) const;
+  const Entry& at(AlgorithmId id) const;
+
+  /// Registered names in registration order (stable across a build: the
+  /// nine built-ins first, extensions after).
+  std::vector<std::string> names() const;
+
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+  /// Convenience: registry-dispatched one-shot sum.
+  static double sum(AlgorithmId id, std::span<const double> values) {
+    return reduce<double>(id, values);
+  }
+  static double sum(std::string_view name, std::span<const double> values);
+
+ private:
+  AlgorithmRegistry() = default;
+  std::vector<Entry> entries_;
+};
+
+namespace detail {
+struct AlgorithmRegistrar {
+  explicit AlgorithmRegistrar(AlgorithmRegistry::Entry entry);
+};
+}  // namespace detail
+
+/// Self-registration hook: expands to a namespace-scope registrar whose
+/// constructor inserts the entry. Place in a .cpp that is linked whenever
+/// the registry is used (the nine built-ins live in accumulator.cpp).
+/// Registration runs at static initialization and fails fast: a duplicate
+/// name or id throws there (surfacing as std::terminate with the
+/// duplicate's name) rather than letting two algorithms share a key.
+#define FPNA_REGISTER_ACCUMULATOR(token, cli_name, tag_type, description_str) \
+  static const ::fpna::fp::detail::AlgorithmRegistrar                         \
+      fpna_accumulator_registrar_##token{::fpna::fp::AlgorithmRegistry::Entry{\
+          cli_name, tag_type::id, description_str, tag_type::traits,          \
+          &tag_type::reduce}};
+
+}  // namespace fpna::fp

@@ -1,0 +1,45 @@
+#pragma once
+// The accumulation-algorithm identifiers and their declared contracts -
+// split from accumulator.hpp so that light-weight context headers
+// (core::EvalContext and everything layered on it) can name an algorithm
+// without compiling the whole accumulation layer.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fpna::fp {
+
+enum class AlgorithmId : std::uint8_t {
+  kSerial = 0,
+  kPairwise,
+  kKahan,
+  kNeumaier,
+  kKlein,
+  kDoubleDouble,
+  kVectorized,
+  kBinned,
+  kSuperaccumulator,
+};
+
+inline constexpr std::size_t kNumAlgorithms = 9;
+
+const char* to_string(AlgorithmId id) noexcept;
+
+/// Contract an algorithm declares when it registers; property-tested for
+/// every registered algorithm in tests/fp_test.cpp.
+struct AlgorithmTraits {
+  /// Same input order => bitwise identical result. True for every
+  /// algorithm in the registry (the toolkit measures *order* sensitivity,
+  /// not nondeterminism of the kernels themselves).
+  bool deterministic_fixed_order = true;
+  /// Bitwise identical under any permutation of the input.
+  bool permutation_invariant = false;
+  /// merge() of streaming state loses no information (so chunked/sharded
+  /// evaluation is bitwise independent of the chunking).
+  bool exact_merge = false;
+};
+
+/// Declared traits for an id (throws on an id outside the enum).
+const AlgorithmTraits& traits_of(AlgorithmId id);
+
+}  // namespace fpna::fp

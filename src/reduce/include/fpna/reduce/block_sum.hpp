@@ -2,11 +2,15 @@
 // Building blocks shared by the simulated GPU reduction kernels: the
 // deterministic per-block partial sums (grid-stride accumulation followed
 // by the shared-memory halving tree of the paper's Listing 1) and the
-// power-of-two tree over a partial array.
+// power-of-two tree over a partial array. The grid-stride accumulation of
+// each thread routes through a registry-selected accumulator; the serial
+// default reproduces Listing 1 bit for bit.
 
 #include <cstddef>
 #include <span>
 #include <vector>
+
+#include "fpna/fp/accumulator.hpp"
 
 namespace fpna::reduce {
 
@@ -19,13 +23,16 @@ double tree_sum(std::span<const double> values);
 /// The partial sum block `block_id` produces in the paper's kernels:
 /// thread t accumulates the grid-stride elements
 ///   data[block_id*nt + t + k*nt*nb],  k = 0, 1, ...
-/// serially (in k order), then the block tree combines the nt thread
-/// values. Deterministic for fixed (data, nt, nb).
+/// through an `accumulator`-algorithm accumulator (in k order), then the
+/// block tree combines the nt thread values. Deterministic for fixed
+/// (data, nt, nb, accumulator).
 double block_partial_sum(std::span<const double> data, std::size_t block_id,
-                         std::size_t nt, std::size_t nb);
+                         std::size_t nt, std::size_t nb,
+                         fp::AlgorithmId accumulator = fp::AlgorithmId::kSerial);
 
 /// All nb block partials (convenience for the kernel implementations).
-std::vector<double> all_block_partials(std::span<const double> data,
-                                       std::size_t nt, std::size_t nb);
+std::vector<double> all_block_partials(
+    std::span<const double> data, std::size_t nt, std::size_t nb,
+    fp::AlgorithmId accumulator = fp::AlgorithmId::kSerial);
 
 }  // namespace fpna::reduce

@@ -1,22 +1,39 @@
 #pragma once
 // CPU parallel reductions (paper SIII.B): the OpenMP-style "normal" (non-
 // deterministic) and "ordered" (deterministic) reductions of Listings 2-3,
-// plus reproducible alternatives. Two execution modes are provided:
+// plus reproducible alternatives.
 //
-//  * seeded mode - combination order is drawn from a RunContext, so the
-//    non-determinism mechanism (partials combined in completion order) is
-//    reproduced reliably and replayably even on a single-core host;
-//  * real-thread mode - genuine std::thread execution for wall-clock
-//    measurement and for demonstrating OS-scheduled variability where the
-//    host exposes it.
+// The unified entry point is cpu_sum(data, EvalContext, num_threads): the
+// context selects the accumulation algorithm (from fp::AlgorithmRegistry),
+// the combination order (deterministic index order vs a completion order
+// drawn from the RunContext) and the execution substrate (simulated chunks
+// vs real threads on ctx.pool). The historic entry points below are thin,
+// bitwise-compatible wrappers over it.
 
 #include <cstddef>
 #include <span>
 
+#include "fpna/core/eval_context.hpp"
 #include "fpna/core/run_context.hpp"
 #include "fpna/util/thread_pool.hpp"
 
 namespace fpna::reduce {
+
+/// Chunked reduction through the context's registry-selected accumulator:
+/// one accumulator per static chunk, partial states merged into the total
+/// in chunk-index order (deterministic) or in a completion order drawn
+/// from ctx.run (when ctx.nondeterministic()). With ctx.pool set the
+/// chunks run on real threads; merge order stays chunk-index
+/// (deterministic) unless the context opts into non-determinism - by
+/// carrying a run identity or explicitly setting deterministic_override =
+/// false - in which case the merge happens in genuine OS completion order
+/// under a mutex. For exact-merge algorithms (superaccumulator, binned)
+/// the result is bitwise independent of the chunking and merge order.
+/// `num_threads` always fixes the chunk boundaries (and therefore the
+/// bits for non-exact-merge accumulators), whether or not a pool runs
+/// them.
+double cpu_sum(std::span<const double> data, const core::EvalContext& ctx,
+               std::size_t num_threads = 4);
 
 /// Serial left-to-right sum (the reference the paper's Table 3 rows are
 /// compared against).

@@ -10,10 +10,17 @@
 //   SPRG  block tree + retirement counter + serial    deterministic
 //   TPRC  two kernels on one stream + host final sum  deterministic
 //   CU    vendor CUB/hipCUB-style library sum         deterministic
+//
+// The EvalContext overload threads the registry-selected accumulator into
+// every accumulation the kernels perform (per-thread grid-stride sums, the
+// AO commit loop, the SPRG serial tail, the TPRC host sum); the serial
+// default reproduces the historic values bit for bit. CU models a vendor
+// black box and pins its internal algorithm (registry serial + tree).
 
 #include <cstddef>
 #include <span>
 
+#include "fpna/core/eval_context.hpp"
 #include "fpna/core/run_context.hpp"
 #include "fpna/sim/cost_model.hpp"
 #include "fpna/sim/device.hpp"
@@ -30,9 +37,15 @@ struct GpuSumResult {
 };
 
 /// Runs one n-element FP64 sum on `device` with grid (nb blocks x nt
-/// threads). For the non-deterministic methods, `ctx` supplies the run's
-/// scheduling entropy; deterministic methods produce bitwise-identical
-/// values for every ctx (certified in tests).
+/// threads). `ctx.run` must be set - it supplies the launch's scheduling
+/// entropy; deterministic methods produce bitwise-identical values for
+/// every run (certified in tests). `ctx.accumulator` selects the inner
+/// accumulation algorithm.
+GpuSumResult gpu_sum(sim::SimDevice& device, std::span<const double> data,
+                     sim::SumMethod method, const core::EvalContext& ctx,
+                     std::size_t nt = 256, std::size_t nb = 0);
+
+/// Historic entry point: RunContext only, serial accumulator.
 GpuSumResult gpu_sum(sim::SimDevice& device, std::span<const double> data,
                      sim::SumMethod method, core::RunContext& ctx,
                      std::size_t nt = 256, std::size_t nb = 0);

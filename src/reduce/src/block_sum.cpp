@@ -17,27 +17,32 @@ double tree_sum(std::span<const double> values) {
 }
 
 double block_partial_sum(std::span<const double> data, std::size_t block_id,
-                         std::size_t nt, std::size_t nb) {
+                         std::size_t nt, std::size_t nb,
+                         fp::AlgorithmId accumulator) {
   if (nt == 0 || nb == 0) {
     throw std::invalid_argument("block_partial_sum: empty launch");
   }
   const std::size_t stride = nt * nb;
-  std::vector<double> thread_vals(nt, 0.0);
-  for (std::size_t t = 0; t < nt; ++t) {
-    double acc = 0.0;
-    for (std::size_t i = block_id * nt + t; i < data.size(); i += stride) {
-      acc += data[i];
+  return fp::visit_algorithm(accumulator, [&](auto tag) -> double {
+    using Acc = typename decltype(tag)::template accumulator_t<double>;
+    std::vector<double> thread_vals(nt, 0.0);
+    for (std::size_t t = 0; t < nt; ++t) {
+      Acc acc;
+      for (std::size_t i = block_id * nt + t; i < data.size(); i += stride) {
+        acc.add(data[i]);
+      }
+      thread_vals[t] = acc.result();
     }
-    thread_vals[t] = acc;
-  }
-  return tree_sum(thread_vals);
+    return tree_sum(thread_vals);
+  });
 }
 
 std::vector<double> all_block_partials(std::span<const double> data,
-                                       std::size_t nt, std::size_t nb) {
+                                       std::size_t nt, std::size_t nb,
+                                       fp::AlgorithmId accumulator) {
   std::vector<double> partials(nb);
   for (std::size_t b = 0; b < nb; ++b) {
-    partials[b] = block_partial_sum(data, b, nt, nb);
+    partials[b] = block_partial_sum(data, b, nt, nb, accumulator);
   }
   return partials;
 }

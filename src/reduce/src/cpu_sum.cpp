@@ -1,10 +1,10 @@
 #include "fpna/reduce/cpu_sum.hpp"
 
 #include <mutex>
+#include <numeric>
 #include <vector>
 
-#include "fpna/fp/summation.hpp"
-#include "fpna/fp/superaccumulator.hpp"
+#include "fpna/fp/accumulator.hpp"
 #include "fpna/util/permutation.hpp"
 
 namespace fpna::reduce {
@@ -30,21 +30,94 @@ std::vector<std::pair<std::size_t, std::size_t>> static_chunks(
   return ranges;
 }
 
-std::vector<double> chunk_partials(std::span<const double> data,
-                                   std::size_t chunks) {
-  const auto ranges = static_chunks(data.size(), chunks);
-  std::vector<double> partials;
-  partials.reserve(ranges.size());
-  for (const auto& [begin, end] : ranges) {
-    partials.push_back(fp::sum_serial(data.subspan(begin, end - begin)));
+/// Real-thread execution on ctx.pool: by default (and whenever
+/// determinism is in effect) the per-chunk accumulator states merge in
+/// index order after a barrier. Merging in OS completion order under a
+/// mutex - the genuine non-determinism the paper's Listing 2 exhibits -
+/// is opt-in: the context must carry a run identity or explicitly set
+/// deterministic_override = false (OS scheduling needs no entropy source,
+/// so cpu_sum_threads opts in via the override). `num_threads` fixes the
+/// chunk boundaries - and therefore the bits for non-exact-merge
+/// accumulators - independently of how many workers the pool happens to
+/// have.
+template <typename Acc>
+double pool_sum(std::span<const double> data, const core::EvalContext& ctx,
+                std::size_t num_threads) {
+  util::ThreadPool& pool = *ctx.pool;
+  const auto ranges = static_chunks(data.size(), num_threads);
+
+  const bool os_completion_order =
+      !ctx.deterministic_in_effect() &&
+      (ctx.run != nullptr || ctx.deterministic_override.has_value());
+  if (!os_completion_order) {
+    std::vector<Acc> partials(ranges.size());
+    pool.parallel_for(
+        ranges.size(),
+        [&](std::size_t begin, std::size_t end, std::size_t) {
+          for (std::size_t c = begin; c < end; ++c) {
+            const auto [lo, hi] = ranges[c];
+            partials[c].add(data.subspan(lo, hi - lo));
+          }
+        },
+        ranges.size());
+    Acc total;
+    for (const Acc& partial : partials) total.merge(partial);
+    return total.result();
   }
-  return partials;
+
+  Acc total;
+  std::mutex mutex;
+  pool.parallel_for(
+      ranges.size(),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t c = begin; c < end; ++c) {
+          const auto [lo, hi] = ranges[c];
+          Acc partial;
+          partial.add(data.subspan(lo, hi - lo));
+          const std::lock_guard lock(mutex);
+          total.merge(partial);  // merge in OS completion order
+        }
+      },
+      ranges.size());
+  return total.result();
 }
 
 }  // namespace
 
+double cpu_sum(std::span<const double> data, const core::EvalContext& ctx,
+               std::size_t num_threads) {
+  return fp::visit_algorithm(
+      ctx.accumulator_in_effect(), [&](auto tag) -> double {
+        using Acc = typename decltype(tag)::template accumulator_t<double>;
+        if (ctx.pool != nullptr) {
+          return pool_sum<Acc>(data, ctx, num_threads);
+        }
+
+        const auto ranges = static_chunks(data.size(), num_threads);
+        std::vector<Acc> partials(ranges.size());
+        for (std::size_t c = 0; c < ranges.size(); ++c) {
+          const auto [begin, end] = ranges[c];
+          partials[c].add(data.subspan(begin, end - begin));
+        }
+
+        // Combination happens in chunk-index order unless the context
+        // selects the non-deterministic path, in which case the completion
+        // order is drawn from the run (same stream the seed's unordered
+        // sum used).
+        std::vector<std::size_t> order(ranges.size());
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        if (ctx.nondeterministic()) {
+          auto rng = ctx.run->fork(0xCB);
+          util::shuffle(order, rng);
+        }
+        Acc total;
+        for (const std::size_t c : order) total.merge(partials[c]);
+        return total.result();
+      });
+}
+
 double cpu_sum_serial(std::span<const double> data) noexcept {
-  return fp::sum_serial(data);
+  return fp::reduce(fp::AlgorithmId::kSerial, data);
 }
 
 double cpu_sum_ordered(std::span<const double> data,
@@ -52,40 +125,25 @@ double cpu_sum_ordered(std::span<const double> data,
   // The ordered construct serialises the adds in iteration order: the
   // value is the serial sum by definition (threads only overlap the loop
   // body *outside* the ordered region, and here the body is the add).
-  return fp::sum_serial(data);
+  return fp::reduce(fp::AlgorithmId::kSerial, data);
 }
 
 double cpu_sum_unordered(std::span<const double> data, core::RunContext& ctx,
                          std::size_t num_threads) {
-  std::vector<double> partials = chunk_partials(data, num_threads);
-  // Combination happens in completion order; draw it from the run.
-  auto rng = ctx.fork(0xCB);
-  util::shuffle(partials, rng);
-  return fp::sum_serial(partials);
+  return cpu_sum(data, core::EvalContext::nondeterministic_on(ctx),
+                 num_threads);
 }
 
 double cpu_sum_threads(std::span<const double> data, util::ThreadPool& pool) {
-  const auto ranges = static_chunks(data.size(), pool.size());
-  double sum = 0.0;
-  std::mutex mutex;
-  pool.parallel_for(
-      ranges.size(),
-      [&](std::size_t begin, std::size_t end, std::size_t) {
-        for (std::size_t c = begin; c < end; ++c) {
-          const auto [lo, hi] = ranges[c];
-          const double partial = fp::sum_serial(data.subspan(lo, hi - lo));
-          const std::lock_guard lock(mutex);
-          sum += partial;  // merge in OS completion order
-        }
-      },
-      ranges.size());
-  return sum;
+  core::EvalContext ctx;
+  ctx.pool = &pool;
+  ctx.deterministic_override = false;
+  return cpu_sum(data, ctx, pool.size());
 }
 
 double cpu_sum_chunked_deterministic(std::span<const double> data,
                                      std::size_t num_threads) noexcept {
-  const std::vector<double> partials = chunk_partials(data, num_threads);
-  return fp::sum_serial(partials);
+  return cpu_sum(data, core::EvalContext{}, num_threads);
 }
 
 double cpu_sum_reproducible(std::span<const double> data,
@@ -93,14 +151,9 @@ double cpu_sum_reproducible(std::span<const double> data,
   // Chunked superaccumulators merged in index order. Exactness of the
   // accumulator makes the result independent of both the chunking and the
   // merge order (property-tested).
-  const auto ranges = static_chunks(data.size(), num_threads);
-  fp::Superaccumulator total;
-  for (const auto& [begin, end] : ranges) {
-    fp::Superaccumulator partial;
-    partial.add(data.subspan(begin, end - begin));
-    total.add(partial);
-  }
-  return total.round();
+  core::EvalContext ctx;
+  ctx.accumulator = fp::AlgorithmId::kSuperaccumulator;
+  return cpu_sum(data, ctx, num_threads);
 }
 
 }  // namespace fpna::reduce

@@ -1,9 +1,10 @@
 #include "fpna/reduce/gpu_sum.hpp"
 
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
 
-#include "fpna/fp/summation.hpp"
+#include "fpna/fp/accumulator.hpp"
 #include "fpna/reduce/block_sum.hpp"
 #include "fpna/util/permutation.hpp"
 
@@ -15,27 +16,32 @@ using sim::SumMethod;
 
 /// AO: one same-address atomicAdd per element. The commit order of the
 /// atomics is the scheduler's contention-arbitration order over all n
-/// elements; the result is the serial sum in that order.
+/// elements; the result is the accumulator's fold in that order.
 double run_ao(sim::SimDevice& device, std::span<const double> data,
-              core::RunContext& ctx) {
-  auto rng = ctx.fork(0xA0);
+              const core::EvalContext& ctx) {
+  auto rng = ctx.run->fork(0xA0);
   const std::vector<std::size_t> order =
       device.scheduler().atomic_commit_order(data.size(), rng);
-  double sum = 0.0;
-  for (const std::size_t i : order) sum += data[i];
-  return sum;
+  return fp::visit_algorithm(
+      ctx.accumulator_in_effect(), [&](auto tag) -> double {
+        using Acc = typename decltype(tag)::template accumulator_t<double>;
+        Acc acc;
+        for (const std::size_t i : order) acc.add(data[i]);
+        return acc.result();
+      });
 }
 
 /// SPA: deterministic block tree, then one atomicAdd per block. Executed
 /// through the block engine: blocks run in commit order and their
 /// fetch_add calls land in that order.
 double run_spa(sim::SimDevice& device, std::span<const double> data,
-               core::RunContext& ctx, std::size_t nt, std::size_t nb) {
-  auto rng = ctx.fork(0x5BA);
+               const core::EvalContext& ctx, std::size_t nt, std::size_t nb) {
+  auto rng = ctx.run->fork(0x5BA);
   sim::AtomicDouble result(0.0);
   const sim::LaunchConfig config{nb, nt, nt};
   device.launch(config, rng, [&](sim::BlockCtx& block) {
-    const double partial = block_partial_sum(data, block.block_id(), nt, nb);
+    const double partial = block_partial_sum(data, block.block_id(), nt, nb,
+                                             ctx.accumulator_in_effect());
     block.syncthreads();
     result.fetch_add(partial);
   });
@@ -48,9 +54,10 @@ double run_spa(sim::SimDevice& device, std::span<const double> data,
 /// is the fixed index order, so the value is commit-order independent.
 double run_single_pass_deterministic(sim::SimDevice& device,
                                      std::span<const double> data,
-                                     core::RunContext& ctx, std::size_t nt,
-                                     std::size_t nb, bool tree_tail) {
-  auto rng = ctx.fork(tree_tail ? 0x5B78 : 0x5B76);
+                                     const core::EvalContext& ctx,
+                                     std::size_t nt, std::size_t nb,
+                                     bool tree_tail) {
+  auto rng = ctx.run->fork(tree_tail ? 0x5B78 : 0x5B76);
   std::vector<double> partials(nb, 0.0);
   std::vector<bool> published(nb, false);
   sim::RetirementCounter retirement(static_cast<unsigned>(nb));
@@ -59,7 +66,8 @@ double run_single_pass_deterministic(sim::SimDevice& device,
   const sim::LaunchConfig config{nb, nt, nt};
   device.launch(config, rng, [&](sim::BlockCtx& block) {
     const std::size_t b = block.block_id();
-    partials[b] = block_partial_sum(data, b, nt, nb);
+    partials[b] =
+        block_partial_sum(data, b, nt, nb, ctx.accumulator_in_effect());
     block.threadfence();  // publish partials[b] before retiring
     published[b] = true;
 
@@ -78,9 +86,23 @@ double run_single_pass_deterministic(sim::SimDevice& device,
     if (tree_tail) {
       result = tree_sum(partials);
     } else {
-      double acc = partials[0];
-      for (std::size_t i = 1; i < nb; ++i) acc += partials[i];
-      result = acc;
+      // Tail through the selected accumulator, fixed index order. The
+      // serial case keeps the seed's partials[0]-seeded fold (an empty
+      // accumulator's 0.0 + (-0.0) would flip the sign of an all-negative-
+      // zero tail, breaking bitwise compatibility).
+      result = fp::visit_algorithm(
+          ctx.accumulator_in_effect(), [&](auto tag) -> double {
+            using Acc = typename decltype(tag)::template accumulator_t<double>;
+            if constexpr (std::is_same_v<Acc, fp::SerialAccumulator<double>>) {
+              double acc = partials[0];
+              for (std::size_t i = 1; i < nb; ++i) acc += partials[i];
+              return acc;
+            } else {
+              Acc acc;
+              for (const double p : partials) acc.add(p);
+              return acc.result();
+            }
+          });
     }
   });
   return result;
@@ -88,25 +110,31 @@ double run_single_pass_deterministic(sim::SimDevice& device,
 
 /// TPRC: first kernel writes block partials; stream order inserts a
 /// barrier before the device-to-host copy; the host computes the final
-/// sum with its (vectorised) serial loop.
+/// sum. With the accumulator unset the host loop compiles with
+/// vectorisation (4 lanes), the rounding pattern the paper notes TPRC is
+/// sensitive to; any explicit selection (kSerial included) replaces it.
 double run_tprc(sim::SimDevice& device, std::span<const double> data,
-                core::RunContext& ctx, std::size_t nt, std::size_t nb) {
-  auto rng = ctx.fork(0x79C);
+                const core::EvalContext& ctx, std::size_t nt, std::size_t nb) {
+  auto rng = ctx.run->fork(0x79C);
   std::vector<double> partials(nb, 0.0);
   const sim::LaunchConfig config{nb, nt, nt};
   device.launch(config, rng, [&](sim::BlockCtx& block) {
-    partials[block.block_id()] =
-        block_partial_sum(data, block.block_id(), nt, nb);
+    partials[block.block_id()] = block_partial_sum(
+        data, block.block_id(), nt, nb, ctx.accumulator_in_effect());
   });
-  // Kernel-to-copy stream dependency: the copy sees all partials. Host
-  // final reduction; compiled with vectorisation (4 lanes), the rounding
-  // pattern the paper notes TPRC is sensitive to.
-  return fp::sum_vectorized(partials, 4);
+  // Kernel-to-copy stream dependency: the copy sees all partials. An
+  // explicitly selected accumulator (including kSerial) runs the host
+  // tail; with the accumulator unset the tail is the historic host loop,
+  // which compiles vectorised.
+  return fp::reduce(ctx.accumulator.value_or(fp::AlgorithmId::kVectorized),
+                    std::span<const double>(partials));
 }
 
 /// CU: vendor library sum. Internally a two-pass tree with library-chosen
 /// tiling (the paper lists its parameters as "unknown"); deterministic by
-/// construction, value differs from SPTR because the tiling differs.
+/// construction, value differs from SPTR because the tiling differs. A
+/// vendor black box does not honour the caller's accumulator selection:
+/// its per-tile pass is pinned to the registry's serial algorithm.
 double run_cu(std::span<const double> data) {
   constexpr std::size_t kLibraryTile = 2048;
   const std::size_t tiles = (data.size() + kLibraryTile - 1) / kLibraryTile;
@@ -114,7 +142,8 @@ double run_cu(std::span<const double> data) {
   for (std::size_t t = 0; t < partials.size(); ++t) {
     const std::size_t begin = t * kLibraryTile;
     const std::size_t len = std::min(kLibraryTile, data.size() - begin);
-    partials[t] = fp::sum_serial(data.subspan(begin, len));
+    partials[t] =
+        fp::reduce(fp::AlgorithmId::kSerial, data.subspan(begin, len));
   }
   return tree_sum(partials);
 }
@@ -128,9 +157,14 @@ std::size_t default_grid_blocks(std::size_t n, std::size_t nt) noexcept {
 }
 
 GpuSumResult gpu_sum(sim::SimDevice& device, std::span<const double> data,
-                     sim::SumMethod method, core::RunContext& ctx,
+                     sim::SumMethod method, const core::EvalContext& ctx,
                      std::size_t nt, std::size_t nb) {
   if (nt == 0) throw std::invalid_argument("gpu_sum: nt == 0");
+  if (ctx.run == nullptr) {
+    throw std::invalid_argument(
+        "gpu_sum: EvalContext.run must be set (supplies the launch's "
+        "scheduling entropy)");
+  }
   if (nb == 0) nb = default_grid_blocks(data.size(), nt);
 
   GpuSumResult result;
@@ -163,6 +197,13 @@ GpuSumResult gpu_sum(sim::SimDevice& device, std::span<const double> data,
       break;
   }
   return result;
+}
+
+GpuSumResult gpu_sum(sim::SimDevice& device, std::span<const double> data,
+                     sim::SumMethod method, core::RunContext& ctx,
+                     std::size_t nt, std::size_t nb) {
+  return gpu_sum(device, data, method,
+                 core::EvalContext::nondeterministic_on(ctx), nt, nb);
 }
 
 GpuSumResult gpu_sum_sptr_missing_fence(sim::SimDevice& device,

@@ -1,51 +1,22 @@
 #pragma once
-// Execution context for tensor ops.
+// Execution context for tensor ops - now the unified core::EvalContext.
 //
-// A default-constructed OpContext runs the deterministic implementation.
-// Supplying a RunContext opts into the non-deterministic (atomic-scatter)
-// implementation, whose commit order is drawn from the run's generator
-// under the given device profile's contention policy - unless the global
-// DeterminismContext switch overrides it, exactly like
-// torch.use_deterministic_algorithms does for CUDA kernels.
+// A default-constructed context runs the deterministic implementation with
+// the serial accumulator. Supplying a RunContext opts into the
+// non-deterministic (atomic-scatter) implementation, whose commit order is
+// drawn from the run's generator under the given device profile's
+// contention policy - unless the determinism override / global
+// DeterminismContext switch forces the deterministic path, exactly like
+// torch.use_deterministic_algorithms does for CUDA kernels. The
+// `accumulator` field selects which registry algorithm deterministic
+// reductions route through.
 
-#include "fpna/core/run_context.hpp"
-#include "fpna/sim/device_profile.hpp"
+#include "fpna/core/eval_context.hpp"
 #include "fpna/tensor/determinism.hpp"
 
 namespace fpna::tensor {
 
-struct OpContext {
-  /// Run identity for the non-deterministic path; nullptr selects the
-  /// deterministic implementation.
-  core::RunContext* run = nullptr;
-  /// Device whose scheduler policy orders the atomic commits; nullptr
-  /// selects the default (H100) profile.
-  const sim::DeviceProfile* profile = nullptr;
-  /// Scale factor on the race probability of plain *stores* (index_copy,
-  /// scatter, non-accumulating index_put). Accumulations race whenever
-  /// two requests overlap in flight, but a store's outcome flips only
-  /// when the final two writes land essentially simultaneously - a far
-  /// rarer coincidence. The default is calibrated so duplicate-index
-  /// write ops land in the paper's Table 5 Vermv band (~1e-6) instead of
-  /// flipping winners on most runs. Tests raise it to 1.0 to exercise the
-  /// mechanics quickly.
-  double store_race_scale = 1e-4;
-
-  /// The profile actually in effect.
-  const sim::DeviceProfile& effective_profile() const noexcept {
-    return profile != nullptr ? *profile : default_profile();
-  }
-
-  /// True iff the op should take its non-deterministic path.
-  bool nondeterministic() const noexcept {
-    return run != nullptr && !DeterminismContext::deterministic();
-  }
-
-  static const sim::DeviceProfile& default_profile() noexcept {
-    static const sim::DeviceProfile kDefault = sim::DeviceProfile::h100();
-    return kDefault;
-  }
-};
+using OpContext = core::EvalContext;
 
 /// Convenience: ND context on the default device.
 inline OpContext nd_context(core::RunContext& run,

@@ -4,8 +4,11 @@
 #include <limits>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
+#include <unordered_map>
 #include <vector>
 
+#include "fpna/fp/accumulator.hpp"
 #include "fpna/sim/scheduler.hpp"
 #include "fpna/util/permutation.hpp"
 
@@ -212,6 +215,57 @@ std::vector<Contribution> elementwise_contributions(
   return contribs;
 }
 
+/// Deterministic accumulation of `contribs` into `out` through the
+/// context's registry-selected accumulator: per destination, the self
+/// value seeds the accumulator (unless `seed_self` is false, the
+/// scatter_reduce include_self=false case), then contributions fold in
+/// issue order. The serial algorithm is special-cased to the classic
+/// in-place loop - bitwise identical to the seed implementation and free
+/// of the per-destination grouping cost.
+template <typename T, typename ValueOf>
+void accumulate_deterministic(Tensor<T>& out,
+                              const std::vector<Contribution>& contribs,
+                              const OpContext& ctx, bool seed_self,
+                              ValueOf&& value_of) {
+  fp::visit_algorithm(
+      ctx.accumulator_in_effect(), [&](auto tag) {
+    using Acc = typename decltype(tag)::template accumulator_t<T>;
+    if constexpr (std::is_same_v<Acc, fp::SerialAccumulator<T>>) {
+      if (seed_self) {
+        for (const auto& c : contribs) {
+          out.flat(c.dst) = static_cast<T>(out.flat(c.dst) + value_of(c));
+        }
+        return;
+      }
+    }
+    std::unordered_map<std::int64_t, Acc> per_destination;
+    per_destination.reserve(contribs.size());
+    for (const auto& c : contribs) {
+      auto [it, inserted] = per_destination.try_emplace(c.dst);
+      if (inserted && seed_self) it->second.add(out.flat(c.dst));
+      it->second.add(value_of(c));
+    }
+    for (const auto& [dst, acc] : per_destination) {
+      out.flat(dst) = acc.result();
+    }
+  });
+}
+
+/// scatter_reduce's mean epilogue: one PyTorch denominator rule for both
+/// the registry-accumulator path and the commit-order path. Destinations
+/// with no contribution (count 0) keep the self value untouched.
+template <typename T>
+void divide_mean_destinations(Tensor<T>& out,
+                              const std::vector<std::int64_t>& counts,
+                              bool include_self) {
+  for (std::int64_t f = 0; f < out.numel(); ++f) {
+    const std::int64_t count = counts[static_cast<std::size_t>(f)];
+    if (count == 0) continue;
+    const auto denom = static_cast<T>(count + (include_self ? 1 : 0));
+    out.flat(f) = static_cast<T>(out.flat(f) / denom);
+  }
+}
+
 template <typename T>
 T reduce_identity(Reduce reduce) {
   switch (reduce) {
@@ -247,8 +301,19 @@ Tensor<T> index_add(const Tensor<T>& self, std::int64_t dim,
   Tensor<T> out = self;
   const auto contribs =
       slice_contributions(out, dim, index, source, "index_add");
+  if (!ctx.nondeterministic()) {
+    // Deterministic path: per-destination reduction through the registry
+    // accumulator, contributions in issue order.
+    accumulate_deterministic(out, contribs, ctx, /*seed_self=*/true,
+                             [&](const Contribution& c) {
+                               return static_cast<T>(alpha *
+                                                     source.flat(c.src));
+                             });
+    return out;
+  }
   // Atomic adds commit in scheduler order; each add is out[dst] += a*src,
-  // evaluated in T precision exactly as the device would.
+  // evaluated in T precision exactly as the device would (hardware atomics
+  // are plain serial adds, so the accumulator selection does not apply).
   for (const std::size_t i : commit_order(contribs, out.numel(), ctx)) {
     const auto& c = contribs[i];
     out.flat(c.dst) =
@@ -311,6 +376,25 @@ Tensor<T> scatter_reduce(const Tensor<T>& self, std::int64_t dim,
   const auto contribs =
       elementwise_contributions(out, dim, index, src, "scatter_reduce");
 
+  // Sum-family reductions on the deterministic path route through the
+  // registry accumulator (non-sum modes - prod/amax/amin - have no
+  // accumulation to re-associate and keep the direct combine loop).
+  const bool sum_family = reduce == Reduce::kSum || reduce == Reduce::kMean;
+  if (sum_family && !ctx.nondeterministic() &&
+      ctx.accumulator_in_effect() != fp::AlgorithmId::kSerial) {
+    accumulate_deterministic(out, contribs, ctx, /*seed_self=*/include_self,
+                             [&](const Contribution& c) {
+                               return src.flat(c.src);
+                             });
+    if (reduce == Reduce::kMean) {
+      std::vector<std::int64_t> counts(static_cast<std::size_t>(out.numel()),
+                                       0);
+      for (const auto& c : contribs) ++counts[static_cast<std::size_t>(c.dst)];
+      divide_mean_destinations(out, counts, include_self);
+    }
+    return out;
+  }
+
   // Per-destination bookkeeping: whether it received any contribution
   // (controls include_self seeding) and, for mean, how many.
   std::vector<char> touched(static_cast<std::size_t>(out.numel()), 0);
@@ -332,14 +416,10 @@ Tensor<T> scatter_reduce(const Tensor<T>& self, std::int64_t dim,
     if (reduce == Reduce::kMean) ++counts[d];
   }
 
+  // touched[d] implies counts[d] > 0 under kMean, so the shared epilogue
+  // divides exactly the touched destinations.
   if (reduce == Reduce::kMean) {
-    for (std::int64_t f = 0; f < out.numel(); ++f) {
-      const auto d = static_cast<std::size_t>(f);
-      if (!touched[d]) continue;
-      const auto denom =
-          static_cast<T>(counts[d] + (include_self ? 1 : 0));
-      out.flat(f) = static_cast<T>(out.flat(f) / denom);
-    }
+    divide_mean_destinations(out, counts, include_self);
   }
   return out;
 }

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
 
+#include "fpna/fp/accumulator.hpp"
 #include "fpna/util/permutation.hpp"
 
 namespace fpna::tensor {
@@ -20,10 +22,25 @@ void scan_line(std::span<T> data, std::int64_t start, std::int64_t stride,
   };
 
   if (!ctx.nondeterministic() || length <= 2 || scan_blocks <= 1) {
-    // Deterministic serial scan.
-    for (std::int64_t i = 1; i < length; ++i) {
-      at(i) = static_cast<T>(at(i) + at(i - 1));
-    }
+    // Deterministic scan: the running prefix is the context's registry
+    // accumulator, read after every add. The serial case keeps the
+    // classic in-place loop - an empty accumulator's 0.0 seed would flip
+    // the sign of a -0.0 prefix, breaking bitwise compatibility.
+    fp::visit_algorithm(ctx.accumulator_in_effect(), [&](auto tag) {
+      using Acc = typename decltype(tag)::template accumulator_t<T>;
+      if constexpr (std::is_same_v<Acc, fp::SerialAccumulator<T>>) {
+        for (std::int64_t i = 1; i < length; ++i) {
+          at(i) = static_cast<T>(at(i) + at(i - 1));
+        }
+      } else {
+        Acc acc;
+        acc.add(at(0));
+        for (std::int64_t i = 1; i < length; ++i) {
+          acc.add(at(i));
+          at(i) = acc.result();
+        }
+      }
+    });
     return;
   }
 
@@ -42,26 +59,32 @@ void scan_line(std::span<T> data, std::int64_t start, std::int64_t stride,
         begin[static_cast<std::size_t>(b)] + base + (b < rem ? 1 : 0);
   }
 
+  // Block aggregates and per-block offsets route through the context's
+  // registry-selected accumulator (serial reproduces the seed bitwise).
   std::vector<T> aggregate(static_cast<std::size_t>(blocks), T{0});
-  for (std::int64_t b = 0; b < blocks; ++b) {
-    T acc{0};
-    for (std::int64_t i = begin[static_cast<std::size_t>(b)];
-         i < begin[static_cast<std::size_t>(b) + 1]; ++i) {
-      acc = static_cast<T>(acc + at(i));
-    }
-    aggregate[static_cast<std::size_t>(b)] = acc;
-  }
-
-  auto& rng = ctx.run->rng();
   std::vector<T> offset(static_cast<std::size_t>(blocks), T{0});
-  for (std::int64_t b = 1; b < blocks; ++b) {
-    // The b-1 preceding aggregates arrive in scheduler order.
-    std::vector<std::size_t> order = util::random_permutation(
-        static_cast<std::size_t>(b), rng);
-    T acc{0};
-    for (const std::size_t j : order) acc = static_cast<T>(acc + aggregate[j]);
-    offset[static_cast<std::size_t>(b)] = acc;
-  }
+  fp::visit_algorithm(
+      ctx.accumulator_in_effect(), [&](auto tag) {
+    using Acc = typename decltype(tag)::template accumulator_t<T>;
+    for (std::int64_t b = 0; b < blocks; ++b) {
+      Acc acc;
+      for (std::int64_t i = begin[static_cast<std::size_t>(b)];
+           i < begin[static_cast<std::size_t>(b) + 1]; ++i) {
+        acc.add(at(i));
+      }
+      aggregate[static_cast<std::size_t>(b)] = acc.result();
+    }
+
+    auto& rng = ctx.run->rng();
+    for (std::int64_t b = 1; b < blocks; ++b) {
+      // The b-1 preceding aggregates arrive in scheduler order.
+      std::vector<std::size_t> order = util::random_permutation(
+          static_cast<std::size_t>(b), rng);
+      Acc acc;
+      for (const std::size_t j : order) acc.add(aggregate[j]);
+      offset[static_cast<std::size_t>(b)] = acc.result();
+    }
+  });
 
   for (std::int64_t b = 0; b < blocks; ++b) {
     T acc = offset[static_cast<std::size_t>(b)];
@@ -80,6 +103,16 @@ Tensor<T> cumsum(const Tensor<T>& self, std::int64_t dim, const OpContext& ctx,
                  std::size_t scan_blocks) {
   if (dim < 0 || dim >= self.dim()) {
     throw std::out_of_range("cumsum: dim out of range");
+  }
+  // One rule regardless of tensor shape or determinism path: the binned
+  // accumulator buffers its whole input and re-reduces on every result()
+  // call, which would make the streaming prefix O(length^2). Refuse
+  // loudly; the superaccumulator gives the same reproducibility in
+  // O(length).
+  if (ctx.accumulator_in_effect() == fp::AlgorithmId::kBinned) {
+    throw std::invalid_argument(
+        "cumsum: the binned accumulator cannot stream a prefix scan; "
+        "use superaccumulator for a reproducible cumsum");
   }
   Tensor<T> out = self;
   const std::int64_t length = self.size(dim);

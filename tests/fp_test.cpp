@@ -4,10 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 #include <vector>
 
+#include "fpna/fp/accumulator.hpp"
 #include "fpna/fp/binned_sum.hpp"
 #include "fpna/fp/bits.hpp"
 #include "fpna/fp/double_double.hpp"
@@ -424,6 +427,162 @@ INSTANTIATE_TEST_SUITE_P(
                       PermutationCase{1000, 0.0, 10.0},
                       PermutationCase{10000, -1e10, 1e10},
                       PermutationCase{4096, -1e-10, 1e-10}));
+
+// ---------------------------------------------------------- registry --
+
+TEST(AlgorithmRegistry, AllBuiltinsRegistered) {
+  const auto names = AlgorithmRegistry::instance().names();
+  // >= so that a linked-in extension algorithm does not fail the suite.
+  ASSERT_GE(names.size(), kNumAlgorithms);
+  for (const char* expected :
+       {"serial", "pairwise", "vectorized", "kahan", "neumaier", "klein",
+        "double_double", "binned", "superaccumulator"}) {
+    EXPECT_NE(AlgorithmRegistry::instance().find(expected), nullptr)
+        << expected;
+  }
+}
+
+TEST(AlgorithmRegistry, LookupByNameAndIdAgree) {
+  for (const auto& entry : AlgorithmRegistry::instance().entries()) {
+    EXPECT_EQ(AlgorithmRegistry::instance().at(entry.name).id, entry.id);
+    EXPECT_EQ(AlgorithmRegistry::instance().at(entry.id).name, entry.name);
+    EXPECT_EQ(entry.name, to_string(entry.id));
+  }
+}
+
+TEST(AlgorithmRegistry, UnknownNameThrowsWithCatalogue) {
+  try {
+    AlgorithmRegistry::instance().at("kahansum");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    // The error names the registered algorithms so CLI typos self-explain.
+    EXPECT_NE(std::string(error.what()).find("superaccumulator"),
+              std::string::npos);
+  }
+}
+
+TEST(AlgorithmRegistry, DuplicateRegistrationThrows) {
+  EXPECT_THROW(AlgorithmRegistry::instance().register_algorithm(
+                   {"serial", AlgorithmId::kSerial, "dup", {}, nullptr}),
+               std::invalid_argument);
+}
+
+TEST(AlgorithmRegistry, OneShotMatchesHistoricFreeFunctions) {
+  const auto v = random_values(10000, -1e6, 1e6, 77);
+  EXPECT_TRUE(bitwise_equal(AlgorithmRegistry::sum("serial", v),
+                            sum_serial(v)));
+  EXPECT_TRUE(bitwise_equal(AlgorithmRegistry::sum("pairwise", v),
+                            sum_pairwise(v, 32)));
+  EXPECT_TRUE(bitwise_equal(AlgorithmRegistry::sum("kahan", v),
+                            sum_kahan(v)));
+  EXPECT_TRUE(bitwise_equal(AlgorithmRegistry::sum("neumaier", v),
+                            sum_neumaier(v)));
+  EXPECT_TRUE(bitwise_equal(AlgorithmRegistry::sum("klein", v),
+                            sum_klein(v)));
+  EXPECT_TRUE(bitwise_equal(AlgorithmRegistry::sum("double_double", v),
+                            sum_double_double(v)));
+  EXPECT_TRUE(bitwise_equal(AlgorithmRegistry::sum("vectorized", v),
+                            sum_vectorized(v, 4)));
+  EXPECT_TRUE(bitwise_equal(AlgorithmRegistry::sum("binned", v),
+                            BinnedSum::sum(v)));
+  EXPECT_TRUE(bitwise_equal(AlgorithmRegistry::sum("superaccumulator", v),
+                            Superaccumulator::sum(v)));
+}
+
+// The property test of the registry contract: every registered algorithm
+// is deterministic for a fixed input order; the ones declaring
+// permutation invariance are bitwise invariant under shuffles, and the
+// ones declaring exact merges are bitwise independent of chunking.
+TEST(AlgorithmRegistry, EveryEntryHonoursItsDeclaredContract) {
+  const auto v = random_values(20000, -1e8, 1e8, 321);
+  for (const auto& entry : AlgorithmRegistry::instance().entries()) {
+    SCOPED_TRACE(entry.name);
+    EXPECT_TRUE(entry.traits.deterministic_fixed_order);
+    // The registry entry and the tag agree on the declared contract.
+    const AlgorithmTraits& declared = traits_of(entry.id);
+    EXPECT_EQ(declared.permutation_invariant,
+              entry.traits.permutation_invariant);
+    EXPECT_EQ(declared.exact_merge, entry.traits.exact_merge);
+
+    // Deterministic for fixed order: one-shot and streaming evaluations
+    // both reproduce themselves bitwise.
+    const double one_shot = entry.reduce(v);
+    EXPECT_TRUE(bitwise_equal(entry.reduce(v), one_shot));
+    const double streamed = visit_algorithm(entry.id, [&](auto tag) {
+      typename decltype(tag)::template accumulator_t<double> acc;
+      for (const double x : v) acc.add(x);
+      return acc.result();
+    });
+    const double streamed_again = visit_algorithm(entry.id, [&](auto tag) {
+      typename decltype(tag)::template accumulator_t<double> acc;
+      for (const double x : v) acc.add(x);
+      return acc.result();
+    });
+    EXPECT_TRUE(bitwise_equal(streamed, streamed_again));
+
+    // Accuracy sanity: within a loose relative band of the exact sum.
+    const double exact = Superaccumulator::sum(v);
+    EXPECT_NEAR(one_shot, exact, 1e-6 * std::fabs(exact) + 1e-6);
+
+    // Permutation invariance exactly as declared.
+    auto copy = v;
+    util::Xoshiro256pp rng(entry.name.size() * 7919 + 3);
+    bool any_different = false;
+    for (int trial = 0; trial < 8; ++trial) {
+      util::shuffle(copy, rng);
+      if (!bitwise_equal(entry.reduce(copy), one_shot)) any_different = true;
+    }
+    if (entry.traits.permutation_invariant) {
+      EXPECT_FALSE(any_different)
+          << "declared permutation-invariant but a shuffle moved the bits";
+    } else if (entry.id == AlgorithmId::kSerial ||
+               entry.id == AlgorithmId::kPairwise ||
+               entry.id == AlgorithmId::kVectorized) {
+      // The first-order algorithms visibly wobble on this data. The
+      // compensated family is *declared* order-sensitive but often rounds
+      // correctly on benign inputs, so no converse assertion for them.
+      EXPECT_TRUE(any_different)
+          << "declared order-sensitive but 8 shuffles never moved the bits";
+    }
+
+    // Exact merge: chunked accumulators merged in order reproduce the
+    // one-shot result bitwise for any chunking.
+    if (entry.traits.exact_merge) {
+      const double chunked = visit_algorithm(entry.id, [&](auto tag) {
+        typename decltype(tag)::template accumulator_t<double> total;
+        for (std::size_t begin = 0; begin < v.size(); begin += 1237) {
+          typename decltype(tag)::template accumulator_t<double> part;
+          part.add(std::span<const double>(v).subspan(
+              begin, std::min<std::size_t>(1237, v.size() - begin)));
+          total.merge(part);
+        }
+        return total.result();
+      });
+      EXPECT_TRUE(bitwise_equal(chunked, one_shot));
+    }
+  }
+}
+
+TEST(AlgorithmRegistry, StreamingAccumulatorsWorkInFloat) {
+  util::Xoshiro256pp rng(9);
+  const util::UniformReal dist(-100.0, 100.0);
+  std::vector<float> v(5000);
+  double exact = 0.0;
+  for (auto& x : v) {
+    x = static_cast<float>(dist(rng));
+    exact += static_cast<double>(x);
+  }
+  for (const auto& entry : AlgorithmRegistry::instance().entries()) {
+    SCOPED_TRACE(entry.name);
+    const float value = visit_algorithm(entry.id, [&](auto tag) {
+      typename decltype(tag)::template accumulator_t<float> acc;
+      acc.add(std::span<const float>(v));
+      return acc.result();
+    });
+    EXPECT_NEAR(static_cast<double>(value), exact,
+                1e-2 * std::fabs(exact) + 1e-2);
+  }
+}
 
 // Contrast property: the serial sum is NOT permutation invariant on the
 // same data (this is the premise of the whole paper).
