@@ -2,12 +2,20 @@
 // Unlike the paper's static table, the "deterministic" column here is
 // *measured*: each kernel is certified over many scheduler seeds.
 //
-// Flags: --seed, --runs (certification runs), --size, --csv
+// Registry-driven: the inner accumulation algorithm of every kernel comes
+// from fp::AlgorithmRegistry (--accumulator=<name>, default serial, typos
+// print the catalogue), and a second table certifies one deterministic
+// (SPTR) and one non-deterministic (SPA) kernel under *every* registered
+// accumulator - so a newly registered algorithm appears here with zero
+// bench changes.
+//
+// Flags: --seed, --runs (certification runs), --size, --accumulator, --csv
 
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "fpna/core/harness.hpp"
+#include "fpna/fp/accumulator.hpp"
 #include "fpna/reduce/gpu_sum.hpp"
 #include "fpna/util/table.hpp"
 
@@ -17,36 +25,62 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 42));
   const auto runs = static_cast<std::size_t>(cli.integer("runs", 50));
   const auto size = static_cast<std::size_t>(cli.integer("size", 65536));
+  const auto& accumulator =
+      fp::AlgorithmRegistry::instance().at(cli.text("accumulator", "serial"));
   const bool csv = cli.flag("csv");
 
   util::banner(std::cout,
                "Table 2: implementations of the parallel sum (deterministic "
-               "column certified over " + std::to_string(runs) + " seeds)");
+               "column certified over " + std::to_string(runs) +
+               " seeds, inner accumulator: " + accumulator.name + ")");
 
   const auto data = bench::uniform_array(size, 0.0, 10.0, seed);
   sim::SimDevice device(sim::DeviceProfile::v100());
+
+  const auto certify = [&](sim::SumMethod method, fp::AlgorithmId id) {
+    const auto kernel = [&](core::RunContext& run) {
+      const auto ctx =
+          core::EvalContext::nondeterministic_on(run).with_accumulator(id);
+      return reduce::gpu_sum(device, data, method, ctx, 256).value;
+    };
+    return core::certify_deterministic_scalar(kernel, runs, seed);
+  };
 
   util::Table table({"Method", "deterministic (measured)", "# of kernels",
                      "synchronization methods"});
   for (const auto method :
        {sim::SumMethod::kCU, sim::SumMethod::kSPTR, sim::SumMethod::kSPRG,
         sim::SumMethod::kTPRC, sim::SumMethod::kSPA, sim::SumMethod::kAO}) {
-    const auto kernel = [&](core::RunContext& ctx) {
-      return reduce::gpu_sum(device, data, method, ctx, 256).value;
-    };
-    const auto cert = core::certify_deterministic_scalar(kernel, runs, seed);
+    const auto cert = certify(method, accumulator.id);
     table.add_row({sim::to_string(method), cert.deterministic ? "Yes" : "No",
                    method == sim::SumMethod::kCU
                        ? "-"
                        : std::to_string(sim::kernel_count(method)),
                    sim::synchronization_method(method)});
   }
+
+  // Registry sweep: the kernel's determinism class under each registered
+  // inner accumulator. SPTR's fixed tree stays deterministic for all of
+  // them; SPA's atomic combine of block partials stays racy unless the
+  // partial exchange itself is permutation-invariant.
+  util::Table sweep({"accumulator", "SPTR deterministic", "SPA deterministic",
+                     "perm-invariant (declared)"});
+  for (const auto& entry : fp::AlgorithmRegistry::instance().entries()) {
+    sweep.add_row(
+        {entry.name,
+         certify(sim::SumMethod::kSPTR, entry.id).deterministic ? "Yes" : "No",
+         certify(sim::SumMethod::kSPA, entry.id).deterministic ? "Yes" : "No",
+         entry.traits.permutation_invariant ? "yes" : "no"});
+  }
+
   if (csv) {
     table.print_csv(std::cout);
+    sweep.print_csv(std::cout);
   } else {
     table.print(std::cout);
     std::cout << "\nPaper reference (Table 2): CU/SPTR/SPRG/TPRC "
-                 "deterministic; SPA/AO not.\n";
+                 "deterministic; SPA/AO not.\n\n";
+    sweep.print(std::cout);
   }
   return bench::warn_unconsumed(cli) == 0 ? 0 : 1;
 }

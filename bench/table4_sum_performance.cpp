@@ -6,19 +6,29 @@
 // execution engine at reduced size to confirm each method's determinism
 // class while timing.
 //
+// Registry-driven: the engine check's inner accumulator comes from
+// fp::AlgorithmRegistry (--accumulator=<name>), and a closing table
+// measures the *wall-clock* cost of every registered accumulation
+// algorithm on the host - the CPU complement of the modelled GPU numbers,
+// with the same Ps penalty metric. New registry entries appear in it with
+// zero bench changes.
+//
 // Ps = 100 * (1 - t_i / min(t)) as in the paper (0 for the fastest, more
 // negative for slower implementations).
 //
 // Flags: --size (elements, default paper's 4194304), --sums (default 100),
-//        --value-size (engine check size), --csv
+//        --value-size (engine check + wall-clock size), --accumulator,
+//        --csv
 
 #include <algorithm>
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "fpna/core/harness.hpp"
+#include "fpna/fp/accumulator.hpp"
 #include "fpna/reduce/gpu_sum.hpp"
 #include "fpna/util/table.hpp"
+#include "fpna/util/timer.hpp"
 
 using namespace fpna;
 
@@ -32,7 +42,8 @@ struct MethodConfig {
 
 void run_device(const sim::DeviceProfile& profile,
                 const std::vector<MethodConfig>& configs, std::size_t n,
-                std::size_t sums, std::size_t value_size, bool csv) {
+                std::size_t sums, std::size_t value_size,
+                fp::AlgorithmId accumulator, bool csv) {
   util::banner(std::cout, "Table 4 [" + profile.name + "]: " +
                               std::to_string(sums) + " sums of " +
                               std::to_string(n) + " FP64 numbers");
@@ -55,7 +66,9 @@ void run_device(const sim::DeviceProfile& profile,
                      "Ps (%)", "deterministic (measured)"});
   for (std::size_t i = 0; i < configs.size(); ++i) {
     const auto& config = configs[i];
-    const auto kernel = [&](core::RunContext& ctx) {
+    const auto kernel = [&](core::RunContext& run) {
+      const auto ctx = core::EvalContext::nondeterministic_on(run)
+                           .with_accumulator(accumulator);
       return reduce::gpu_sum(device, data, config.method, ctx, 64).value;
     };
     const auto cert = core::certify_deterministic_scalar(kernel, 20, 7);
@@ -73,6 +86,47 @@ void run_device(const sim::DeviceProfile& profile,
   }
 }
 
+/// The host-side analogue of the paper's table: wall-clock time and Ps
+/// penalty of every *registered* accumulation algorithm.
+void run_host_accumulators(std::size_t value_size, std::size_t sums,
+                           bool csv) {
+  util::banner(std::cout, "Table 4 [host, registry]: " +
+                              std::to_string(sums) + " sums of " +
+                              std::to_string(value_size) + " FP64 numbers");
+  const auto data = bench::uniform_array(value_size, 0.0, 10.0, 43);
+  const auto& entries = fp::AlgorithmRegistry::instance().entries();
+
+  std::vector<double> times_ms;
+  for (const auto& entry : entries) {
+    const auto stats = util::time_repeated(
+        [&] {
+          for (std::size_t s = 0; s < sums; ++s) {
+            (void)entry.reduce(data);
+          }
+        },
+        3, 1);
+    times_ms.push_back(stats.mean_seconds * 1e3);
+  }
+  const double best = *std::min_element(times_ms.begin(), times_ms.end());
+
+  util::Table table({"accumulator", "time for " + std::to_string(sums) +
+                         " sums (ms)",
+                     "Ps (%)", "perm-invariant (declared)"});
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    table.add_row({entries[i].name, util::fixed(times_ms[i], 3),
+                   util::fixed(100.0 * (1.0 - times_ms[i] / best), 4),
+                   entries[i].traits.permutation_invariant ? "yes" : "no"});
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+    std::cout << "\nReading: the reproducible accumulators pay a bounded, "
+                 "measurable penalty - the paper's conclusion that "
+                 "determinism is affordable, now measured on the host.\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -81,6 +135,8 @@ int main(int argc, char** argv) {
   const auto sums = static_cast<std::size_t>(cli.integer("sums", 100));
   const auto value_size =
       static_cast<std::size_t>(cli.integer("value-size", 32768));
+  const auto& accumulator =
+      fp::AlgorithmRegistry::instance().at(cli.text("accumulator", "serial"));
   const bool csv = cli.flag("csv");
 
   using M = sim::SumMethod;
@@ -91,20 +147,22 @@ int main(int argc, char** argv) {
               {M::kTPRC, 512, 128},
               {M::kCU, 512, 128},
               {M::kAO, 512, 128}},
-             n, sums, value_size, csv);
+             n, sums, value_size, accumulator.id, csv);
   run_device(sim::DeviceProfile::gh200(),
              {{M::kSPA, 512, 512},
               {M::kCU, 512, 512},
               {M::kTPRC, 512, 512},
               {M::kSPTR, 512, 512},
               {M::kAO, 512, 512}},
-             n, sums, value_size, csv);
+             n, sums, value_size, accumulator.id, csv);
   run_device(sim::DeviceProfile::mi250x(),
              {{M::kTPRC, 512, 256},
               {M::kCU, 512, 256},
               {M::kSPA, 512, 256},
               {M::kSPTR, 256, 512}},
-             n, sums, value_size, csv);
+             n, sums, value_size, accumulator.id, csv);
+
+  run_host_accumulators(value_size, sums, csv);
 
   std::cout
       << "\nPaper reference (Table 4): SPA fastest on NVIDIA (SPTR within "

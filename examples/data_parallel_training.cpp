@@ -1,0 +1,59 @@
+// Walkthrough: data-parallel GNN training over the fpna::comm process
+// group - the paper's reproducibility story at distributed-training scale.
+//
+// Trains the same GraphSAGE model three ways on a simulated 4-rank group
+// (identical initial weights, identical data shards, deterministic local
+// kernels; the gradient allreduce is the only difference):
+//
+//   * reproducible  - bitwise identical weights on every run,
+//   * ring          - deterministic, but a different association than the
+//                     unbucketed exchange (re-layout moves the bits),
+//   * arrival tree  - a unique model every run.
+//
+// Build & run:  ./build/examples/data_parallel_training
+
+#include <cstdio>
+
+#include "fpna/core/harness.hpp"
+#include "fpna/dl/data_parallel.hpp"
+
+int main() {
+  using namespace fpna;
+
+  auto config = dl::DatasetConfig::small();
+  config.num_nodes = 160;
+  config.num_undirected_edges = 400;
+  config.num_features = 48;
+  const auto dataset = dl::make_synthetic_citation_dataset(config);
+
+  dl::DataParallelConfig dp;
+  dp.base.epochs = 5;
+  dp.base.hidden = 8;
+  dp.ranks = 4;
+  dp.bucket_cap_elements = 256;  // several buckets per exchange
+
+  std::printf("data-parallel GraphSAGE, %zu ranks, %d epochs, bucket cap "
+              "%zu elements\n\n",
+              dp.ranks, dp.base.epochs, dp.bucket_cap_elements);
+  for (const auto algorithm : {collective::Algorithm::kReproducible,
+                               collective::Algorithm::kRing,
+                               collective::Algorithm::kArrivalTree}) {
+    dp.algorithm = algorithm;
+    const auto kernel = [&](core::RunContext& run) {
+      return dl::train_data_parallel(dataset, dp, run).final_weights;
+    };
+    const auto cert = core::certify_deterministic(kernel, 5, 42);
+    core::RunContext run(42, 0);
+    const auto result = dl::train_data_parallel(dataset, dp, run);
+    std::printf("%-18s run-to-run bitwise stable: %-3s  final loss %.6f  "
+                "train accuracy %.3f\n",
+                collective::to_string(algorithm),
+                cert.deterministic ? "yes" : "NO",
+                result.epoch_losses.back(), result.train_accuracy);
+  }
+  std::printf(
+      "\nReading: every rank's local computation is deterministic; the\n"
+      "collective's combining order alone decides whether the trained\n"
+      "model is reproducible (paper SVI, measured end to end).\n");
+  return 0;
+}

@@ -73,6 +73,12 @@ std::vector<T> allreduce_arrival_tree(const RankDataT<T>& contributions,
 template <typename T>
 std::vector<T> allreduce_reproducible(const RankDataT<T>& contributions);
 
+/// Contiguous shard lengths for `total` items over `ranks` ranks (the
+/// first total % ranks shards are one longer). The one split rule every
+/// sharded consumer (distributed_sum, comm, the data-parallel trainer)
+/// agrees on.
+std::vector<std::size_t> shard_sizes(std::size_t total, std::size_t ranks);
+
 /// Splits one global vector into P contiguous shards (for the distributed
 /// sum below; shards may differ in length by one element).
 RankData shard(std::span<const double> data, std::size_t ranks);

@@ -235,17 +235,22 @@ double distributed_sum(std::span<const double> data, std::size_t ranks,
   return distributed_sum(data, ranks, algorithm, ec);
 }
 
+std::vector<std::size_t> shard_sizes(std::size_t total, std::size_t ranks) {
+  if (ranks == 0) throw std::invalid_argument("shard_sizes: zero ranks");
+  std::vector<std::size_t> sizes(ranks, total / ranks);
+  for (std::size_t r = 0; r < total % ranks; ++r) ++sizes[r];
+  return sizes;
+}
+
 RankData shard(std::span<const double> data, std::size_t ranks) {
-  if (ranks == 0) throw std::invalid_argument("shard: zero ranks");
+  const auto sizes = shard_sizes(data.size(), ranks);
   RankData shards(ranks);
-  const std::size_t base = data.size() / ranks;
-  const std::size_t rem = data.size() % ranks;
   std::size_t begin = 0;
   for (std::size_t r = 0; r < ranks; ++r) {
-    const std::size_t len = base + (r < rem ? 1 : 0);
     shards[r].assign(data.begin() + static_cast<std::ptrdiff_t>(begin),
-                     data.begin() + static_cast<std::ptrdiff_t>(begin + len));
-    begin += len;
+                     data.begin() + static_cast<std::ptrdiff_t>(begin +
+                                                                sizes[r]));
+    begin += sizes[r];
   }
   return shards;
 }

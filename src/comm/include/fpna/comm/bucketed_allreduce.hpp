@@ -1,0 +1,87 @@
+#pragma once
+// Bucketed, overlap-capable allreduce over lists of named-by-position
+// tensors - the communication step of data-parallel training.
+//
+// bucketed_allreduce packs each rank's tensor list into the BucketAssigner
+// buckets, allreduces every bucket through the ProcessGroup, and unpacks
+// the reduced buckets back into per-tensor results. Per bucket it derives
+// a fresh EvalContext:
+//
+//   * arrival-tree runs get a per-bucket RunContext whose seed is drawn
+//     from ctx.run *in bucket order on the caller's thread*, so the drawn
+//     arrival orders are a pure function of the run identity - bitwise
+//     identical whether buckets reduce inline or overlapped on the pool;
+//   * a user context_hook may retarget the accumulator (or any other
+//     EvalContext field) per bucket - e.g. carry the embedding gradients
+//     on the superaccumulator exchange while the dense bulk rides the
+//     cheap serial path.
+//
+// With overlap enabled (and ctx.pool set), closed buckets reduce on the
+// thread pool while the caller's thread keeps packing the remaining
+// buckets - the DDP pattern of overlapping communication with gradient
+// production. Overlap changes wall-clock, never bits (certified in
+// comm_test).
+//
+// sharded_bucketed_allreduce is the multi-tensor generalisation of
+// collective::distributed_sum: the reduction's *samples* (micro-batch
+// gradient contributions) are assigned to ranks by an owner map, each rank
+// folds its samples locally, and the partials meet in the collective. With
+// kReproducible the local fold keeps exact per-element state, so the
+// result is bitwise invariant to rank count, shard assignment, bucket cap
+// and arrival order - the "MPI-safe" gradient reduction; with the rounded
+// algorithms the local fold commits to its shard's association and the
+// bits move with (P, owner map, algorithm).
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "fpna/collective/allreduce.hpp"
+#include "fpna/comm/bucketing.hpp"
+#include "fpna/comm/process_group.hpp"
+#include "fpna/core/eval_context.hpp"
+
+namespace fpna::comm {
+
+/// One flat vector per tensor; tensors are identified by position.
+template <typename T>
+using TensorList = std::vector<std::vector<T>>;
+
+struct BucketedConfig {
+  std::size_t bucket_cap_elements = std::size_t{1} << 16;
+  /// Reduce closed buckets on ctx.pool while later buckets pack. Requires
+  /// ctx.pool; bitwise identical to the inline schedule by construction.
+  bool overlap = false;
+  /// Network block size of the arrival-tree collective.
+  std::size_t block_elements = 1024;
+  /// Per-bucket EvalContext adjustment (accumulator selection etc.). The
+  /// hook runs once per bucket on a private copy of the caller's context;
+  /// it must not install shared mutable state when overlap is on.
+  std::function<void(std::size_t bucket_index, core::EvalContext&)>
+      context_hook{};
+};
+
+/// Allreduce-sum of per-rank tensor lists. `rank_tensors` holds
+/// pg.local_contributions() entries (all P for the sim backend, this
+/// rank's list under MPI); every entry must agree on tensor count and
+/// sizes. Returns the reduced tensors every rank observes. ctx.run is
+/// required for (and only consumed by) kArrivalTree.
+template <typename T>
+TensorList<T> bucketed_allreduce(ProcessGroup& pg,
+                                 const std::vector<TensorList<T>>& rank_tensors,
+                                 collective::Algorithm algorithm,
+                                 const core::EvalContext& ctx,
+                                 const BucketedConfig& config = {});
+
+/// Sharded reduction of `samples[s]` (each a full TensorList contribution)
+/// assigned to ranks by `owner[s]` in [0, pg.size()). Simulated backend
+/// only (exact-state exchange over a real wire is follow-up work). See the
+/// header comment for the reproducibility contract.
+template <typename T>
+TensorList<T> sharded_bucketed_allreduce(
+    ProcessGroup& pg, const std::vector<TensorList<T>>& samples,
+    std::span<const std::size_t> owner, collective::Algorithm algorithm,
+    const core::EvalContext& ctx, const BucketedConfig& config = {});
+
+}  // namespace fpna::comm

@@ -1,0 +1,48 @@
+#pragma once
+// Gradient bucketing (DDP-style): a training step produces many small
+// gradient tensors, and reducing each one separately pays per-collective
+// latency while reducing all of them at once forfeits overlap with the
+// still-running backward pass. BucketAssigner packs an ordered list of
+// named tensors into capacity-capped flat buckets - the unit at which
+// bucketed_allreduce launches collectives and overlaps them with gradient
+// production.
+//
+// Packing is greedy and contiguous in tensor order: a bucket closes when
+// the next tensor would push it past the cap. A single tensor larger than
+// the cap still ships (alone in its own bucket - capacity caps batching,
+// it never drops data), and zero-element tensors ride along in whatever
+// bucket is open. The assignment is a pure function of (sizes, cap), so
+// every rank computes identical buckets without communication.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fpna::comm {
+
+/// A contiguous run of tensors reduced as one flat buffer.
+struct Bucket {
+  std::size_t first_tensor = 0;
+  std::size_t tensor_count = 0;
+  /// Flat element count of the bucket (sum of member tensor sizes).
+  std::size_t elements = 0;
+};
+
+class BucketAssigner {
+ public:
+  /// Throws std::invalid_argument on cap_elements == 0.
+  explicit BucketAssigner(std::size_t cap_elements);
+
+  std::size_t cap_elements() const noexcept { return cap_elements_; }
+
+  /// Packs `tensor_sizes` (element counts, in tensor order) into buckets.
+  /// Every tensor lands in exactly one bucket; buckets partition the index
+  /// range [0, tensor_sizes.size()) contiguously. Empty input gives no
+  /// buckets.
+  std::vector<Bucket> assign(std::span<const std::size_t> tensor_sizes) const;
+
+ private:
+  std::size_t cap_elements_;
+};
+
+}  // namespace fpna::comm

@@ -1,0 +1,152 @@
+#pragma once
+// ProcessGroup: the data-parallel process-group runtime (paper SVI: "in HPC
+// and distributed settings there will also be inter-chip and inter-node
+// communication, such as with MPI, leading to more runtime variation").
+//
+// A ProcessGroup is a handle on a P-rank job that can allreduce rank
+// contributions with any of the collective algorithms. Two backends share
+// one surface:
+//
+//   * SimProcessGroup - plays all P ranks in-process and delegates to the
+//     collective::allreduce variants (ring, recursive doubling, arrival
+//     tree, reproducible). The caller passes all P contributions.
+//   * MpiProcessGroup (#ifdef FPNA_HAVE_MPI) - one OS process per rank on a
+//     real cluster. The caller passes its single local contribution; the
+//     backend allgathers the rank buffers (ordered by rank id) and runs the
+//     *same* local combine as the simulation, so every rank observes
+//     bitwise-identical results and the sim/MPI backends agree bit for bit
+//     on identical inputs. (A bandwidth-optimal reduce-scatter pipeline is
+//     follow-up work; this backend certifies semantics, not throughput.)
+//
+// The reproducible algorithm honours the EvalContext's registry-selected
+// accumulator: any *exact-merge* algorithm (superaccumulator, binned) may
+// carry the exchange, and the rounded result stays bitwise invariant to
+// arrival order, rank count and sharding. Selecting a non-exact-merge
+// accumulator for the reproducible path throws - a collective that cannot
+// certify arrival-order invariance must not be labelled reproducible.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "fpna/collective/allreduce.hpp"
+#include "fpna/core/eval_context.hpp"
+#include "fpna/fp/algorithm_id.hpp"
+
+namespace fpna::comm {
+
+/// Element-wise allreduce through an exact-merge registry accumulator: for
+/// every element, each rank's value streams into one exact state, and the
+/// single final rounding makes the result bitwise independent of rank
+/// order, rank count and any merge tree. Throws std::invalid_argument when
+/// `id` names an algorithm without the exact_merge trait.
+template <typename T>
+std::vector<T> exact_elementwise_allreduce(
+    const collective::RankDataT<T>& contributions, fp::AlgorithmId id);
+
+class ProcessGroup {
+ public:
+  virtual ~ProcessGroup() = default;
+
+  /// World size P.
+  virtual std::size_t size() const noexcept = 0;
+  /// This participant's rank id (0 for the simulated backend, which plays
+  /// every rank).
+  virtual std::size_t rank() const noexcept = 0;
+  /// Backend name for logs/tables: "sim" or "mpi".
+  virtual const char* backend() const noexcept = 0;
+  /// How many rank contributions the caller passes to allreduce(): the
+  /// full P for the simulated backend, 1 (the local buffer) for MPI.
+  virtual std::size_t local_contributions() const noexcept = 0;
+  /// Whether allreduce() may be called concurrently from several threads.
+  /// True for the stateless simulated backend; false for MPI, whose
+  /// collectives must issue in the same order on every rank and whose
+  /// library thread level is not negotiated for concurrent calls -
+  /// bucketed_allreduce silently falls back to the inline schedule
+  /// (identical bits, see bucketed_allreduce.hpp) when this is false.
+  virtual bool supports_concurrent_allreduce() const noexcept = 0;
+
+  /// Allreduce-sum of the rank contributions; every rank observes the
+  /// returned vector. kArrivalTree draws its arrival orders from ctx.run
+  /// (required for that algorithm only; on MPI every rank must construct
+  /// its RunContext from the same seed to agree on the drawn orders).
+  /// kReproducible routes through ctx.accumulator when set (exact-merge
+  /// algorithms only); unset selects the superaccumulator exchange.
+  virtual std::vector<double> allreduce(
+      const collective::RankData& contributions,
+      collective::Algorithm algorithm, const core::EvalContext& ctx,
+      std::size_t block_elements = 1024) = 0;
+  virtual std::vector<float> allreduce(
+      const collective::RankDataF& contributions,
+      collective::Algorithm algorithm, const core::EvalContext& ctx,
+      std::size_t block_elements = 1024) = 0;
+};
+
+/// Simulated backend: all P ranks live in this process. Stateless between
+/// calls and safe to use concurrently from thread-pool tasks as long as
+/// each call carries its own RunContext (bucketed_allreduce does).
+class SimProcessGroup final : public ProcessGroup {
+ public:
+  /// Throws std::invalid_argument on ranks == 0.
+  explicit SimProcessGroup(std::size_t ranks);
+
+  std::size_t size() const noexcept override { return ranks_; }
+  std::size_t rank() const noexcept override { return 0; }
+  const char* backend() const noexcept override { return "sim"; }
+  std::size_t local_contributions() const noexcept override { return ranks_; }
+  bool supports_concurrent_allreduce() const noexcept override {
+    return true;
+  }
+
+  std::vector<double> allreduce(const collective::RankData& contributions,
+                                collective::Algorithm algorithm,
+                                const core::EvalContext& ctx,
+                                std::size_t block_elements = 1024) override;
+  std::vector<float> allreduce(const collective::RankDataF& contributions,
+                               collective::Algorithm algorithm,
+                               const core::EvalContext& ctx,
+                               std::size_t block_elements = 1024) override;
+
+ private:
+  std::size_t ranks_;
+};
+
+/// Simulated P-rank group (the default backend everywhere the toolkit does
+/// not run under mpirun).
+std::unique_ptr<ProcessGroup> make_process_group(std::size_t ranks);
+
+#ifdef FPNA_HAVE_MPI
+/// Real MPI backend over MPI_COMM_WORLD. The caller owns MPI_Init /
+/// MPI_Finalize; construction throws std::runtime_error when MPI is not
+/// initialised. allreduce() takes exactly one contribution (this rank's
+/// local buffer, equal length on every rank).
+class MpiProcessGroup final : public ProcessGroup {
+ public:
+  MpiProcessGroup();
+
+  std::size_t size() const noexcept override { return size_; }
+  std::size_t rank() const noexcept override { return rank_; }
+  const char* backend() const noexcept override { return "mpi"; }
+  std::size_t local_contributions() const noexcept override { return 1; }
+  bool supports_concurrent_allreduce() const noexcept override {
+    return false;
+  }
+
+  std::vector<double> allreduce(const collective::RankData& contributions,
+                                collective::Algorithm algorithm,
+                                const core::EvalContext& ctx,
+                                std::size_t block_elements = 1024) override;
+  std::vector<float> allreduce(const collective::RankDataF& contributions,
+                               collective::Algorithm algorithm,
+                               const core::EvalContext& ctx,
+                               std::size_t block_elements = 1024) override;
+
+ private:
+  std::size_t size_ = 0;
+  std::size_t rank_ = 0;
+};
+
+std::unique_ptr<ProcessGroup> make_mpi_process_group();
+#endif  // FPNA_HAVE_MPI
+
+}  // namespace fpna::comm

@@ -1,0 +1,303 @@
+#include "fpna/comm/bucketed_allreduce.hpp"
+
+#include <cstdint>
+#include <exception>
+#include <future>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "fpna/core/run_context.hpp"
+#include "fpna/fp/accumulator.hpp"
+#include "fpna/util/thread_pool.hpp"
+
+namespace fpna::comm {
+
+namespace {
+
+/// Checks that every list in `lists` agrees with `sizes` (tensor count and
+/// per-tensor element counts).
+template <typename T>
+void validate_shapes(const std::vector<TensorList<T>>& lists,
+                     const std::vector<std::size_t>& sizes, const char* op) {
+  for (const auto& list : lists) {
+    if (list.size() != sizes.size()) {
+      throw std::invalid_argument(std::string(op) +
+                                  ": tensor count mismatch across entries");
+    }
+    for (std::size_t t = 0; t < sizes.size(); ++t) {
+      if (list[t].size() != sizes[t]) {
+        throw std::invalid_argument(std::string(op) + ": tensor " +
+                                    std::to_string(t) +
+                                    " size mismatch across entries");
+      }
+    }
+  }
+}
+
+template <typename T>
+std::vector<std::size_t> sizes_of(const TensorList<T>& tensors) {
+  std::vector<std::size_t> sizes(tensors.size());
+  for (std::size_t t = 0; t < tensors.size(); ++t) {
+    sizes[t] = tensors[t].size();
+  }
+  return sizes;
+}
+
+/// Runs `task(b)` for every bucket index, inline or on the pool. Overlap
+/// submits each bucket as soon as the caller-side preparation for it is
+/// done (`prepare(b)` runs on this thread, in order - the "production"
+/// side); all tasks are joined before returning, and the first failure is
+/// rethrown after the join so no task outlives its captures.
+template <typename Prepare, typename Task>
+void for_each_bucket(std::size_t buckets, util::ThreadPool* pool,
+                     bool overlap, Prepare&& prepare, Task&& task) {
+  if (overlap && pool != nullptr) {
+    std::vector<std::future<void>> pending;
+    pending.reserve(buckets);
+    for (std::size_t b = 0; b < buckets; ++b) {
+      auto work = prepare(b);
+      pending.push_back(
+          pool->submit([work = std::move(work), &task, b]() mutable {
+            task(b, std::move(work));
+          }));
+    }
+    std::exception_ptr first_error;
+    for (auto& future : pending) {
+      try {
+        future.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    return;
+  }
+  for (std::size_t b = 0; b < buckets; ++b) {
+    task(b, prepare(b));
+  }
+}
+
+/// The per-bucket EvalContext: a private copy of the caller's context with
+/// a per-bucket RunContext for the arrival tree (seed drawn by the caller
+/// in bucket order) and the user's hook applied last.
+core::EvalContext bucket_context(const core::EvalContext& ctx,
+                                 const BucketedConfig& config, std::size_t b,
+                                 std::optional<core::RunContext>& run_storage,
+                                 bool needs_run, std::uint64_t seed) {
+  core::EvalContext bctx = ctx;
+  if (needs_run) {
+    run_storage.emplace(seed);
+    bctx.run = &*run_storage;
+  }
+  if (config.context_hook) config.context_hook(b, bctx);
+  return bctx;
+}
+
+}  // namespace
+
+template <typename T>
+TensorList<T> bucketed_allreduce(ProcessGroup& pg,
+                                 const std::vector<TensorList<T>>& rank_tensors,
+                                 collective::Algorithm algorithm,
+                                 const core::EvalContext& ctx,
+                                 const BucketedConfig& config) {
+  if (rank_tensors.size() != pg.local_contributions()) {
+    throw std::invalid_argument(
+        "bucketed_allreduce: expected " +
+        std::to_string(pg.local_contributions()) +
+        " tensor lists for the '" + pg.backend() + "' backend, got " +
+        std::to_string(rank_tensors.size()));
+  }
+  const std::vector<std::size_t> sizes = sizes_of(rank_tensors.front());
+  validate_shapes(rank_tensors, sizes, "bucketed_allreduce");
+
+  const auto buckets =
+      BucketAssigner(config.bucket_cap_elements).assign(sizes);
+
+  const bool needs_run = algorithm == collective::Algorithm::kArrivalTree;
+  if (needs_run && ctx.run == nullptr) {
+    throw std::invalid_argument(
+        "bucketed_allreduce: arrival-tree needs EvalContext.run");
+  }
+  // Per-bucket arrival entropy, drawn in bucket order on this thread so
+  // the bits cannot depend on the pool's scheduling.
+  std::vector<std::uint64_t> seeds(buckets.size(), 0);
+  if (needs_run) {
+    for (auto& seed : seeds) seed = ctx.run->rng()();
+  }
+
+  TensorList<T> result(sizes.size());
+  for (std::size_t t = 0; t < sizes.size(); ++t) result[t].resize(sizes[t]);
+
+  // Packing is the caller-side "gradient production" stand-in; reduction
+  // and unpacking run per bucket (possibly on the pool). Unpacking writes
+  // disjoint tensors per bucket, so tasks never alias.
+  const auto pack = [&](std::size_t b) {
+    const Bucket& bucket = buckets[b];
+    collective::RankDataT<T> packed(rank_tensors.size());
+    for (std::size_t r = 0; r < rank_tensors.size(); ++r) {
+      auto& flat = packed[r];
+      flat.reserve(bucket.elements);
+      for (std::size_t t = bucket.first_tensor;
+           t < bucket.first_tensor + bucket.tensor_count; ++t) {
+        flat.insert(flat.end(), rank_tensors[r][t].begin(),
+                    rank_tensors[r][t].end());
+      }
+    }
+    return packed;
+  };
+  const auto reduce_and_unpack = [&](std::size_t b,
+                                     collective::RankDataT<T> packed) {
+    std::optional<core::RunContext> run_storage;
+    const core::EvalContext bctx =
+        bucket_context(ctx, config, b, run_storage, needs_run, seeds[b]);
+    const std::vector<T> reduced =
+        pg.allreduce(packed, algorithm, bctx, config.block_elements);
+    const Bucket& bucket = buckets[b];
+    std::size_t offset = 0;
+    for (std::size_t t = bucket.first_tensor;
+         t < bucket.first_tensor + bucket.tensor_count; ++t) {
+      std::copy(reduced.begin() + static_cast<std::ptrdiff_t>(offset),
+                reduced.begin() + static_cast<std::ptrdiff_t>(offset +
+                                                              sizes[t]),
+                result[t].begin());
+      offset += sizes[t];
+    }
+  };
+  // MPI-style backends must issue collectives in the same order on every
+  // rank and without concurrent calls: overlap degrades to the inline
+  // schedule there (same bits either way - the per-bucket seeds were
+  // drawn above, independent of the schedule).
+  util::ThreadPool* pool =
+      pg.supports_concurrent_allreduce() ? ctx.pool : nullptr;
+  for_each_bucket(buckets.size(), pool, config.overlap, pack,
+                  reduce_and_unpack);
+  return result;
+}
+
+template <typename T>
+TensorList<T> sharded_bucketed_allreduce(
+    ProcessGroup& pg, const std::vector<TensorList<T>>& samples,
+    std::span<const std::size_t> owner, collective::Algorithm algorithm,
+    const core::EvalContext& ctx, const BucketedConfig& config) {
+  if (pg.local_contributions() != pg.size()) {
+    throw std::invalid_argument(
+        "sharded_bucketed_allreduce: needs a backend that plays every rank "
+        "(exact-state exchange over a real wire is not implemented)");
+  }
+  if (samples.empty()) {
+    throw std::invalid_argument("sharded_bucketed_allreduce: no samples");
+  }
+  if (owner.size() != samples.size()) {
+    throw std::invalid_argument(
+        "sharded_bucketed_allreduce: owner map size must equal sample count");
+  }
+  const std::size_t ranks = pg.size();
+  for (const std::size_t r : owner) {
+    if (r >= ranks) {
+      throw std::out_of_range(
+          "sharded_bucketed_allreduce: owner rank out of range");
+    }
+  }
+  const std::vector<std::size_t> sizes = sizes_of(samples.front());
+  validate_shapes(samples, sizes, "sharded_bucketed_allreduce");
+
+  // Per-rank sample index lists, in sample order (the fold order both
+  // paths commit to).
+  std::vector<std::vector<std::size_t>> of_rank(ranks);
+  for (std::size_t s = 0; s < samples.size(); ++s) {
+    of_rank[owner[s]].push_back(s);
+  }
+
+  if (algorithm != collective::Algorithm::kReproducible) {
+    // Each rank folds its samples (in sample order) through the context's
+    // registry-selected accumulator in T precision - the rounded local
+    // partial a real worker would hand to the wire - then the partials
+    // meet in the chosen collective. Bits move with (P, owner, algorithm).
+    std::vector<TensorList<T>> partials(ranks);
+    for (std::size_t r = 0; r < ranks; ++r) {
+      partials[r].resize(sizes.size());
+      for (std::size_t t = 0; t < sizes.size(); ++t) {
+        partials[r][t].assign(sizes[t], T{0});
+      }
+    }
+    fp::visit_algorithm(ctx.accumulator_in_effect(), [&](auto tag) {
+      for (std::size_t t = 0; t < sizes.size(); ++t) {
+        for (std::size_t i = 0; i < sizes[t]; ++i) {
+          for (std::size_t r = 0; r < ranks; ++r) {
+            typename decltype(tag)::template accumulator_t<T> acc;
+            for (const std::size_t s : of_rank[r]) {
+              acc.add(samples[s][t][i]);
+            }
+            partials[r][t][i] = acc.result();
+          }
+        }
+      }
+    });
+    return bucketed_allreduce(pg, partials, algorithm, ctx, config);
+  }
+
+  // Reproducible: exact per-element local state per rank, exact merge in
+  // rank order, one final rounding - bitwise invariant to rank count,
+  // owner assignment, bucket cap and arrival order by construction. The
+  // bucket loop still runs (on the pool when overlap is on) so the
+  // per-bucket hook can retarget the exact accumulator.
+  const auto buckets =
+      BucketAssigner(config.bucket_cap_elements).assign(sizes);
+  TensorList<T> result(sizes.size());
+  for (std::size_t t = 0; t < sizes.size(); ++t) result[t].resize(sizes[t]);
+
+  const auto prepare = [](std::size_t) { return 0; };
+  const auto reduce_bucket = [&](std::size_t b, int) {
+    std::optional<core::RunContext> run_storage;
+    const core::EvalContext bctx =
+        bucket_context(ctx, config, b, run_storage, /*needs_run=*/false, 0);
+    const fp::AlgorithmId id =
+        bctx.accumulator.value_or(fp::AlgorithmId::kSuperaccumulator);
+    fp::visit_algorithm(id, [&](auto tag) {
+      if constexpr (!decltype(tag)::traits.exact_merge) {
+        throw std::invalid_argument(
+            "sharded_bucketed_allreduce: reproducible path needs an "
+            "exact-merge accumulator (superaccumulator or binned)");
+      } else {
+        const Bucket& bucket = buckets[b];
+        for (std::size_t t = bucket.first_tensor;
+             t < bucket.first_tensor + bucket.tensor_count; ++t) {
+          for (std::size_t i = 0; i < sizes[t]; ++i) {
+            typename decltype(tag)::template accumulator_t<T> total;
+            for (std::size_t r = 0; r < ranks; ++r) {
+              typename decltype(tag)::template accumulator_t<T> local;
+              for (const std::size_t s : of_rank[r]) {
+                local.add(samples[s][t][i]);
+              }
+              total.merge(local);
+            }
+            result[t][i] = total.result();
+          }
+        }
+      }
+    });
+  };
+  for_each_bucket(buckets.size(), ctx.pool, config.overlap, prepare,
+                  reduce_bucket);
+  return result;
+}
+
+#define FPNA_INSTANTIATE_BUCKETED(T)                                          \
+  template TensorList<T> bucketed_allreduce<T>(                               \
+      ProcessGroup&, const std::vector<TensorList<T>>&,                       \
+      collective::Algorithm, const core::EvalContext&,                        \
+      const BucketedConfig&);                                                 \
+  template TensorList<T> sharded_bucketed_allreduce<T>(                       \
+      ProcessGroup&, const std::vector<TensorList<T>>&,                       \
+      std::span<const std::size_t>, collective::Algorithm,                    \
+      const core::EvalContext&, const BucketedConfig&);
+
+FPNA_INSTANTIATE_BUCKETED(double)
+FPNA_INSTANTIATE_BUCKETED(float)
+
+#undef FPNA_INSTANTIATE_BUCKETED
+
+}  // namespace fpna::comm

@@ -1,0 +1,32 @@
+#include "fpna/comm/bucketing.hpp"
+
+#include <stdexcept>
+
+namespace fpna::comm {
+
+BucketAssigner::BucketAssigner(std::size_t cap_elements)
+    : cap_elements_(cap_elements) {
+  if (cap_elements == 0) {
+    throw std::invalid_argument("BucketAssigner: zero bucket capacity");
+  }
+}
+
+std::vector<Bucket> BucketAssigner::assign(
+    std::span<const std::size_t> tensor_sizes) const {
+  std::vector<Bucket> buckets;
+  Bucket open;
+  for (std::size_t t = 0; t < tensor_sizes.size(); ++t) {
+    const std::size_t size = tensor_sizes[t];
+    if (size > 0 && open.tensor_count > 0 &&
+        open.elements + size > cap_elements_) {
+      buckets.push_back(open);
+      open = Bucket{t, 0, 0};
+    }
+    open.tensor_count += 1;
+    open.elements += size;
+  }
+  if (open.tensor_count > 0) buckets.push_back(open);
+  return buckets;
+}
+
+}  // namespace fpna::comm

@@ -1,0 +1,181 @@
+#include "fpna/comm/process_group.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "fpna/fp/accumulator.hpp"
+
+#ifdef FPNA_HAVE_MPI
+#include <mpi.h>
+#endif
+
+namespace fpna::comm {
+
+template <typename T>
+std::vector<T> exact_elementwise_allreduce(
+    const collective::RankDataT<T>& contributions, fp::AlgorithmId id) {
+  collective::validate(contributions);
+  return fp::visit_algorithm(id, [&](auto tag) -> std::vector<T> {
+    if constexpr (!decltype(tag)::traits.exact_merge) {
+      throw std::invalid_argument(
+          "reproducible allreduce: accumulator '" +
+          fp::AlgorithmRegistry::instance().at(decltype(tag)::id).name +
+          "' has no exact merge; choose superaccumulator or binned");
+    } else {
+      const std::size_t n = contributions.front().size();
+      std::vector<T> result(n, T{0});
+      for (std::size_t i = 0; i < n; ++i) {
+        typename decltype(tag)::template accumulator_t<T> acc;
+        for (const auto& rank : contributions) acc.add(rank[i]);
+        result[i] = acc.result();
+      }
+      return result;
+    }
+  });
+}
+
+template std::vector<double> exact_elementwise_allreduce<double>(
+    const collective::RankData&, fp::AlgorithmId);
+template std::vector<float> exact_elementwise_allreduce<float>(
+    const collective::RankDataF&, fp::AlgorithmId);
+
+namespace {
+
+/// Shared backend combine: the simulated group reduces `contributions`
+/// directly; the MPI group calls this on the allgathered rank buffers, so
+/// both backends compute identical bits from identical inputs.
+template <typename T>
+std::vector<T> combine(const collective::RankDataT<T>& contributions,
+                       collective::Algorithm algorithm,
+                       const core::EvalContext& ctx,
+                       std::size_t block_elements) {
+  if (algorithm == collective::Algorithm::kReproducible &&
+      ctx.accumulator.has_value()) {
+    return exact_elementwise_allreduce(contributions, *ctx.accumulator);
+  }
+  return collective::allreduce(contributions, algorithm, ctx, block_elements);
+}
+
+}  // namespace
+
+SimProcessGroup::SimProcessGroup(std::size_t ranks) : ranks_(ranks) {
+  if (ranks == 0) {
+    throw std::invalid_argument("SimProcessGroup: zero ranks");
+  }
+}
+
+std::vector<double> SimProcessGroup::allreduce(
+    const collective::RankData& contributions,
+    collective::Algorithm algorithm, const core::EvalContext& ctx,
+    std::size_t block_elements) {
+  if (contributions.size() != ranks_) {
+    throw std::invalid_argument(
+        "SimProcessGroup::allreduce: expected " + std::to_string(ranks_) +
+        " rank contributions, got " + std::to_string(contributions.size()));
+  }
+  return combine(contributions, algorithm, ctx, block_elements);
+}
+
+std::vector<float> SimProcessGroup::allreduce(
+    const collective::RankDataF& contributions,
+    collective::Algorithm algorithm, const core::EvalContext& ctx,
+    std::size_t block_elements) {
+  if (contributions.size() != ranks_) {
+    throw std::invalid_argument(
+        "SimProcessGroup::allreduce: expected " + std::to_string(ranks_) +
+        " rank contributions, got " + std::to_string(contributions.size()));
+  }
+  return combine(contributions, algorithm, ctx, block_elements);
+}
+
+std::unique_ptr<ProcessGroup> make_process_group(std::size_t ranks) {
+  return std::make_unique<SimProcessGroup>(ranks);
+}
+
+#ifdef FPNA_HAVE_MPI
+
+namespace {
+
+MPI_Datatype mpi_type(double) { return MPI_DOUBLE; }
+MPI_Datatype mpi_type(float) { return MPI_FLOAT; }
+
+/// Allgather every rank's local vector (equal lengths, checked) into the
+/// rank-ordered RankData the shared combine consumes.
+template <typename T>
+collective::RankDataT<T> gather_contributions(const std::vector<T>& local,
+                                              std::size_t ranks) {
+  unsigned long n = local.size();
+  unsigned long extents[2] = {n, n};
+  MPI_Allreduce(MPI_IN_PLACE, &extents[0], 1, MPI_UNSIGNED_LONG, MPI_MIN,
+                MPI_COMM_WORLD);
+  MPI_Allreduce(MPI_IN_PLACE, &extents[1], 1, MPI_UNSIGNED_LONG, MPI_MAX,
+                MPI_COMM_WORLD);
+  if (extents[0] != extents[1]) {
+    throw std::invalid_argument(
+        "MpiProcessGroup::allreduce: rank vector length mismatch");
+  }
+  std::vector<T> flat(ranks * local.size());
+  MPI_Allgather(local.data(), static_cast<int>(local.size()), mpi_type(T{}),
+                flat.data(), static_cast<int>(local.size()), mpi_type(T{}),
+                MPI_COMM_WORLD);
+  collective::RankDataT<T> contributions(ranks);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    contributions[r].assign(
+        flat.begin() + static_cast<std::ptrdiff_t>(r * local.size()),
+        flat.begin() + static_cast<std::ptrdiff_t>((r + 1) * local.size()));
+  }
+  return contributions;
+}
+
+template <typename T>
+std::vector<T> mpi_allreduce(const collective::RankDataT<T>& contributions,
+                             std::size_t ranks,
+                             collective::Algorithm algorithm,
+                             const core::EvalContext& ctx,
+                             std::size_t block_elements) {
+  if (contributions.size() != 1) {
+    throw std::invalid_argument(
+        "MpiProcessGroup::allreduce: pass exactly this rank's local buffer");
+  }
+  const auto gathered = gather_contributions(contributions.front(), ranks);
+  return combine(gathered, algorithm, ctx, block_elements);
+}
+
+}  // namespace
+
+MpiProcessGroup::MpiProcessGroup() {
+  int initialized = 0;
+  MPI_Initialized(&initialized);
+  if (!initialized) {
+    throw std::runtime_error(
+        "MpiProcessGroup: MPI_Init must run before constructing the group");
+  }
+  int size = 0;
+  int rank = 0;
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  size_ = static_cast<std::size_t>(size);
+  rank_ = static_cast<std::size_t>(rank);
+}
+
+std::vector<double> MpiProcessGroup::allreduce(
+    const collective::RankData& contributions,
+    collective::Algorithm algorithm, const core::EvalContext& ctx,
+    std::size_t block_elements) {
+  return mpi_allreduce(contributions, size_, algorithm, ctx, block_elements);
+}
+
+std::vector<float> MpiProcessGroup::allreduce(
+    const collective::RankDataF& contributions,
+    collective::Algorithm algorithm, const core::EvalContext& ctx,
+    std::size_t block_elements) {
+  return mpi_allreduce(contributions, size_, algorithm, ctx, block_elements);
+}
+
+std::unique_ptr<ProcessGroup> make_mpi_process_group() {
+  return std::make_unique<MpiProcessGroup>();
+}
+
+#endif  // FPNA_HAVE_MPI
+
+}  // namespace fpna::comm

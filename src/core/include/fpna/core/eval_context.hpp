@@ -91,6 +91,14 @@ struct EvalContext {
     return kDefault;
   }
 
+  /// Convenience: this context with a different registry-selected
+  /// accumulator (per-bucket selection in comm, per-row sweeps in bench).
+  EvalContext with_accumulator(fp::AlgorithmId id) const noexcept {
+    EvalContext copy = *this;
+    copy.accumulator = id;
+    return copy;
+  }
+
   /// Convenience: a context committed to the non-deterministic path (the
   /// seed's reduce/collective entry points never consulted the global
   /// switch; their wrappers preserve that via this factory).

@@ -1,0 +1,177 @@
+#include "fpna/dl/data_parallel.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "fpna/comm/bucketed_allreduce.hpp"
+#include "fpna/dl/adam.hpp"
+#include "fpna/dl/layers.hpp"
+
+namespace fpna::dl {
+
+namespace {
+
+/// Per-parameter gradient buffers flattened to one TensorList entry each
+/// (FP32, the wire type of the exchange - as NCCL/MPI gradient buckets).
+comm::TensorList<float> gradient_tensors(GraphSageModel& model) {
+  comm::TensorList<float> tensors;
+  for (auto& [param, grad] : model.parameters()) {
+    (void)param;
+    tensors.emplace_back(grad->data().begin(), grad->data().end());
+  }
+  return tensors;
+}
+
+void write_gradients(GraphSageModel& model,
+                     const comm::TensorList<float>& tensors) {
+  std::size_t t = 0;
+  for (auto& [param, grad] : model.parameters()) {
+    (void)param;
+    const auto& flat = tensors[t++];
+    std::copy(flat.begin(), flat.end(), grad->data().begin());
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<char>> shard_train_mask(
+    const std::vector<char>& train_mask, std::size_t ranks,
+    ShardSplit split) {
+  if (ranks == 0) throw std::invalid_argument("shard_train_mask: zero ranks");
+  std::vector<std::vector<char>> masks(
+      ranks, std::vector<char>(train_mask.size(), 0));
+  std::vector<std::size_t> train_nodes;
+  for (std::size_t v = 0; v < train_mask.size(); ++v) {
+    if (train_mask[v]) train_nodes.push_back(v);
+  }
+  if (split == ShardSplit::kRoundRobin) {
+    for (std::size_t i = 0; i < train_nodes.size(); ++i) {
+      masks[i % ranks][train_nodes[i]] = 1;
+    }
+    return masks;
+  }
+  const auto sizes = collective::shard_sizes(train_nodes.size(), ranks);
+  std::size_t next = 0;
+  for (std::size_t r = 0; r < ranks; ++r) {
+    for (std::size_t i = 0; i < sizes[r]; ++i) {
+      masks[r][train_nodes[next++]] = 1;
+    }
+  }
+  return masks;
+}
+
+TrainResult train_data_parallel(const Dataset& dataset,
+                                const DataParallelConfig& config,
+                                core::RunContext& run) {
+  comm::SimProcessGroup pg(config.ranks);
+  return train_data_parallel(dataset, config, run, pg);
+}
+
+TrainResult train_data_parallel(const Dataset& dataset,
+                                const DataParallelConfig& config,
+                                core::RunContext& run,
+                                comm::ProcessGroup& pg) {
+  if (config.base.epochs <= 0) {
+    throw std::invalid_argument("train_data_parallel: epochs <= 0");
+  }
+  if (pg.size() != config.ranks ||
+      pg.local_contributions() != config.ranks) {
+    throw std::invalid_argument(
+        "train_data_parallel: the group must play every configured rank");
+  }
+  const std::size_t ranks = config.ranks;
+
+  // Every rank starts from the same init seed and applies identical
+  // averaged gradients, so one model instance stands in for all replicas.
+  // It must live at its final address before Adam takes parameter
+  // pointers (same constraint as dl::train).
+  TrainResult result{GraphSageModel(dataset.num_features(),
+                                    config.base.hidden, dataset.num_classes,
+                                    config.base.init_seed),
+                     {},
+                     {},
+                     {},
+                     0.0};
+
+  const core::EvalContext local_ctx = config.base.eval_context(run);
+  core::EvalContext comm_ctx;
+  comm_ctx.run = &run;
+  comm_ctx.pool = config.pool;
+  comm_ctx.accumulator = config.comm_accumulator;
+
+  comm::BucketedConfig bucketing;
+  bucketing.bucket_cap_elements = config.bucket_cap_elements;
+  bucketing.overlap = config.overlap;
+
+  const auto rank_masks =
+      shard_train_mask(dataset.train_mask, ranks, config.split);
+
+  Adam optimizer(AdamConfig{.lr = config.base.lr});
+  for (auto& [param, grad] : result.model.parameters()) {
+    optimizer.add_parameter(param, grad);
+  }
+
+  // With deterministic local kernels every replica's forward over the
+  // shared weights is bitwise identical (only the loss mask differs per
+  // rank), so one forward pass per epoch serves all P backward passes.
+  // ND local kernels draw scheduling entropy per invocation and keep the
+  // per-rank forwards.
+  const bool shared_forward = !local_ctx.nondeterministic();
+
+  for (int epoch = 0; epoch < config.base.epochs; ++epoch) {
+    std::vector<comm::TensorList<float>> rank_grads;
+    rank_grads.reserve(ranks);
+    double loss_total = 0.0;
+    GraphSageModel::ForwardCache shared_cache;
+    Matrix shared_log_probs;
+    if (shared_forward) {
+      shared_log_probs = result.model.forward(
+          dataset.features, dataset.graph, local_ctx, &shared_cache);
+    }
+    for (std::size_t r = 0; r < ranks; ++r) {
+      GraphSageModel::ForwardCache rank_cache;
+      if (!shared_forward) {
+        shared_log_probs = result.model.forward(
+            dataset.features, dataset.graph, local_ctx, &rank_cache);
+      }
+      const GraphSageModel::ForwardCache& cache =
+          shared_forward ? shared_cache : rank_cache;
+      const LossResult loss = nll_loss_masked(
+          shared_log_probs, dataset.labels, rank_masks[r], local_ctx);
+      loss_total += loss.loss;
+      result.model.zero_grad();
+      result.model.backward(cache, loss.d_logits, dataset.graph, local_ctx);
+      rank_grads.push_back(gradient_tensors(result.model));
+    }
+    result.epoch_losses.push_back(loss_total / static_cast<double>(ranks));
+
+    comm::TensorList<float> combined = comm::bucketed_allreduce(
+        pg, rank_grads, config.algorithm, comm_ctx, bucketing);
+    // DDP averaging: the exchanged sum of per-shard mean-loss gradients,
+    // divided by the rank count (exact for ranks == 1).
+    for (auto& tensor : combined) {
+      for (float& g : tensor) g /= static_cast<float>(ranks);
+    }
+    result.model.zero_grad();
+    write_gradients(result.model, combined);
+    optimizer.step();
+
+    if (config.base.snapshot_epochs) {
+      result.epoch_weights.push_back(result.model.flattened_weights());
+    }
+  }
+
+  result.final_weights = result.model.flattened_weights();
+
+  // Accuracy with the deterministic forward, mirroring dl::train.
+  core::EvalContext det_ctx;
+  det_ctx.accumulator = config.base.accumulator;
+  const Matrix final_probs = result.model.forward(
+      dataset.features, dataset.graph, det_ctx, nullptr);
+  result.train_accuracy =
+      accuracy(final_probs, dataset.labels, &dataset.train_mask);
+  return result;
+}
+
+}  // namespace fpna::dl

@@ -74,6 +74,27 @@ class SerialAccumulator {
 /// elements are summed serially, then combined in binary-carry order - the
 /// same O(log n) error growth as the recursive cascade of sum_pairwise,
 /// with O(log n) state instead of the whole input.
+///
+/// Parity contract with the one-shot sum_pairwise(v, 32) (pinned by
+/// regression tests in fp_test):
+///
+///   * streaming one whole span through add() yields the one-shot result
+///     bit for bit: sum_pairwise splits at the largest power of two
+///     strictly below n, so every leaf is a serial fold of the same
+///     32-aligned block and every internal add pairs the same binary-
+///     counter levels in the same left/right order the carry chain and
+///     result() use (signed-zero caveat: result() seeds the fold with
+///     +0.0, so an input whose lowest-level partial is -0.0 rounds to
+///     +0.0 where the one-shot preserves -0.0);
+///   * merge() does NOT splice the other cascade's levels - it folds the
+///     other accumulator's *rounded* result in as one element of this
+///     stream. Chunked accumulation therefore associates the chunk
+///     boundaries differently from the one-shot over the concatenated
+///     input and generally lands on different bits (deterministic for a
+///     fixed chunking; exact_merge stays false). This is the documented
+///     behaviour, chosen over splicing: splicing would make merge bits
+///     depend on both cascades' internal fill state, which a thread-pool
+///     reduction cannot fix in advance.
 template <typename T = double>
 class PairwiseAccumulator {
  public:

@@ -22,7 +22,10 @@ enum class Reduce { kSum, kMean, kProd, kAmax, kAmin };
 const char* to_string(Reduce reduce) noexcept;
 
 /// out = self; out[.., index[k], ..] += alpha * source[.., k, ..] along
-/// `dim` (slice-wise). index.numel() must equal source.size(dim).
+/// `dim` (slice-wise). index.numel() must equal source.size(dim). The
+/// deterministic path runs on ctx.pool when one is set (parallel_for over
+/// destination groups, bitwise identical to the serial deterministic path
+/// for every registered accumulator).
 template <typename T>
 Tensor<T> index_add(const Tensor<T>& self, std::int64_t dim,
                     const Tensor<std::int64_t>& index,

@@ -11,6 +11,7 @@
 #include "fpna/fp/accumulator.hpp"
 #include "fpna/sim/scheduler.hpp"
 #include "fpna/util/permutation.hpp"
+#include "fpna/util/thread_pool.hpp"
 
 namespace fpna::tensor {
 
@@ -222,11 +223,79 @@ std::vector<Contribution> elementwise_contributions(
 /// issue order. The serial algorithm is special-cased to the classic
 /// in-place loop - bitwise identical to the seed implementation and free
 /// of the per-destination grouping cost.
+/// Destination-grouped parallel execution of the deterministic reduction:
+/// contributions are bucketed per destination (stable counting sort keeps
+/// issue order within a destination), and the destinations split across
+/// ctx.pool with parallel_for. Each destination's fold is exactly the
+/// stream the serial path produces - seed with self, contributions in
+/// issue order - and destinations never alias, so the result is bitwise
+/// identical to the serial deterministic path for every accumulator and
+/// every thread count / OS schedule, by construction.
+template <typename T, typename ValueOf>
+void accumulate_deterministic_pooled(Tensor<T>& out,
+                                     const std::vector<Contribution>& contribs,
+                                     const OpContext& ctx, bool seed_self,
+                                     const ValueOf& value_of) {
+  const auto numel = static_cast<std::size_t>(out.numel());
+  std::vector<std::size_t> offsets(numel + 1, 0);
+  for (const auto& c : contribs) {
+    ++offsets[static_cast<std::size_t>(c.dst) + 1];
+  }
+  for (std::size_t d = 0; d < numel; ++d) offsets[d + 1] += offsets[d];
+  std::vector<std::size_t> grouped(contribs.size());
+  {
+    std::vector<std::size_t> fill(offsets.begin(), offsets.end() - 1);
+    for (std::size_t k = 0; k < contribs.size(); ++k) {
+      grouped[fill[static_cast<std::size_t>(contribs[k].dst)]++] = k;
+    }
+  }
+  std::vector<std::size_t> destinations;
+  for (std::size_t d = 0; d < numel; ++d) {
+    if (offsets[d + 1] > offsets[d]) destinations.push_back(d);
+  }
+  fp::visit_algorithm(ctx.accumulator_in_effect(), [&](auto tag) {
+    using Acc = typename decltype(tag)::template accumulator_t<T>;
+    ctx.pool->parallel_for(
+        destinations.size(),
+        [&](std::size_t begin, std::size_t end, std::size_t) {
+          for (std::size_t j = begin; j < end; ++j) {
+            const std::size_t d = destinations[j];
+            if constexpr (std::is_same_v<Acc, fp::SerialAccumulator<T>>) {
+              if (seed_self) {
+                // The classic in-place fold, not a +0.0-seeded
+                // accumulator: preserves the serial path's signed-zero
+                // bits ((-0.0) + (-0.0) stays -0.0).
+                T value = out.flat(static_cast<std::int64_t>(d));
+                for (std::size_t g = offsets[d]; g < offsets[d + 1]; ++g) {
+                  value = static_cast<T>(value +
+                                         value_of(contribs[grouped[g]]));
+                }
+                out.flat(static_cast<std::int64_t>(d)) = value;
+                continue;
+              }
+            }
+            Acc acc;
+            if (seed_self) {
+              acc.add(out.flat(static_cast<std::int64_t>(d)));
+            }
+            for (std::size_t g = offsets[d]; g < offsets[d + 1]; ++g) {
+              acc.add(value_of(contribs[grouped[g]]));
+            }
+            out.flat(static_cast<std::int64_t>(d)) = acc.result();
+          }
+        });
+  });
+}
+
 template <typename T, typename ValueOf>
 void accumulate_deterministic(Tensor<T>& out,
                               const std::vector<Contribution>& contribs,
                               const OpContext& ctx, bool seed_self,
                               ValueOf&& value_of) {
+  if (ctx.pool != nullptr && ctx.pool->size() > 1 && contribs.size() > 1) {
+    accumulate_deterministic_pooled(out, contribs, ctx, seed_self, value_of);
+    return;
+  }
   fp::visit_algorithm(
       ctx.accumulator_in_effect(), [&](auto tag) {
     using Acc = typename decltype(tag)::template accumulator_t<T>;

@@ -31,8 +31,9 @@ class ThreadPool {
 
   /// Splits [0, n) into `chunks` contiguous ranges (default: one per
   /// worker) and runs body(begin, end, chunk_index) on the pool. Blocks
-  /// until every chunk completes. Exceptions propagate from the first
-  /// failing chunk.
+  /// until every chunk completes - including when one throws; the first
+  /// failing chunk's exception is rethrown only after the join, so `body`
+  /// and the caller's captures never outlive a running chunk.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t,
                                              std::size_t)>& body,

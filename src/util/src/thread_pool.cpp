@@ -55,7 +55,17 @@ void ThreadPool::parallel_for(
     futures.push_back(submit([&body, begin, end, c] { body(begin, end, c); }));
     begin = end;
   }
-  for (auto& future : futures) future.get();
+  // Join every chunk before propagating: rethrowing mid-join would let
+  // still-running chunks outlive `body` and the caller's captures.
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void ThreadPool::worker_loop() {

@@ -190,6 +190,59 @@ TEST(Summation, PairwiseBaseCaseDoesNotChangeExactness) {
   }
 }
 
+TEST(Summation, PairwiseStreamingParityWithOneShot) {
+  // Pins the PairwiseAccumulator parity contract (see the header): a
+  // whole span streamed through add() reproduces one-shot
+  // sum_pairwise(v, 32) bit for bit - the one-shot's power-of-two splits
+  // fold the same 32-aligned blocks in the same binary-counter order -
+  // for every tail length.
+  for (const std::size_t n :
+       {1u, 5u, 31u, 32u, 33u, 63u, 64u, 96u, 100u, 1237u, 4096u, 100001u}) {
+    const auto v = random_values(n, -1e6, 1e6, 11 + n);
+    PairwiseAccumulator<double> acc;
+    acc.add(std::span<const double>(v));
+    EXPECT_TRUE(bitwise_equal(acc.result(), sum_pairwise(v, 32)))
+        << "n = " << n;
+  }
+}
+
+TEST(Summation, PairwiseMergeAssociatesTailDifferently) {
+  // The other half of the contract: merge() folds the other cascade's
+  // *rounded* result in as a single element, so chunked accumulation
+  // associates the chunk boundary differently from the one-shot over the
+  // concatenation. On ill-conditioned data the bits move (while staying
+  // deterministic for a fixed chunking) - pinned here so a future
+  // "fix" that silently changes merge association fails loudly.
+  util::Xoshiro256pp rng(99);
+  std::size_t diverged = 0;
+  constexpr std::size_t kTrials = 32;
+  for (std::size_t trial = 0; trial < kTrials; ++trial) {
+    const std::size_t n = 64 + rng() % 4000;
+    std::vector<double> v(n);
+    for (auto& x : v) {
+      const double mag = std::ldexp(1.0, static_cast<int>(rng() % 80) - 40);
+      x = ((rng() & 1) ? mag : -mag) *
+          (1.0 + static_cast<double>(rng() % 1000) * 1e-3);
+    }
+    const std::size_t cut = 1 + rng() % n;
+    const auto chunked = [&] {
+      PairwiseAccumulator<double> a;
+      PairwiseAccumulator<double> b;
+      a.add(std::span<const double>(v).first(cut));
+      b.add(std::span<const double>(v).subspan(cut));
+      a.merge(b);
+      return a.result();
+    };
+    const double merged = chunked();
+    if (!bitwise_equal(merged, sum_pairwise(v, 32))) ++diverged;
+    // Deterministic for the fixed chunking even where it diverges.
+    EXPECT_TRUE(bitwise_equal(merged, chunked()));
+  }
+  // Empirically >half the trials diverge on this distribution; require a
+  // healthy fraction so the property cannot rot into vacuity.
+  EXPECT_GE(diverged, kTrials / 4);
+}
+
 TEST(Summation, VectorizedLanesChangeRounding) {
   // Demonstrates the TPRC compiler-sensitivity the paper mentions: lane
   // count changes association, and may change the rounded value.

@@ -10,6 +10,9 @@
 
 #include "fpna/core/metrics.hpp"
 #include "fpna/core/run_context.hpp"
+#include "fpna/fp/accumulator.hpp"
+#include "fpna/util/rng.hpp"
+#include "fpna/util/thread_pool.hpp"
 #include "fpna/tensor/conv_transpose.hpp"
 #include "fpna/tensor/determinism.hpp"
 #include "fpna/tensor/extra_ops.hpp"
@@ -147,6 +150,82 @@ TEST(IndexAdd, Validation) {
   const TensorF bad_cols(Shape{2, 5});
   EXPECT_THROW(index_add(self, 0, make_index({0, 1}), bad_cols),
                std::invalid_argument);
+}
+
+TEST(IndexAdd, PooledDeterministicPathIsBitIdenticalToSerial) {
+  // ROADMAP item: the deterministic path consumes EvalContext.pool via
+  // parallel_for over destination groups. Bit-identity with the
+  // single-thread path must hold for every registered accumulator and
+  // any pool size, by construction (per-destination folds are identical
+  // streams; destinations never alias).
+  util::Xoshiro256pp rng(5);
+  auto w = make_index_add_workload<float>(200, 0.2, rng);
+  for (const auto& entry : fp::AlgorithmRegistry::instance().entries()) {
+    OpContext serial_ctx;
+    serial_ctx.accumulator = entry.id;
+    const auto serial = index_add(w.self, 0, w.index, w.source, 1.0f,
+                                  serial_ctx);
+    for (const std::size_t threads : {2u, 5u}) {
+      util::ThreadPool pool(threads);
+      OpContext pooled_ctx;
+      pooled_ctx.accumulator = entry.id;
+      pooled_ctx.pool = &pool;
+      const auto pooled = index_add(w.self, 0, w.index, w.source, 1.0f,
+                                    pooled_ctx);
+      EXPECT_TRUE(pooled.bitwise_equal(serial))
+          << entry.name << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST(IndexAdd, PooledSerialPathPreservesSignedZero) {
+  // (-0.0) + (-0.0) = -0.0, but a +0.0-seeded accumulator would round the
+  // destination to +0.0: the pooled serial path must use the in-place
+  // fold, like the single-thread serial path.
+  const auto self = TensorF::from_data(Shape{2}, {-0.0f, 1.0f});
+  const auto source = TensorF::from_data(Shape{3}, {-0.0f, -0.0f, 2.0f});
+  const auto index = make_index({0, 0, 1});
+  const auto serial = index_add(self, 0, index, source);
+  util::ThreadPool pool(2);
+  OpContext pooled_ctx;
+  pooled_ctx.pool = &pool;
+  const auto pooled = index_add(self, 0, index, source, 1.0f, pooled_ctx);
+  EXPECT_TRUE(pooled.bitwise_equal(serial));
+  EXPECT_TRUE(std::signbit(pooled.at({0})));
+}
+
+TEST(ScatterReduce, PooledDeterministicPathIsBitIdenticalToSerial) {
+  // The destination-grouped pool path also carries scatter_reduce's
+  // sum-family deterministic reduction.
+  util::Xoshiro256pp rng(6);
+  const auto self = TensorF::from_data(Shape{5}, {1, 2, 3, 4, 5});
+  std::vector<std::int64_t> idx(64);
+  std::vector<float> src(64);
+  const util::UniformReal dist(-100.0, 100.0);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    idx[i] = static_cast<std::int64_t>(rng() % 5);
+    src[i] = static_cast<float>(dist(rng));
+  }
+  const auto index = TensorI::from_data(Shape{64}, std::move(idx));
+  const auto source = TensorF::from_data(Shape{64}, std::move(src));
+  util::ThreadPool pool(3);
+  for (const auto id :
+       {fp::AlgorithmId::kKahan, fp::AlgorithmId::kSuperaccumulator}) {
+    OpContext serial_ctx;
+    serial_ctx.accumulator = id;
+    OpContext pooled_ctx;
+    pooled_ctx.accumulator = id;
+    pooled_ctx.pool = &pool;
+    for (const bool include_self : {true, false}) {
+      const auto serial = scatter_reduce(self, 0, index, source,
+                                         Reduce::kSum, include_self,
+                                         serial_ctx);
+      const auto pooled = scatter_reduce(self, 0, index, source,
+                                         Reduce::kSum, include_self,
+                                         pooled_ctx);
+      EXPECT_TRUE(pooled.bitwise_equal(serial));
+    }
+  }
 }
 
 TEST(IndexAdd, NdPathVariesDPathDoesNot) {
