@@ -1,14 +1,21 @@
 #pragma once
-// Shared helpers for the experiment harnesses: seeded data generation and
-// the standard CLI contract (--runs, --size, --seed, --full, --csv).
+// Shared helpers for the experiment harnesses: seeded data generation,
+// the standard CLI contract (--runs, --size, --seed, --full, --csv,
+// --json=<path>), bit-pattern fingerprints and the machine-readable JSON
+// emitter behind the CI determinism gate.
 
+#include <bit>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "fpna/util/cli.hpp"
 #include "fpna/util/rng.hpp"
+#include "fpna/util/table.hpp"
 
 namespace fpna::bench {
 
@@ -28,6 +35,107 @@ inline std::vector<double> normal_array(std::size_t n, double mean,
   std::vector<double> v(n);
   for (auto& x : v) x = dist(rng);
   return v;
+}
+
+// ------------------------------------------------ bit fingerprints -------
+
+/// FNV-1a 64-bit over a stream of words: two buffers share a fingerprint
+/// iff (modulo a hash collision) they share every bit - the "bits" column
+/// the CI determinism gate diffs across two bench runs.
+class BitFingerprint {
+ public:
+  void feed(std::uint64_t word) noexcept {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash_ ^= (word >> (8 * byte)) & 0xffu;
+      hash_ *= 1099511628211ull;
+    }
+  }
+  void feed(double x) noexcept { feed(std::bit_cast<std::uint64_t>(x)); }
+  void feed(float x) noexcept {
+    feed(static_cast<std::uint64_t>(std::bit_cast<std::uint32_t>(x)));
+  }
+  template <typename T>
+  void feed(std::span<const T> values) noexcept {
+    for (const T v : values) feed(v);
+  }
+  std::uint64_t value() const noexcept { return hash_; }
+
+  /// Fixed-width hex, the form the JSON/table columns carry.
+  std::string hex() const {
+    static const char* digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 0; i < 16; ++i) {
+      out[static_cast<std::size_t>(15 - i)] = digits[(hash_ >> (4 * i)) & 0xf];
+    }
+    return out;
+  }
+
+ private:
+  std::uint64_t hash_ = 1469598103934665603ull;  // FNV offset basis
+};
+
+// ------------------------------------------------------ JSON emitter -----
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* digits = "0123456789abcdef";
+          out += "\\u00";
+          out += digits[(c >> 4) & 0xf];
+          out += digits[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct NamedTable {
+  std::string name;
+  const util::Table* table = nullptr;
+};
+
+/// Writes the bench's tables as one JSON document:
+///   {"bench": <name>, "tables": [{"name", "headers", "rows"}, ...]}
+/// scripts/bench_json_diff.py compares the bit-pattern columns (headers
+/// containing "bits" or "ulps") of rows whose reproducibility column
+/// ("reproducible" / "run-to-run stable") reads "yes" across two dumps.
+inline void write_json(const std::string& path, const std::string& bench_name,
+                       const std::vector<NamedTable>& tables) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_json: cannot open " + path);
+  const auto emit_strings = [&out](const std::vector<std::string>& values) {
+    out << "[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << '"' << json_escape(values[i]) << '"';
+    }
+    out << "]";
+  };
+  out << "{\n  \"bench\": \"" << json_escape(bench_name)
+      << "\",\n  \"tables\": [";
+  for (std::size_t t = 0; t < tables.size(); ++t) {
+    out << (t == 0 ? "" : ",") << "\n    {\n      \"name\": \""
+        << json_escape(tables[t].name) << "\",\n      \"headers\": ";
+    emit_strings(tables[t].table->headers());
+    out << ",\n      \"rows\": [";
+    const auto& rows = tables[t].table->row_data();
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      out << (r == 0 ? "" : ",") << "\n        ";
+      emit_strings(rows[r]);
+    }
+    out << (rows.empty() ? "]" : "\n      ]") << "\n    }";
+  }
+  out << (tables.empty() ? "]" : "\n  ]") << "\n}\n";
+  if (!out) throw std::runtime_error("write_json: write failed: " + path);
 }
 
 /// Warns about unknown flags (after all lookups) and returns the count.

@@ -16,7 +16,10 @@
 //     the association.
 //
 // Flags: --size (total elements, default 32768), --tensors, --samples,
-//        --threads (pool size for overlap), --reps, --seed, --csv
+//        --threads (pool size for overlap), --reps, --seed, --csv,
+//        --json=<path> (machine-readable dump for the CI determinism
+//        gate: run-to-run stable rows must keep identical bit columns
+//        across two invocations, see scripts/bench_json_diff.py)
 
 #include <algorithm>
 #include <cstdint>
@@ -74,6 +77,14 @@ bool bitwise_equal(const comm::TensorList<double>& a,
   return true;
 }
 
+std::string fingerprint(const comm::TensorList<double>& tensors) {
+  bench::BitFingerprint fp;
+  for (const auto& tensor : tensors) {
+    fp.feed(std::span<const double>(tensor));
+  }
+  return fp.hex();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -85,6 +96,7 @@ int main(int argc, char** argv) {
   const auto reps = static_cast<std::size_t>(cli.integer("reps", 3));
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 42));
   const bool csv = cli.flag("csv");
+  const std::string json = cli.text("json", "");
 
   const auto sizes = gradient_shaped_sizes(total, tensors);
   std::size_t elements = 0;
@@ -119,7 +131,7 @@ int main(int argc, char** argv) {
 
   util::Table table({"ranks", "bucket cap", "algorithm", "overlap",
                      "ms/reduce", "Melem/s", "run-to-run stable",
-                     "max ulps vs exact"});
+                     "max ulps vs exact", "bits"});
   for (const std::size_t ranks : {2u, 8u, 32u}) {
     comm::SimProcessGroup pg(ranks);
     std::vector<std::size_t> owner(samples);
@@ -160,10 +172,14 @@ int main(int argc, char** argv) {
                          overlap ? "on" : "off", util::fixed(ms, 3),
                          util::fixed(melem_s, 1),
                          bitwise_equal(value_a, value_b) ? "yes" : "NO",
-                         std::to_string(max_ulps(value_a, exact))});
+                         std::to_string(max_ulps(value_a, exact)),
+                         fingerprint(value_a)});
         }
       }
     }
+  }
+  if (!json.empty()) {
+    bench::write_json(json, "bucketed_allreduce", {{"sweep", &table}});
   }
   if (csv) {
     table.print_csv(std::cout);

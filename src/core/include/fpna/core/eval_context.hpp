@@ -99,6 +99,15 @@ struct EvalContext {
     return copy;
   }
 
+  /// Convenience: this context running on `pool` (nullptr: serial). The
+  /// pool-parallel kernel paths are bitwise identical to serial, so this
+  /// swaps wall-clock behaviour only (thread sweeps in bench/tests).
+  EvalContext with_pool(util::ThreadPool* p) const noexcept {
+    EvalContext copy = *this;
+    copy.pool = p;
+    return copy;
+  }
+
   /// Convenience: a context committed to the non-deterministic path (the
   /// seed's reduce/collective entry points never consulted the global
   /// switch; their wrappers preserve that via this factory).

@@ -31,15 +31,18 @@ Matrix mean_aggregate_backward(const Matrix& d_out, const Graph& graph,
                                const tensor::OpContext& ctx);
 
 /// Fully connected layer y = x W + b, weights Glorot-uniform initialised.
+/// The matmuls run on ctx.pool when one is provided - bitwise identical
+/// to serial for every registry accumulator (row-blocked, see linalg.hpp).
 class Linear {
  public:
   Linear(std::int64_t in_features, std::int64_t out_features,
          util::Xoshiro256pp& rng);
 
-  Matrix forward(const Matrix& x) const;
+  Matrix forward(const Matrix& x, const core::EvalContext& ctx = {}) const;
 
   /// Accumulates dW, db and returns dX. `x` must be the forward input.
-  Matrix backward(const Matrix& x, const Matrix& d_out);
+  Matrix backward(const Matrix& x, const Matrix& d_out,
+                  const core::EvalContext& ctx = {});
 
   void zero_grad();
 

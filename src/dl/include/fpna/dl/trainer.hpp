@@ -29,10 +29,16 @@ struct TrainConfig {
   /// default H100).
   const sim::DeviceProfile* profile = nullptr;
   /// Registry-selected accumulation algorithm threaded through the whole
-  /// training EvalContext: neighbour aggregation (index_add), the loss
-  /// reduction, and any other deterministic accumulation the kernels
-  /// perform. kSerial reproduces the seed's training values bitwise.
+  /// training EvalContext: neighbour aggregation (index_add), the dense
+  /// matmul family, the loss reduction, and any other deterministic
+  /// accumulation the kernels perform. kSerial reproduces the seed's
+  /// training values bitwise.
   fp::AlgorithmId accumulator = fp::AlgorithmId::kSerial;
+  /// Thread pool the dense kernels (matmul family) and the deterministic
+  /// index_add run on (nullptr: serial). Pooled execution is bitwise
+  /// identical to serial for every accumulator and thread count, so this
+  /// field changes wall-clock only (certified in dl_test).
+  util::ThreadPool* pool = nullptr;
   /// Record flattened weights after every epoch (needed by the epoch-
   /// variability experiment; costs memory).
   bool snapshot_epochs = false;
@@ -46,6 +52,7 @@ struct TrainConfig {
       ctx.profile = profile;
     }
     ctx.accumulator = accumulator;
+    ctx.pool = pool;
     return ctx;
   }
 };
@@ -87,10 +94,24 @@ struct ModelDims {
   static ModelDims of(const Dataset& dataset, std::int64_t hidden);
 };
 
+/// Measured host wall-clock (microseconds) of one forward pass's dense
+/// matmul work at `dims`: runs the model's four layer GEMMs (self +
+/// neighbour branch at input and hidden widths) through dl::matmul on
+/// this host - pool and accumulator per `ctx` - and returns the best of
+/// `reps` timings. A real measurement, not a model: when the kernels go
+/// parallel the number moves with them. Results are cached per
+/// (dims, pool width), so repeated table lookups cost one run.
+double measured_dense_forward_us(const ModelDims& dims,
+                                 const core::EvalContext& ctx = {},
+                                 int reps = 1);
+
 /// Modelled single-input inference latency on the simulated GPU
 /// (deterministic aggregation kernels vs atomic ones), milliseconds.
 /// Framework overhead plus the per-layer aggregation kernel costs from
-/// the cost model; calibrated to the paper's Table 8 at Cora scale.
+/// the cost model; the dense term is measured on the host
+/// (measured_dense_forward_us) and projected through the calibrated
+/// host->device dense speedup. Calibrated to the paper's Table 8 at Cora
+/// scale.
 double modeled_gpu_inference_ms(const sim::DeviceProfile& profile,
                                 const ModelDims& dims, bool deterministic);
 

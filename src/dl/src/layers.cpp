@@ -5,18 +5,24 @@
 
 #include "fpna/fp/accumulator.hpp"
 #include "fpna/tensor/indexed_ops.hpp"
+#include "parallel_blocks.hpp"
 
 namespace fpna::dl {
 
 namespace {
 
-/// Scales row r of m by factors[r].
-void scale_rows(Matrix& m, const std::vector<float>& factors) {
+/// Scales row r of m by factors[r]. Rows are independent, so the pooled
+/// path is trivially bitwise identical to serial.
+void scale_rows(Matrix& m, const std::vector<float>& factors,
+                const core::EvalContext& ctx) {
   const std::int64_t cols = m.size(1);
-  for (std::int64_t r = 0; r < m.size(0); ++r) {
-    const float f = factors[static_cast<std::size_t>(r)];
-    for (std::int64_t c = 0; c < cols; ++c) m.flat(r * cols + c) *= f;
-  }
+  detail::for_each_row_block(
+      ctx, m.size(0), cols, [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          const float f = factors[static_cast<std::size_t>(r)];
+          for (std::int64_t c = 0; c < cols; ++c) m.flat(r * cols + c) *= f;
+        }
+      });
 }
 
 std::vector<float> inverse_degrees(const Graph& graph) {
@@ -43,11 +49,11 @@ Matrix mean_aggregate(const Matrix& x, const Graph& graph,
     throw std::invalid_argument("mean_aggregate: feature row count != nodes");
   }
   const Matrix messages = gather_rows(
-      x, graph.edge_src);  // deterministic gather of source features
+      x, graph.edge_src, ctx);  // deterministic gather of source features
   Matrix acc(tensor::Shape{graph.num_nodes, x.size(1)}, 0.0f);
   acc = tensor::index_add(acc, 0, to_index_tensor(graph.edge_dst), messages,
                           1.0f, ctx);
-  scale_rows(acc, inverse_degrees(graph));
+  scale_rows(acc, inverse_degrees(graph), ctx);
   return acc;
 }
 
@@ -58,8 +64,8 @@ Matrix mean_aggregate_backward(const Matrix& d_out, const Graph& graph,
         "mean_aggregate_backward: gradient row count != nodes");
   }
   Matrix scaled = d_out;
-  scale_rows(scaled, inverse_degrees(graph));
-  const Matrix messages = gather_rows(scaled, graph.edge_dst);
+  scale_rows(scaled, inverse_degrees(graph), ctx);
+  const Matrix messages = gather_rows(scaled, graph.edge_dst, ctx);
   Matrix d_x(tensor::Shape{graph.num_nodes, d_out.size(1)}, 0.0f);
   return tensor::index_add(d_x, 0, to_index_tensor(graph.edge_src), messages,
                            1.0f, ctx);
@@ -78,16 +84,17 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features,
   for (auto& w : weight.vec()) w = static_cast<float>(dist(rng));
 }
 
-Matrix Linear::forward(const Matrix& x) const {
-  Matrix y = matmul(x, weight);
-  add_bias_rows(y, bias);
+Matrix Linear::forward(const Matrix& x, const core::EvalContext& ctx) const {
+  Matrix y = matmul(x, weight, ctx);
+  add_bias_rows(y, bias, ctx);
   return y;
 }
 
-Matrix Linear::backward(const Matrix& x, const Matrix& d_out) {
-  grad_weight = add(grad_weight, matmul_transpose_a(x, d_out));
-  grad_bias = add(grad_bias, column_sums(d_out));
-  return matmul_transpose_b(d_out, weight);
+Matrix Linear::backward(const Matrix& x, const Matrix& d_out,
+                        const core::EvalContext& ctx) {
+  grad_weight = add(grad_weight, matmul_transpose_a(x, d_out, ctx), ctx);
+  grad_bias = add(grad_bias, column_sums(d_out, ctx), ctx);
+  return matmul_transpose_b(d_out, weight, ctx);
 }
 
 void Linear::zero_grad() {
@@ -103,10 +110,10 @@ SageConv::SageConv(std::int64_t in_features, std::int64_t out_features,
 Matrix SageConv::forward(const Matrix& x, const Graph& graph,
                          const tensor::OpContext& ctx, Cache* cache) const {
   Matrix h_neigh = mean_aggregate(x, graph, ctx);
-  Matrix out = lin_self.forward(x);
+  Matrix out = lin_self.forward(x, ctx);
   // lin_neigh's bias is folded into lin_self's (one bias per output unit,
   // like PyG's SAGEConv); apply only the matmul here.
-  out = add(out, matmul(h_neigh, lin_neigh.weight));
+  out = add(out, matmul(h_neigh, lin_neigh.weight, ctx), ctx);
   if (cache != nullptr) {
     cache->x = x;
     cache->h_neigh = std::move(h_neigh);
@@ -117,13 +124,14 @@ Matrix SageConv::forward(const Matrix& x, const Graph& graph,
 Matrix SageConv::backward(const Cache& cache, const Matrix& d_out,
                           const Graph& graph, const tensor::OpContext& ctx) {
   // Self path.
-  Matrix d_x = lin_self.backward(cache.x, d_out);
+  Matrix d_x = lin_self.backward(cache.x, d_out, ctx);
   // Neighbour path: through the matmul, then back through aggregation.
-  lin_neigh.grad_weight =
-      add(lin_neigh.grad_weight, matmul_transpose_a(cache.h_neigh, d_out));
-  const Matrix d_h_neigh = matmul_transpose_b(d_out, lin_neigh.weight);
+  lin_neigh.grad_weight = add(
+      lin_neigh.grad_weight, matmul_transpose_a(cache.h_neigh, d_out, ctx),
+      ctx);
+  const Matrix d_h_neigh = matmul_transpose_b(d_out, lin_neigh.weight, ctx);
   const Matrix d_x_agg = mean_aggregate_backward(d_h_neigh, graph, ctx);
-  return add(d_x, d_x_agg);
+  return add(d_x, d_x_agg, ctx);
 }
 
 void SageConv::zero_grad() {

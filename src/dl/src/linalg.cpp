@@ -1,8 +1,19 @@
 #include "fpna/dl/linalg.hpp"
 
+#include <algorithm>
+#include <numeric>
 #include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "fpna/fp/accumulator.hpp"
+#include "fpna/util/permutation.hpp"
+#include "fpna/util/thread_pool.hpp"
+#include "parallel_blocks.hpp"
 
 namespace fpna::dl {
+
+using detail::for_each_row_block;
 
 namespace {
 
@@ -12,54 +23,118 @@ void require_rank2(const Matrix& m, const char* name) {
   }
 }
 
+/// matmul restricted to inner indices [k_begin, k_end): the building block
+/// of both matmul (full range) and matmul_split_k (one chunk per call).
+/// Row-blocked over the output; per element the contributions fold in
+/// ascending p order through the context accumulator, with the serial
+/// algorithm special-cased to the classic i-k-j in-place loop (bitwise
+/// identical to the seed implementation, unit-stride inner loops).
+void matmul_k_range(Matrix& c, const Matrix& a, const Matrix& b,
+                    std::int64_t k_begin, std::int64_t k_end,
+                    const core::EvalContext& ctx) {
+  const std::int64_t m = a.size(0), k = a.size(1), n = b.size(1);
+  fp::visit_algorithm(ctx.accumulator_in_effect(), [&](auto tag) {
+    using Acc = typename decltype(tag)::template accumulator_t<float>;
+    for_each_row_block(
+        ctx, m, (k_end - k_begin) * n, [&](std::int64_t r0, std::int64_t r1) {
+          if constexpr (std::is_same_v<Acc, fp::SerialAccumulator<float>>) {
+            for (std::int64_t i = r0; i < r1; ++i) {
+              for (std::int64_t p = k_begin; p < k_end; ++p) {
+                const float av = a.flat(i * k + p);
+                if (av == 0.0f) continue;
+                const std::int64_t brow = p * n;
+                const std::int64_t crow = i * n;
+                for (std::int64_t j = 0; j < n; ++j) {
+                  c.flat(crow + j) += av * b.flat(brow + j);
+                }
+              }
+            }
+          } else {
+            std::vector<Acc> row(static_cast<std::size_t>(n));
+            for (std::int64_t i = r0; i < r1; ++i) {
+              for (auto& acc : row) acc = Acc{};
+              for (std::int64_t p = k_begin; p < k_end; ++p) {
+                const float av = a.flat(i * k + p);
+                if (av == 0.0f) continue;  // same sparsity skip as serial
+                const std::int64_t brow = p * n;
+                for (std::int64_t j = 0; j < n; ++j) {
+                  row[static_cast<std::size_t>(j)].add(av * b.flat(brow + j));
+                }
+              }
+              for (std::int64_t j = 0; j < n; ++j) {
+                c.flat(i * n + j) = row[static_cast<std::size_t>(j)].result();
+              }
+            }
+          }
+        });
+  });
+}
+
 }  // namespace
 
-Matrix matmul(const Matrix& a, const Matrix& b) {
+Matrix matmul(const Matrix& a, const Matrix& b, const core::EvalContext& ctx) {
   require_rank2(a, "matmul(a)");
   require_rank2(b, "matmul(b)");
   const std::int64_t m = a.size(0), k = a.size(1), n = b.size(1);
   if (b.size(0) != k) throw std::invalid_argument("matmul: inner mismatch");
 
   Matrix c(tensor::Shape{m, n}, 0.0f);
-  // i-k-j loop order: unit-stride inner loops over b and c rows.
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float av = a.flat(i * k + p);
-      if (av == 0.0f) continue;
-      const std::int64_t brow = p * n;
-      const std::int64_t crow = i * n;
-      for (std::int64_t j = 0; j < n; ++j) {
-        c.flat(crow + j) += av * b.flat(brow + j);
-      }
-    }
-  }
+  matmul_k_range(c, a, b, 0, k, ctx);
   return c;
 }
 
-Matrix matmul_transpose_a(const Matrix& a, const Matrix& b) {
+Matrix matmul_transpose_a(const Matrix& a, const Matrix& b,
+                          const core::EvalContext& ctx) {
   require_rank2(a, "matmul_transpose_a(a)");
   require_rank2(b, "matmul_transpose_a(b)");
   const std::int64_t m = a.size(0), k = a.size(1), n = b.size(1);
   if (b.size(0) != m) {
     throw std::invalid_argument("matmul_transpose_a: outer mismatch");
   }
+  // Row-blocked over the *output* rows (the k dimension of A): the seed's
+  // i-p-j loop adds row i's contribution to every output row, so the
+  // parallel form re-nests to p-i-j - per element the same ascending-i
+  // stream, now wholly owned by one task.
   Matrix c(tensor::Shape{k, n}, 0.0f);
-  for (std::int64_t i = 0; i < m; ++i) {
-    const std::int64_t arow = i * k;
-    const std::int64_t brow = i * n;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float av = a.flat(arow + p);
-      if (av == 0.0f) continue;
-      const std::int64_t crow = p * n;
-      for (std::int64_t j = 0; j < n; ++j) {
-        c.flat(crow + j) += av * b.flat(brow + j);
+  fp::visit_algorithm(ctx.accumulator_in_effect(), [&](auto tag) {
+    using Acc = typename decltype(tag)::template accumulator_t<float>;
+    for_each_row_block(ctx, k, m * n, [&](std::int64_t p0, std::int64_t p1) {
+      if constexpr (std::is_same_v<Acc, fp::SerialAccumulator<float>>) {
+        for (std::int64_t p = p0; p < p1; ++p) {
+          const std::int64_t crow = p * n;
+          for (std::int64_t i = 0; i < m; ++i) {
+            const float av = a.flat(i * k + p);
+            if (av == 0.0f) continue;
+            const std::int64_t brow = i * n;
+            for (std::int64_t j = 0; j < n; ++j) {
+              c.flat(crow + j) += av * b.flat(brow + j);
+            }
+          }
+        }
+      } else {
+        std::vector<Acc> row(static_cast<std::size_t>(n));
+        for (std::int64_t p = p0; p < p1; ++p) {
+          for (auto& acc : row) acc = Acc{};
+          for (std::int64_t i = 0; i < m; ++i) {
+            const float av = a.flat(i * k + p);
+            if (av == 0.0f) continue;  // same sparsity skip as serial
+            const std::int64_t brow = i * n;
+            for (std::int64_t j = 0; j < n; ++j) {
+              row[static_cast<std::size_t>(j)].add(av * b.flat(brow + j));
+            }
+          }
+          for (std::int64_t j = 0; j < n; ++j) {
+            c.flat(p * n + j) = row[static_cast<std::size_t>(j)].result();
+          }
+        }
       }
-    }
-  }
+    });
+  });
   return c;
 }
 
-Matrix matmul_transpose_b(const Matrix& a, const Matrix& b) {
+Matrix matmul_transpose_b(const Matrix& a, const Matrix& b,
+                          const core::EvalContext& ctx) {
   require_rank2(a, "matmul_transpose_b(a)");
   require_rank2(b, "matmul_transpose_b(b)");
   const std::int64_t m = a.size(0), k = a.size(1), n = b.size(0);
@@ -67,63 +142,154 @@ Matrix matmul_transpose_b(const Matrix& a, const Matrix& b) {
     throw std::invalid_argument("matmul_transpose_b: inner mismatch");
   }
   Matrix c(tensor::Shape{m, n}, 0.0f);
-  for (std::int64_t i = 0; i < m; ++i) {
-    const std::int64_t arow = i * k;
-    const std::int64_t crow = i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const std::int64_t brow = j * k;
-      float acc = 0.0f;
-      for (std::int64_t p = 0; p < k; ++p) {
-        acc += a.flat(arow + p) * b.flat(brow + p);
+  fp::visit_algorithm(ctx.accumulator_in_effect(), [&](auto tag) {
+    using Acc = typename decltype(tag)::template accumulator_t<float>;
+    for_each_row_block(ctx, m, k * n, [&](std::int64_t r0, std::int64_t r1) {
+      for (std::int64_t i = r0; i < r1; ++i) {
+        const std::int64_t arow = i * k;
+        const std::int64_t crow = i * n;
+        for (std::int64_t j = 0; j < n; ++j) {
+          const std::int64_t brow = j * k;
+          if constexpr (std::is_same_v<Acc, fp::SerialAccumulator<float>>) {
+            float acc = 0.0f;
+            for (std::int64_t p = 0; p < k; ++p) {
+              acc += a.flat(arow + p) * b.flat(brow + p);
+            }
+            c.flat(crow + j) = acc;
+          } else {
+            Acc acc;
+            for (std::int64_t p = 0; p < k; ++p) {
+              acc.add(a.flat(arow + p) * b.flat(brow + p));
+            }
+            c.flat(crow + j) = acc.result();
+          }
+        }
       }
-      c.flat(crow + j) = acc;
-    }
-  }
+    });
+  });
   return c;
 }
 
-Matrix add(const Matrix& a, const Matrix& b) {
+Matrix matmul_split_k(const Matrix& a, const Matrix& b, std::size_t splits,
+                      const core::EvalContext& ctx) {
+  require_rank2(a, "matmul_split_k(a)");
+  require_rank2(b, "matmul_split_k(b)");
+  const std::int64_t m = a.size(0), k = a.size(1), n = b.size(1);
+  if (b.size(0) != k) {
+    throw std::invalid_argument("matmul_split_k: inner mismatch");
+  }
+  if (splits == 0) {
+    throw std::invalid_argument("matmul_split_k: splits == 0");
+  }
+  const auto s = static_cast<std::int64_t>(
+      std::min<std::size_t>(splits, static_cast<std::size_t>(
+                                        std::max<std::int64_t>(1, k))));
+
+  // Per-chunk partials: contiguous near-even k ranges, each computed with
+  // the deterministic kernel (pool and accumulator per ctx).
+  std::vector<Matrix> partials;
+  partials.reserve(static_cast<std::size_t>(s));
+  const std::int64_t base = k / s, rem = k % s;
+  std::int64_t k_begin = 0;
+  for (std::int64_t t = 0; t < s; ++t) {
+    const std::int64_t k_end = k_begin + base + (t < rem ? 1 : 0);
+    partials.emplace_back(tensor::Shape{m, n}, 0.0f);
+    matmul_k_range(partials.back(), a, b, k_begin, k_end, ctx);
+    k_begin = k_end;
+  }
+
+  // Combine order: chunk order on the deterministic path, a fresh draw
+  // from the run's entropy otherwise. One order per *call* - every
+  // element re-associates the same way, as a k-split GEMM's fixed (but
+  // schedule-dependent) reduction tree would.
+  std::vector<std::size_t> order(static_cast<std::size_t>(s));
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (ctx.nondeterministic()) {
+    order = util::random_permutation(order.size(), ctx.run->rng());
+  }
+
+  // The first partial is copied (so splits == 1 is bitwise matmul); the
+  // rest fold in with plain float adds - the re-association under study.
+  Matrix c = partials[order[0]];
+  for_each_row_block(ctx, m, (s - 1) * n, [&](std::int64_t r0,
+                                              std::int64_t r1) {
+    for (std::size_t t = 1; t < order.size(); ++t) {
+      const Matrix& part = partials[order[t]];
+      for (std::int64_t i = r0 * n; i < r1 * n; ++i) {
+        c.flat(i) += part.flat(i);
+      }
+    }
+  });
+  return c;
+}
+
+Matrix add(const Matrix& a, const Matrix& b, const core::EvalContext& ctx) {
   if (!a.same_shape(b)) throw std::invalid_argument("add: shape mismatch");
   Matrix c = a;
-  for (std::int64_t i = 0; i < c.numel(); ++i) c.flat(i) += b.flat(i);
+  for_each_row_block(ctx, c.numel(), 1, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) c.flat(i) += b.flat(i);
+  });
   return c;
 }
 
-void add_bias_rows(Matrix& a, const Matrix& bias) {
+void add_bias_rows(Matrix& a, const Matrix& bias,
+                   const core::EvalContext& ctx) {
   require_rank2(a, "add_bias_rows(a)");
   const std::int64_t n = a.size(1);
   if (bias.numel() != n) {
     throw std::invalid_argument("add_bias_rows: bias length mismatch");
   }
-  for (std::int64_t i = 0; i < a.size(0); ++i) {
-    for (std::int64_t j = 0; j < n; ++j) a.flat(i * n + j) += bias.flat(j);
-  }
+  for_each_row_block(ctx, a.size(0), n, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t i = r0; i < r1; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) a.flat(i * n + j) += bias.flat(j);
+    }
+  });
 }
 
-Matrix column_sums(const Matrix& a) {
+Matrix column_sums(const Matrix& a, const core::EvalContext& ctx) {
   require_rank2(a, "column_sums");
-  const std::int64_t n = a.size(1);
+  const std::int64_t m = a.size(0), n = a.size(1);
   Matrix out(tensor::Shape{n}, 0.0f);
-  for (std::int64_t i = 0; i < a.size(0); ++i) {
-    for (std::int64_t j = 0; j < n; ++j) out.flat(j) += a.flat(i * n + j);
-  }
+  // Column-blocked: the seed's i-j loop folds each column in ascending
+  // row order; re-nesting to j-i keeps every column's stream intact.
+  fp::visit_algorithm(ctx.accumulator_in_effect(), [&](auto tag) {
+    using Acc = typename decltype(tag)::template accumulator_t<float>;
+    for_each_row_block(ctx, n, m, [&](std::int64_t j0, std::int64_t j1) {
+      for (std::int64_t j = j0; j < j1; ++j) {
+        if constexpr (std::is_same_v<Acc, fp::SerialAccumulator<float>>) {
+          for (std::int64_t i = 0; i < m; ++i) {
+            out.flat(j) += a.flat(i * n + j);
+          }
+        } else {
+          Acc acc;
+          for (std::int64_t i = 0; i < m; ++i) acc.add(a.flat(i * n + j));
+          out.flat(j) = acc.result();
+        }
+      }
+    });
+  });
   return out;
 }
 
-Matrix gather_rows(const Matrix& x, const std::vector<std::int64_t>& indices) {
+Matrix gather_rows(const Matrix& x, const std::vector<std::int64_t>& indices,
+                   const core::EvalContext& ctx) {
   require_rank2(x, "gather_rows");
   const std::int64_t cols = x.size(1);
   Matrix out(tensor::Shape{static_cast<std::int64_t>(indices.size()), cols},
              0.0f);
-  for (std::size_t i = 0; i < indices.size(); ++i) {
-    const std::int64_t r = indices[i];
-    if (r < 0 || r >= x.size(0)) {
-      throw std::out_of_range("gather_rows: row index out of range");
-    }
-    for (std::int64_t j = 0; j < cols; ++j) {
-      out.flat(static_cast<std::int64_t>(i) * cols + j) = x.flat(r * cols + j);
-    }
-  }
+  for_each_row_block(
+      ctx, static_cast<std::int64_t>(indices.size()), cols,
+      [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t i = r0; i < r1; ++i) {
+          const std::int64_t r = indices[static_cast<std::size_t>(i)];
+          if (r < 0 || r >= x.size(0)) {
+            throw std::out_of_range("gather_rows: row index out of range");
+          }
+          for (std::int64_t j = 0; j < cols; ++j) {
+            out.flat(i * cols + j) = x.flat(r * cols + j);
+          }
+        }
+      });
   return out;
 }
 

@@ -1,0 +1,49 @@
+#pragma once
+// Internal helper shared by the dl kernels (linalg.cpp, layers.cpp): the
+// row-blocked pool dispatch behind the "bitwise identical to serial by
+// construction" contract. Not installed - implementation detail only.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "fpna/core/eval_context.hpp"
+#include "fpna/util/thread_pool.hpp"
+
+namespace fpna::dl::detail {
+
+/// Chunk count for a row-blocked parallel loop: boundaries derive from
+/// the problem size alone (never the pool width), targeting ~64k scalar
+/// operations per task so tiny kernels don't drown in submit overhead.
+inline std::size_t size_derived_chunks(std::int64_t rows,
+                                       std::int64_t work_per_row) {
+  constexpr std::int64_t kTargetWorkPerChunk = 1 << 16;
+  const std::int64_t rows_per_chunk = std::max<std::int64_t>(
+      1, kTargetWorkPerChunk / std::max<std::int64_t>(1, work_per_row));
+  return static_cast<std::size_t>((rows + rows_per_chunk - 1) /
+                                  rows_per_chunk);
+}
+
+/// Runs body(row_begin, row_end) over [0, rows): serially without a pool
+/// (or with a single-thread one), otherwise row-blocked on the pool. Every
+/// output row is produced by exactly one invocation running the same inner
+/// loops as the serial path, so pooled execution is bitwise identical to
+/// serial by construction - chunk boundaries can only move *which task*
+/// computes a row, never the accumulation stream behind its elements.
+template <typename Body>
+void for_each_row_block(const core::EvalContext& ctx, std::int64_t rows,
+                        std::int64_t work_per_row, const Body& body) {
+  util::ThreadPool* pool = ctx.pool;
+  if (pool == nullptr || pool->size() <= 1 || rows <= 1) {
+    body(std::int64_t{0}, rows);
+    return;
+  }
+  pool->parallel_for(
+      static_cast<std::size_t>(rows),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        body(static_cast<std::int64_t>(begin),
+             static_cast<std::int64_t>(end));
+      },
+      size_derived_chunks(rows, work_per_row));
+}
+
+}  // namespace fpna::dl::detail

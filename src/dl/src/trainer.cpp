@@ -1,10 +1,17 @@
 #include "fpna/dl/trainer.hpp"
 
+#include <algorithm>
+#include <map>
+#include <mutex>
 #include <stdexcept>
+#include <tuple>
 
 #include "fpna/dl/adam.hpp"
 #include "fpna/sim/cost_model.hpp"
 #include "fpna/tensor/op_context.hpp"
+#include "fpna/tensor/workload.hpp"
+#include "fpna/util/thread_pool.hpp"
+#include "fpna/util/timer.hpp"
 
 namespace fpna::dl {
 
@@ -48,9 +55,11 @@ TrainResult train(const Dataset& dataset, const TrainConfig& config,
   result.final_weights = result.model.flattened_weights();
 
   // Accuracy evaluated with the deterministic forward so it reflects the
-  // trained weights, not inference noise.
+  // trained weights, not inference noise. The pool changes wall-clock
+  // only, never bits.
   core::EvalContext det_ctx;
   det_ctx.accumulator = config.accumulator;
+  det_ctx.pool = config.pool;
   const Matrix final_probs =
       result.model.forward(dataset.features, dataset.graph, det_ctx, nullptr);
   result.train_accuracy =
@@ -79,6 +88,52 @@ double accuracy(const Matrix& log_probs,
   }
   return total == 0 ? 0.0
                     : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+double measured_dense_forward_us(const ModelDims& dims,
+                                 const core::EvalContext& ctx, int reps) {
+  // One measurement per (shape, pool width, accumulator): the timing
+  // tables query the same dims many times and must not re-run the
+  // kernels on every call.
+  using Key = std::tuple<std::int64_t, std::int64_t, std::int64_t,
+                         std::int64_t, std::size_t, fp::AlgorithmId>;
+  static std::mutex mutex;
+  static std::map<Key, double> cache;
+  const Key key{dims.nodes, dims.features, dims.hidden, dims.classes,
+                ctx.pool != nullptr ? ctx.pool->size() : std::size_t{0},
+                ctx.accumulator_in_effect()};
+  {
+    const std::lock_guard lock(mutex);
+    const auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
+
+  // Dense random operands (no exploitable sparsity) at the model's
+  // shapes: one SAGEConv layer is two GEMMs per width.
+  util::Xoshiro256pp rng(0x5eedfull);
+  const auto x = tensor::random_uniform<float>(
+      tensor::Shape{dims.nodes, dims.features}, -1.0, 1.0, rng);
+  const auto w1 = tensor::random_uniform<float>(
+      tensor::Shape{dims.features, dims.hidden}, -1.0, 1.0, rng);
+  const auto a1 = tensor::random_uniform<float>(
+      tensor::Shape{dims.nodes, dims.hidden}, -1.0, 1.0, rng);
+  const auto w2 = tensor::random_uniform<float>(
+      tensor::Shape{dims.hidden, dims.classes}, -1.0, 1.0, rng);
+
+  double best_us = 0.0;
+  for (int rep = 0; rep < std::max(1, reps); ++rep) {
+    const util::Timer timer;
+    for (int branch = 0; branch < 2; ++branch) {  // self + neighbour
+      (void)matmul(x, w1, ctx);
+      (void)matmul(a1, w2, ctx);
+    }
+    const double us = timer.elapsed_us();
+    if (rep == 0 || us < best_us) best_us = us;
+  }
+  // On a first-call race the first emplace wins and every caller returns
+  // the cached value, keeping equal-argument calls idempotent.
+  const std::lock_guard lock(mutex);
+  return cache.emplace(key, best_us).first->second;
 }
 
 ModelDims ModelDims::of(const Dataset& dataset, std::int64_t hidden) {
@@ -113,12 +168,20 @@ double modeled_gpu_inference_ms(const sim::DeviceProfile& profile,
     agg_us += t.value();  // index_add has both paths on every profile
   }
 
-  // Dense matmuls are tensor-core work, bandwidth-limited streaming.
-  const double flops = 2.0 * 2.0 *
-                       static_cast<double>(dims.nodes) *
-                       (static_cast<double>(dims.features * dims.hidden) +
-                        static_cast<double>(dims.hidden * dims.classes));
-  const double matmul_us = flops / (20e6);  // ~20 TFLOP/s effective
+  // Dense matmuls are tensor-core work on the device. Instead of a
+  // hand-modeled flop count over a magic throughput, the host *measures*
+  // the real kernels at the model's shapes (the same code path the
+  // trainer runs) and projects onto the device through the calibrated
+  // host->device dense speedup. The measurement deliberately uses the
+  // serial context: the speedup constant is calibrated as scalar-host vs
+  // H100, so a pooled measurement here would double-count parallelism.
+  // (Benches wanting the pooled host number call measured_dense_forward_us
+  // with their own ctx.) Best-of-3 bounds one-off scheduler stalls, since
+  // the first sample is cached for the process lifetime.
+  constexpr double kHostToDeviceDenseSpeedup = 1.2e4;  // scalar host vs H100
+  const double matmul_us =
+      measured_dense_forward_us(dims, core::EvalContext{}, /*reps=*/3) /
+      kHostToDeviceDenseSpeedup;
 
   return (framework_us + agg_us + matmul_us) * 1e-3;
 }

@@ -53,6 +53,35 @@ inline std::int64_t ulp_distance(double x, double y) noexcept {
   return d < 0 ? std::numeric_limits<std::int64_t>::max() : d;
 }
 
+// --- float (binary32) views: the dense dl kernels accumulate in float,
+// so their ulp columns must count representable *floats*, not doubles. --
+
+inline std::uint32_t to_bits32(float x) noexcept {
+  return std::bit_cast<std::uint32_t>(x);
+}
+
+/// True iff x and y have identical binary32 bit patterns.
+inline bool bitwise_equal32(float x, float y) noexcept {
+  return to_bits32(x) == to_bits32(y);
+}
+
+/// Number of representable floats between x and y (0 iff bitwise equal,
+/// after collapsing -0.0f onto +0.0f). Returns INT64_MAX if either is NaN.
+inline std::int64_t ulp_distance32(float x, float y) noexcept {
+  if (std::isnan(x) || std::isnan(y)) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  const auto monotone = [](float v) noexcept {
+    const auto bits =
+        static_cast<std::int32_t>(to_bits32(v == 0.0f ? 0.0f : v));
+    constexpr std::int64_t kSignBit = -(std::int64_t{1} << 31);
+    return bits >= 0 ? static_cast<std::int64_t>(bits)
+                     : kSignBit - static_cast<std::int64_t>(bits);
+  };
+  const std::int64_t ix = monotone(x), iy = monotone(y);
+  return ix >= iy ? ix - iy : iy - ix;
+}
+
 /// Unit in the last place of x (spacing to the next representable value
 /// away from zero). ulp(0) is the smallest denormal.
 inline double ulp(double x) noexcept {

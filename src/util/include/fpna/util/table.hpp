@@ -23,6 +23,12 @@ class Table {
   Table& add_row(std::vector<std::string> cells);
   std::size_t rows() const { return rows_.size(); }
 
+  /// Structured access for machine-readable emitters (bench --json).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& row_data() const {
+    return rows_;
+  }
+
   /// Pretty-prints with a header rule and aligned columns.
   void print(std::ostream& out) const;
 

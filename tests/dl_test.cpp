@@ -5,10 +5,13 @@
 
 #include <cmath>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "fpna/core/harness.hpp"
 #include "fpna/core/metrics.hpp"
+#include "fpna/fp/accumulator.hpp"
+#include "fpna/util/thread_pool.hpp"
 #include "fpna/dl/adam.hpp"
 #include "fpna/dl/dataset.hpp"
 #include "fpna/dl/graph.hpp"
@@ -158,6 +161,107 @@ TEST(Linalg, GatherRows) {
   EXPECT_THROW(gather_rows(x, {3}), std::out_of_range);
 }
 
+// ------------------------------------------- pool-parallel dense kernels --
+
+// The tentpole contract: routing the dense kernel family through
+// EvalContext.pool is bitwise identical to serial *by construction* - for
+// every registry accumulator and every thread count. Row-blocked outer
+// loops mean each output element's accumulation stream never crosses a
+// chunk boundary.
+TEST(Linalg, PooledKernelsBitwiseEqualSerialForEveryAccumulator) {
+  util::Xoshiro256pp rng(321);
+  auto a = tensor::random_uniform<float>(tensor::Shape{37, 23}, -1e4, 1e4,
+                                         rng);
+  const auto b = tensor::random_uniform<float>(tensor::Shape{23, 19}, -1e4,
+                                               1e4, rng);
+  const auto d = tensor::random_uniform<float>(tensor::Shape{37, 19}, -1e4,
+                                               1e4, rng);
+  const auto bt = tensor::random_uniform<float>(tensor::Shape{19, 23}, -1e4,
+                                                1e4, rng);
+  // Exact zeros exercise the kernels' sparsity skip on both paths.
+  for (std::int64_t i = 0; i < a.numel(); i += 7) a.flat(i) = 0.0f;
+
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    util::ThreadPool pool(threads);
+    for (const auto& entry : fp::AlgorithmRegistry::instance().entries()) {
+      core::EvalContext serial_ctx;
+      serial_ctx.accumulator = entry.id;
+      const core::EvalContext pool_ctx = serial_ctx.with_pool(&pool);
+      const std::string label = entry.name + " @" + std::to_string(threads);
+
+      EXPECT_TRUE(matmul(a, b, pool_ctx)
+                      .bitwise_equal(matmul(a, b, serial_ctx)))
+          << label;
+      EXPECT_TRUE(matmul_transpose_a(a, d, pool_ctx)
+                      .bitwise_equal(matmul_transpose_a(a, d, serial_ctx)))
+          << label;
+      EXPECT_TRUE(matmul_transpose_b(a, bt, pool_ctx)
+                      .bitwise_equal(matmul_transpose_b(a, bt, serial_ctx)))
+          << label;
+      EXPECT_TRUE(
+          add(d, d, pool_ctx).bitwise_equal(add(d, d, serial_ctx)))
+          << label;
+      EXPECT_TRUE(column_sums(a, pool_ctx)
+                      .bitwise_equal(column_sums(a, serial_ctx)))
+          << label;
+      EXPECT_TRUE(gather_rows(a, {5, 0, 5, 36}, pool_ctx)
+                      .bitwise_equal(gather_rows(a, {5, 0, 5, 36})))
+          << label;
+    }
+  }
+}
+
+// The defaulted context reproduces the seed's hand-rolled loops: pooled
+// kSerial lands on the same pinned values as MatmulKnown.
+TEST(Linalg, PooledSerialDefaultMatchesKnownValues) {
+  const auto a = Matrix::from_data(tensor::Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  const auto b = Matrix::from_data(tensor::Shape{3, 2}, {7, 8, 9, 10, 11, 12});
+  util::ThreadPool pool(4);
+  core::EvalContext ctx;
+  ctx.pool = &pool;
+  const auto c = matmul(a, b, ctx);
+  EXPECT_EQ(c.at({0, 0}), 58.0f);
+  EXPECT_EQ(c.at({1, 1}), 154.0f);
+}
+
+TEST(Linalg, SplitKDeterministicPathIsStableAndSplitsOneIsMatmul) {
+  util::Xoshiro256pp rng(77);
+  const auto a = tensor::random_uniform<float>(tensor::Shape{12, 64}, -1e8,
+                                               1e8, rng);
+  const auto b = tensor::random_uniform<float>(tensor::Shape{64, 9}, -1e8,
+                                               1e8, rng);
+  const core::EvalContext det;
+  EXPECT_TRUE(matmul_split_k(a, b, 1, det).bitwise_equal(matmul(a, b, det)));
+  const auto once = matmul_split_k(a, b, 8, det);
+  EXPECT_TRUE(matmul_split_k(a, b, 8, det).bitwise_equal(once));
+  // Pooled split-k re-associates identically (the combine order is fixed
+  // per call, not per thread).
+  util::ThreadPool pool(4);
+  core::EvalContext pool_ctx;
+  pool_ctx.pool = &pool;
+  EXPECT_TRUE(matmul_split_k(a, b, 8, pool_ctx).bitwise_equal(once));
+  EXPECT_THROW(matmul_split_k(a, b, 0, det), std::invalid_argument);
+}
+
+// Paper Table 1, extended to the dense kernels: shuffling the k-split
+// combine order moves the low bits of ill-conditioned products.
+TEST(Linalg, SplitKShufflesProduceDistinctBitPatterns) {
+  util::Xoshiro256pp rng(78);
+  const auto a = tensor::random_uniform<float>(tensor::Shape{16, 96}, -1e8,
+                                               1e8, rng);
+  const auto b = tensor::random_uniform<float>(tensor::Shape{96, 8}, -1e8,
+                                               1e8, rng);
+  std::set<std::vector<float>> patterns;
+  for (std::uint64_t r = 0; r < 10; ++r) {
+    core::RunContext run(55, r);
+    const auto ctx = core::EvalContext::nondeterministic_on(run);
+    const auto shuffled = matmul_split_k(a, b, 8, ctx);
+    patterns.insert(
+        std::vector<float>(shuffled.data().begin(), shuffled.data().end()));
+  }
+  EXPECT_GE(patterns.size(), 2u);
+}
+
 // -------------------------------------------------------------- layers --
 
 Graph line_graph(std::int64_t n) {
@@ -229,6 +333,39 @@ TEST(Layers, NllLossRespectsMask) {
   const auto r = nll_loss_masked(lp, {0, 1}, {0, 1});  // only row 1 counts
   EXPECT_NEAR(r.loss, -lp.at({1, 1}), 1e-6);
   EXPECT_EQ(r.d_logits.at({0, 0}), 0.0f);
+}
+
+// The GNN aggregation pair (gather + index_add + row scaling) on the pool
+// is bitwise identical to serial for every accumulator and thread count -
+// the backward direction is the paper's index_add with edge roles swapped.
+TEST(Layers, PooledAggregationBitwiseEqualsSerialForEveryAccumulator) {
+  auto config = DatasetConfig::small();
+  config.num_nodes = 60;
+  config.num_undirected_edges = 150;
+  config.num_features = 9;
+  const auto ds = make_synthetic_citation_dataset(config);
+  util::Xoshiro256pp rng(9);
+  const auto d_out = tensor::random_uniform<float>(
+      tensor::Shape{ds.num_nodes(), 9}, -1e3, 1e3, rng);
+
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    util::ThreadPool pool(threads);
+    for (const auto& entry : fp::AlgorithmRegistry::instance().entries()) {
+      core::EvalContext serial_ctx;
+      serial_ctx.accumulator = entry.id;
+      const core::EvalContext pool_ctx = serial_ctx.with_pool(&pool);
+      const std::string label = entry.name + " @" + std::to_string(threads);
+      EXPECT_TRUE(
+          mean_aggregate(ds.features, ds.graph, pool_ctx)
+              .bitwise_equal(mean_aggregate(ds.features, ds.graph,
+                                            serial_ctx)))
+          << label;
+      EXPECT_TRUE(mean_aggregate_backward(d_out, ds.graph, pool_ctx)
+                      .bitwise_equal(mean_aggregate_backward(d_out, ds.graph,
+                                                             serial_ctx)))
+          << label;
+    }
+  }
 }
 
 // Numerical gradient check of the full model loss w.r.t. a few weights.
@@ -362,6 +499,31 @@ TEST(Trainer, DeterministicTrainingIsBitwiseReproducible) {
   EXPECT_TRUE(cert.deterministic);
 }
 
+// End to end: a trainer given a thread pool produces the exact bits of
+// the serial trainer - for the default and a non-trivial accumulator.
+TEST(Trainer, PooledTrainingBitwiseEqualsSerial) {
+  const auto ds = make_synthetic_citation_dataset(tiny_config());
+  util::ThreadPool pool(4);
+  for (const auto accumulator :
+       {fp::AlgorithmId::kSerial, fp::AlgorithmId::kPairwise}) {
+    TrainConfig config;
+    config.epochs = 3;
+    config.hidden = 8;
+    config.accumulator = accumulator;
+
+    core::RunContext run_serial(19, 0);
+    const auto serial = train(ds, config, run_serial);
+
+    config.pool = &pool;
+    core::RunContext run_pooled(19, 0);
+    const auto pooled = train(ds, config, run_pooled);
+
+    EXPECT_EQ(pooled.final_weights, serial.final_weights);
+    EXPECT_EQ(pooled.epoch_losses, serial.epoch_losses);
+    EXPECT_DOUBLE_EQ(pooled.train_accuracy, serial.train_accuracy);
+  }
+}
+
 TEST(Trainer, NonDeterministicTrainingProducesUniqueModels) {
   const auto ds = make_synthetic_citation_dataset(tiny_config());
   TrainConfig config;
@@ -452,6 +614,20 @@ TEST(TimingModel, Table8Shape) {
   const double lpu_ms = lpu_inference_ms(lpu, dims);
   EXPECT_LT(lpu_ms, nd_ms / 10.0);     // LPU ~30x faster than GPU
   EXPECT_NEAR(lpu_ms, 0.066, 0.05);
+}
+
+TEST(TimingModel, MeasuredDenseForwardIsPositiveAndCached) {
+  ModelDims dims;
+  dims.nodes = 128;
+  dims.edges = 256;
+  dims.features = 32;
+  dims.hidden = 8;
+  dims.classes = 4;
+  const double first = measured_dense_forward_us(dims);
+  EXPECT_GT(first, 0.0);
+  // Cached per (dims, pool width): the second lookup returns the same
+  // measurement instead of re-timing.
+  EXPECT_EQ(measured_dense_forward_us(dims), first);
 }
 
 TEST(TimingModel, TrainingShape) {
