@@ -1,22 +1,31 @@
 // ISSUE 3 tentpole bench: deterministic pool-parallel dense kernels.
 //
-// Three tables:
+// Four tables:
 //   1. thread sweep   - matmul family at the full shape, serial vs pool
-//                       at 1/2/4/8 threads. Speedup is free to move with
-//                       the host; the "max ulps vs serial" column must
-//                       read 0 on every row (bitwise identity is checked
-//                       in-process and the bench exits non-zero if any
-//                       pooled result deviates).
+//                       at 1/2/4/8 threads, under the --accumulator spec
+//                       (full ReductionSpec grammar, e.g. kahan@bf16:f32).
+//                       Speedup is free to move with the host; the "max
+//                       ulps vs serial" column must read 0 on every row
+//                       (bitwise identity is checked in-process and the
+//                       bench exits non-zero if any pooled result
+//                       deviates).
 //   2. accumulator sweep - every AlgorithmRegistry entry at a reduced
 //                       shape, serial vs 4-thread pool. Same 0-ulp gate.
-//   3. split-k        - matmul_split_k re-associates the inner dimension:
+//   3. dtype sweep    - the dtype axis at the reduced shape: native f32,
+//                       bf16-storage/f32-accumulate (tensor-core mixed
+//                       precision), pure bf16, and f64 accumulate, each
+//                       serial vs 4-thread pool (0-ulp gate) with the
+//                       ulp distance from the native f32 kernel - the
+//                       precision cost the paper's DL dtype setting pays.
+//   4. split-k        - matmul_split_k re-associates the inner dimension:
 //                       deterministic contexts are run-to-run stable,
 //                       shuffled combine orders produce multiple distinct
 //                       bit patterns on ill-conditioned inputs (the dense
 //                       analogue of the paper's Table 1).
 //
 // Flags: --size (cube edge, default 512), --reps, --shuffles, --seed,
-//        --csv, --json=<path> (machine-readable dump for the CI
+//        --accumulator=<spec> (thread-sweep reduction spec, default
+//        serial), --csv, --json=<path> (machine-readable dump for the CI
 //        determinism gate, see scripts/bench_json_diff.py)
 
 #include <algorithm>
@@ -76,11 +85,14 @@ int main(int argc, char** argv) {
   const auto reps = static_cast<std::size_t>(cli.integer("reps", 2));
   const auto shuffles = static_cast<std::size_t>(cli.integer("shuffles", 12));
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 42));
+  const fp::ReductionSpec sweep_spec =
+      fp::parse_reduction_spec(cli.text("accumulator", "serial"));
   const bool csv = cli.flag("csv");
   const std::string json = cli.text("json", "");
 
   util::banner(std::cout, "Deterministic pool-parallel dense kernels (" +
-                              std::to_string(size) + "^3)");
+                              std::to_string(size) + "^3, " +
+                              fp::to_string(sweep_spec) + ")");
 
   util::Xoshiro256pp rng(seed);
   const auto x = tensor::random_uniform<float>(tensor::Shape{size, size},
@@ -118,12 +130,13 @@ int main(int argc, char** argv) {
 
   bool gate_ok = true;
 
-  // ---- Table 1: thread sweep (serial accumulator) -----------------------
+  // ---- Table 1: thread sweep (--accumulator spec) -----------------------
   util::Table threads_table({"kernel", "shape", "accumulator", "threads",
                              "serial ms", "pool ms", "speedup",
                              "max ulps vs serial", "bits", "reproducible"});
   for (const auto& kernel : kernels) {
-    const core::EvalContext serial_ctx;
+    core::EvalContext serial_ctx;
+    serial_ctx.accumulator = sweep_spec;
     const Matrix serial = kernel.run(serial_ctx);
     const auto serial_stats = util::time_repeated(
         [&] { (void)kernel.run(serial_ctx); }, reps, 1);
@@ -135,7 +148,7 @@ int main(int argc, char** argv) {
       const std::int64_t ulps = max_ulps(serial, pooled);
       if (!pooled.bitwise_equal(serial)) gate_ok = false;
       threads_table.add_row(
-          {kernel.name, kernel.shape, "serial",
+          {kernel.name, kernel.shape, fp::to_string(sweep_spec),
            std::to_string(thread_counts[t]),
            util::fixed(serial_stats.mean_ms(), 3),
            util::fixed(pooled_stats.mean_ms(), 3),
@@ -173,7 +186,45 @@ int main(int argc, char** argv) {
                        fingerprint(pooled), "yes"});
   }
 
-  // ---- Table 3: split-k re-association ----------------------------------
+  // ---- Table 3: dtype sweep (storage x accumulate, 4-thread pool) -------
+  // The dtype axis of the ReductionSpec at the reduced shape. "max ulps
+  // vs f32" measures the precision cost of the storage/accumulate choice
+  // against the native f32 kernel (deterministic, so it gates run-to-run
+  // alongside the bits); "pool ulps" is the serial-vs-pool identity gate,
+  // which must hold for every dtype combination.
+  const std::vector<fp::ReductionSpec> dtype_specs{
+      fp::parse_reduction_spec("serial"),
+      fp::parse_reduction_spec("serial@bf16:f32"),
+      fp::parse_reduction_spec("serial@bf16:bf16"),
+      fp::parse_reduction_spec("serial@f32:f64"),
+      fp::parse_reduction_spec("kahan@bf16:f32"),
+      fp::parse_reduction_spec("superaccumulator@bf16:f32"),
+  };
+  const core::EvalContext f32_ctx;
+  const Matrix f32_reference = dl::matmul(ax, ay, f32_ctx);
+  util::Table dtype_table({"spec", "shape", "serial ms", "pool ms",
+                           "max ulps vs f32", "pool ulps", "bits",
+                           "reproducible"});
+  for (const fp::ReductionSpec& spec : dtype_specs) {
+    core::EvalContext serial_ctx;
+    serial_ctx.accumulator = spec;
+    const core::EvalContext pool_ctx = serial_ctx.with_pool(&pool4);
+    const Matrix serial = dl::matmul(ax, ay, serial_ctx);
+    const Matrix pooled = dl::matmul(ax, ay, pool_ctx);
+    const auto serial_stats = util::time_repeated(
+        [&] { (void)dl::matmul(ax, ay, serial_ctx); }, reps, 1);
+    const auto pooled_stats = util::time_repeated(
+        [&] { (void)dl::matmul(ax, ay, pool_ctx); }, reps, 1);
+    if (!pooled.bitwise_equal(serial)) gate_ok = false;
+    dtype_table.add_row({fp::to_string(spec), shape_string(asz, asz, asz),
+                         util::fixed(serial_stats.mean_ms(), 3),
+                         util::fixed(pooled_stats.mean_ms(), 3),
+                         std::to_string(max_ulps(f32_reference, serial)),
+                         std::to_string(max_ulps(serial, pooled)),
+                         fingerprint(serial), "yes"});
+  }
+
+  // ---- Table 4: split-k re-association ----------------------------------
   const std::int64_t ssz = std::max<std::int64_t>(16, size / 4);
   const auto ill_a = tensor::random_uniform<float>(tensor::Shape{ssz, ssz},
                                                    -1e8, 1e8, rng);
@@ -214,26 +265,35 @@ int main(int argc, char** argv) {
   if (csv) {
     threads_table.print_csv(std::cout);
     acc_table.print_csv(std::cout);
+    dtype_table.print_csv(std::cout);
     splitk_table.print_csv(std::cout);
   } else {
-    util::banner(std::cout, "Thread sweep (row-blocked pool, serial acc)");
+    util::banner(std::cout, "Thread sweep (row-blocked pool, " +
+                                fp::to_string(sweep_spec) + ")");
     threads_table.print(std::cout);
     util::banner(std::cout, "Accumulator sweep (4-thread pool)");
     acc_table.print(std::cout);
+    util::banner(std::cout, "Dtype sweep (storage x accumulate, 4-thread "
+                            "pool)");
+    dtype_table.print(std::cout);
     util::banner(std::cout, "split-k re-association (ill-conditioned)");
     splitk_table.print(std::cout);
-    std::cout << "\nReading: every reproducible row must show 0 ulps and a "
-                 "run-to-run stable bits column - the pooled kernels are "
-                 "bitwise identical to serial by construction, for every "
-                 "registry accumulator and thread count. Only the "
-                 "deliberately re-associating split-k shuffle rows move "
-                 "their bits.\n";
+    std::cout << "\nReading: every reproducible row must show 0 pool ulps "
+                 "and a run-to-run stable bits column - the pooled kernels "
+                 "are bitwise identical to serial by construction, for "
+                 "every registry accumulator, dtype combination and thread "
+                 "count. The dtype rows price the storage/accumulate choice "
+                 "in ulps against the native f32 kernel (bf16:f32 pays "
+                 "quantization only; bf16:bf16 also accumulates in bf16 "
+                 "and drifts much further). Only the deliberately "
+                 "re-associating split-k shuffle rows move their bits.\n";
   }
 
   if (!json.empty()) {
     bench::write_json(json, "microbench_matmul",
                       {{"threads", &threads_table},
                        {"accumulators", &acc_table},
+                       {"dtypes", &dtype_table},
                        {"split_k", &splitk_table}});
   }
 

@@ -25,22 +25,23 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 42));
   const auto runs = static_cast<std::size_t>(cli.integer("runs", 50));
   const auto size = static_cast<std::size_t>(cli.integer("size", 65536));
-  const auto& accumulator =
-      fp::AlgorithmRegistry::instance().at(cli.text("accumulator", "serial"));
+  const fp::ReductionSpec accumulator =
+      fp::parse_reduction_spec(cli.text("accumulator", "serial"));
   const bool csv = cli.flag("csv");
 
   util::banner(std::cout,
                "Table 2: implementations of the parallel sum (deterministic "
                "column certified over " + std::to_string(runs) +
-               " seeds, inner accumulator: " + accumulator.name + ")");
+               " seeds, inner accumulator: " + fp::to_string(accumulator) + ")");
 
   const auto data = bench::uniform_array(size, 0.0, 10.0, seed);
   sim::SimDevice device(sim::DeviceProfile::v100());
 
-  const auto certify = [&](sim::SumMethod method, fp::AlgorithmId id) {
+  const auto certify = [&](sim::SumMethod method,
+                           const fp::ReductionSpec& spec) {
     const auto kernel = [&](core::RunContext& run) {
       const auto ctx =
-          core::EvalContext::nondeterministic_on(run).with_accumulator(id);
+          core::EvalContext::nondeterministic_on(run).with_accumulator(spec);
       return reduce::gpu_sum(device, data, method, ctx, 256).value;
     };
     return core::certify_deterministic_scalar(kernel, runs, seed);
@@ -51,7 +52,7 @@ int main(int argc, char** argv) {
   for (const auto method :
        {sim::SumMethod::kCU, sim::SumMethod::kSPTR, sim::SumMethod::kSPRG,
         sim::SumMethod::kTPRC, sim::SumMethod::kSPA, sim::SumMethod::kAO}) {
-    const auto cert = certify(method, accumulator.id);
+    const auto cert = certify(method, accumulator);
     table.add_row({sim::to_string(method), cert.deterministic ? "Yes" : "No",
                    method == sim::SumMethod::kCU
                        ? "-"

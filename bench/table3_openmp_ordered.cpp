@@ -30,14 +30,14 @@ int main(int argc, char** argv) {
   const auto trials = static_cast<std::size_t>(cli.integer("trials", 10));
   const auto size = static_cast<std::size_t>(cli.integer("size", 1000000));
   const auto threads = static_cast<std::size_t>(cli.integer("threads", 8));
-  const auto& accumulator =
-      fp::AlgorithmRegistry::instance().at(cli.text("accumulator", "serial"));
+  const fp::ReductionSpec accumulator =
+      fp::parse_reduction_spec(cli.text("accumulator", "serial"));
   const bool csv = cli.flag("csv");
 
   util::banner(std::cout,
                "Table 3: normal vs ordered reductions (OpenMP-style), " +
                    std::to_string(trials) + " trials, inner accumulator: " +
-                   accumulator.name);
+                   fp::to_string(accumulator));
 
   // Values chosen so the total lands near the paper's ~2.35e-07 and the
   // last-digit wobble is visible at 17 significant digits.
@@ -46,13 +46,14 @@ int main(int argc, char** argv) {
   // "Normal": static chunks combined in a completion order drawn from the
   // run. "Ordered": adds retired in iteration order, i.e. the one-shot
   // registry reduction (for serial this is the paper's `ordered` clause).
-  const auto normal_sum = [&](core::RunContext& run, fp::AlgorithmId id) {
+  const auto normal_sum = [&](core::RunContext& run,
+                              const fp::ReductionSpec& spec) {
     const auto ctx =
-        core::EvalContext::nondeterministic_on(run).with_accumulator(id);
+        core::EvalContext::nondeterministic_on(run).with_accumulator(spec);
     return reduce::cpu_sum(data, ctx, threads);
   };
-  const auto ordered_sum = [&](fp::AlgorithmId id) {
-    return fp::reduce(id, std::span<const double>(data));
+  const auto ordered_sum = [&](const fp::ReductionSpec& spec) {
+    return fp::reduce(spec, std::span<const double>(data));
   };
 
   util::Table table({"Trial", "Normal Reduction", "Ordered Reduction"});
@@ -60,8 +61,8 @@ int main(int argc, char** argv) {
   double first_normal = 0.0;
   for (std::size_t trial = 0; trial < trials; ++trial) {
     core::RunContext run(seed, trial);
-    const double normal = normal_sum(run, accumulator.id);
-    const double ordered = ordered_sum(accumulator.id);
+    const double normal = normal_sum(run, accumulator);
+    const double ordered = ordered_sum(accumulator);
     if (trial == 0) {
       first_normal = normal;
     } else if (normal != first_normal) {

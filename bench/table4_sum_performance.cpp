@@ -43,7 +43,7 @@ struct MethodConfig {
 void run_device(const sim::DeviceProfile& profile,
                 const std::vector<MethodConfig>& configs, std::size_t n,
                 std::size_t sums, std::size_t value_size,
-                fp::AlgorithmId accumulator, bool csv) {
+                const fp::ReductionSpec& accumulator, bool csv) {
   util::banner(std::cout, "Table 4 [" + profile.name + "]: " +
                               std::to_string(sums) + " sums of " +
                               std::to_string(n) + " FP64 numbers");
@@ -135,8 +135,8 @@ int main(int argc, char** argv) {
   const auto sums = static_cast<std::size_t>(cli.integer("sums", 100));
   const auto value_size =
       static_cast<std::size_t>(cli.integer("value-size", 32768));
-  const auto& accumulator =
-      fp::AlgorithmRegistry::instance().at(cli.text("accumulator", "serial"));
+  const fp::ReductionSpec accumulator =
+      fp::parse_reduction_spec(cli.text("accumulator", "serial"));
   const bool csv = cli.flag("csv");
 
   using M = sim::SumMethod;
@@ -147,20 +147,20 @@ int main(int argc, char** argv) {
               {M::kTPRC, 512, 128},
               {M::kCU, 512, 128},
               {M::kAO, 512, 128}},
-             n, sums, value_size, accumulator.id, csv);
+             n, sums, value_size, accumulator, csv);
   run_device(sim::DeviceProfile::gh200(),
              {{M::kSPA, 512, 512},
               {M::kCU, 512, 512},
               {M::kTPRC, 512, 512},
               {M::kSPTR, 512, 512},
               {M::kAO, 512, 512}},
-             n, sums, value_size, accumulator.id, csv);
+             n, sums, value_size, accumulator, csv);
   run_device(sim::DeviceProfile::mi250x(),
              {{M::kTPRC, 512, 256},
               {M::kCU, 512, 256},
               {M::kSPA, 512, 256},
               {M::kSPTR, 256, 512}},
-             n, sums, value_size, accumulator.id, csv);
+             n, sums, value_size, accumulator, csv);
 
   run_host_accumulators(value_size, sums, csv);
 

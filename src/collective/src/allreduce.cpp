@@ -203,11 +203,12 @@ double distributed_sum(std::span<const double> data, std::size_t ranks,
   }
 
   // Local partial per rank through the context's registry-selected
-  // accumulator, then a P-element collective over the rounded partials.
+  // reduction spec (storage quantization + accumulate dtype + algorithm),
+  // then a P-element collective over the rounded partials.
   RankData partials(ranks, std::vector<double>(1, 0.0));
   for (std::size_t r = 0; r < ranks; ++r) {
-    partials[r][0] =
-        fp::reduce(ctx.accumulator_in_effect(), std::span<const double>(shards[r]));
+    partials[r][0] = fp::reduce(ctx.reduction_in_effect(),
+                                std::span<const double>(shards[r]));
   }
   switch (algorithm) {
     case Algorithm::kRing:

@@ -55,9 +55,11 @@ struct BucketedConfig {
   bool overlap = false;
   /// Network block size of the arrival-tree collective.
   std::size_t block_elements = 1024;
-  /// Per-bucket EvalContext adjustment (accumulator selection etc.). The
-  /// hook runs once per bucket on a private copy of the caller's context;
-  /// it must not install shared mutable state when overlap is on.
+  /// Per-bucket EvalContext adjustment (reduction-spec selection etc. -
+  /// e.g. carry the embedding-gradient bucket at kahan@bf16:f32 while the
+  /// dense bulk rides the native serial path). The hook runs once per
+  /// bucket on a private copy of the caller's context; it must not
+  /// install shared mutable state when overlap is on.
   std::function<void(std::size_t bucket_index, core::EvalContext&)>
       context_hook{};
 };

@@ -38,11 +38,17 @@ namespace fpna::comm {
 /// Element-wise allreduce through an exact-merge registry accumulator: for
 /// every element, each rank's value streams into one exact state, and the
 /// single final rounding makes the result bitwise independent of rank
-/// order, rank count and any merge tree. Throws std::invalid_argument when
-/// `id` names an algorithm without the exact_merge trait.
+/// order, rank count and any merge tree. The spec's dtype axes apply too:
+/// rank values are quantized to the storage dtype before entering the
+/// exact state (bf16 gradients on the wire), and the state rounds to the
+/// accumulate dtype - both elementwise, so the invariance argument is
+/// unchanged. Throws std::invalid_argument when the spec's algorithm
+/// lacks the exact_merge trait. A bare fp::AlgorithmId converts to the
+/// native spec.
 template <typename T>
 std::vector<T> exact_elementwise_allreduce(
-    const collective::RankDataT<T>& contributions, fp::AlgorithmId id);
+    const collective::RankDataT<T>& contributions,
+    const fp::ReductionSpec& spec);
 
 class ProcessGroup {
  public:

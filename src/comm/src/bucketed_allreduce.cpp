@@ -223,19 +223,21 @@ TensorList<T> sharded_bucketed_allreduce(
         partials[r][t].assign(sizes[t], T{0});
       }
     }
-    fp::visit_algorithm(ctx.accumulator_in_effect(), [&](auto tag) {
-      for (std::size_t t = 0; t < sizes.size(); ++t) {
-        for (std::size_t i = 0; i < sizes[t]; ++i) {
-          for (std::size_t r = 0; r < ranks; ++r) {
-            typename decltype(tag)::template accumulator_t<T> acc;
-            for (const std::size_t s : of_rank[r]) {
-              acc.add(samples[s][t][i]);
+    fp::visit_reduction<T>(
+        ctx.reduction_in_effect(), [&](auto tag, auto acc_c, auto quantize) {
+          using A = typename decltype(acc_c)::type;
+          for (std::size_t t = 0; t < sizes.size(); ++t) {
+            for (std::size_t i = 0; i < sizes[t]; ++i) {
+              for (std::size_t r = 0; r < ranks; ++r) {
+                typename decltype(tag)::template accumulator_t<A> acc;
+                for (const std::size_t s : of_rank[r]) {
+                  acc.add(static_cast<A>(quantize(samples[s][t][i])));
+                }
+                partials[r][t][i] = static_cast<T>(acc.result());
+              }
             }
-            partials[r][t][i] = acc.result();
           }
-        }
-      }
-    });
+        });
     return bucketed_allreduce(pg, partials, algorithm, ctx, config);
   }
 
@@ -254,31 +256,33 @@ TensorList<T> sharded_bucketed_allreduce(
     std::optional<core::RunContext> run_storage;
     const core::EvalContext bctx =
         bucket_context(ctx, config, b, run_storage, /*needs_run=*/false, 0);
-    const fp::AlgorithmId id =
+    const fp::ReductionSpec spec =
         bctx.accumulator.value_or(fp::AlgorithmId::kSuperaccumulator);
-    fp::visit_algorithm(id, [&](auto tag) {
-      if constexpr (!decltype(tag)::traits.exact_merge) {
-        throw std::invalid_argument(
-            "sharded_bucketed_allreduce: reproducible path needs an "
-            "exact-merge accumulator (superaccumulator or binned)");
-      } else {
-        const Bucket& bucket = buckets[b];
-        for (std::size_t t = bucket.first_tensor;
-             t < bucket.first_tensor + bucket.tensor_count; ++t) {
-          for (std::size_t i = 0; i < sizes[t]; ++i) {
-            typename decltype(tag)::template accumulator_t<T> total;
-            for (std::size_t r = 0; r < ranks; ++r) {
-              typename decltype(tag)::template accumulator_t<T> local;
-              for (const std::size_t s : of_rank[r]) {
-                local.add(samples[s][t][i]);
+    fp::visit_reduction<T>(
+        spec, [&](auto tag, auto acc_c, auto quantize) {
+          if constexpr (!decltype(tag)::traits.exact_merge) {
+            throw std::invalid_argument(
+                "sharded_bucketed_allreduce: reproducible path needs an "
+                "exact-merge accumulator (superaccumulator or binned)");
+          } else {
+            using A = typename decltype(acc_c)::type;
+            const Bucket& bucket = buckets[b];
+            for (std::size_t t = bucket.first_tensor;
+                 t < bucket.first_tensor + bucket.tensor_count; ++t) {
+              for (std::size_t i = 0; i < sizes[t]; ++i) {
+                typename decltype(tag)::template accumulator_t<A> total;
+                for (std::size_t r = 0; r < ranks; ++r) {
+                  typename decltype(tag)::template accumulator_t<A> local;
+                  for (const std::size_t s : of_rank[r]) {
+                    local.add(static_cast<A>(quantize(samples[s][t][i])));
+                  }
+                  total.merge(local);
+                }
+                result[t][i] = static_cast<T>(total.result());
               }
-              total.merge(local);
             }
-            result[t][i] = total.result();
           }
-        }
-      }
-    });
+        });
   };
   for_each_bucket(buckets.size(), ctx.pool, config.overlap, prepare,
                   reduce_bucket);

@@ -13,31 +13,36 @@ namespace fpna::comm {
 
 template <typename T>
 std::vector<T> exact_elementwise_allreduce(
-    const collective::RankDataT<T>& contributions, fp::AlgorithmId id) {
+    const collective::RankDataT<T>& contributions,
+    const fp::ReductionSpec& spec) {
   collective::validate(contributions);
-  return fp::visit_algorithm(id, [&](auto tag) -> std::vector<T> {
-    if constexpr (!decltype(tag)::traits.exact_merge) {
-      throw std::invalid_argument(
-          "reproducible allreduce: accumulator '" +
-          fp::AlgorithmRegistry::instance().at(decltype(tag)::id).name +
-          "' has no exact merge; choose superaccumulator or binned");
-    } else {
-      const std::size_t n = contributions.front().size();
-      std::vector<T> result(n, T{0});
-      for (std::size_t i = 0; i < n; ++i) {
-        typename decltype(tag)::template accumulator_t<T> acc;
-        for (const auto& rank : contributions) acc.add(rank[i]);
-        result[i] = acc.result();
-      }
-      return result;
-    }
-  });
+  return fp::visit_reduction<T>(
+      spec, [&](auto tag, auto acc_c, auto quantize) -> std::vector<T> {
+        if constexpr (!decltype(tag)::traits.exact_merge) {
+          throw std::invalid_argument(
+              "reproducible allreduce: accumulator '" +
+              fp::AlgorithmRegistry::instance().at(decltype(tag)::id).name +
+              "' has no exact merge; choose superaccumulator or binned");
+        } else {
+          using A = typename decltype(acc_c)::type;
+          const std::size_t n = contributions.front().size();
+          std::vector<T> result(n, T{0});
+          for (std::size_t i = 0; i < n; ++i) {
+            typename decltype(tag)::template accumulator_t<A> acc;
+            for (const auto& rank : contributions) {
+              acc.add(static_cast<A>(quantize(rank[i])));
+            }
+            result[i] = static_cast<T>(acc.result());
+          }
+          return result;
+        }
+      });
 }
 
 template std::vector<double> exact_elementwise_allreduce<double>(
-    const collective::RankData&, fp::AlgorithmId);
+    const collective::RankData&, const fp::ReductionSpec&);
 template std::vector<float> exact_elementwise_allreduce<float>(
-    const collective::RankDataF&, fp::AlgorithmId);
+    const collective::RankDataF&, const fp::ReductionSpec&);
 
 namespace {
 

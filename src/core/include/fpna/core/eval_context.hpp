@@ -11,8 +11,9 @@
 //   * profile    - the simulated device whose scheduler policy orders
 //                  asynchronous commits (nullptr: default H100);
 //   * pool       - a shared thread pool for real-thread execution paths;
-//   * accumulator- the registry-selected accumulation algorithm every
-//                  inner reduction routes through (default: serial, which
+//   * accumulator- the fp::ReductionSpec (storage dtype x accumulate
+//                  dtype x registry algorithm) every inner reduction
+//                  routes through (default: native/native/serial, which
 //                  reproduces the historic values bit for bit);
 //   * deterministic_override - per-context override of the global
 //                  DeterminismContext switch (unset: defer to the global).
@@ -24,7 +25,7 @@
 
 #include "fpna/core/determinism.hpp"
 #include "fpna/core/run_context.hpp"
-#include "fpna/fp/algorithm_id.hpp"
+#include "fpna/fp/reduction_spec.hpp"
 #include "fpna/sim/device_profile.hpp"
 
 namespace fpna::util {
@@ -43,13 +44,16 @@ struct EvalContext {
   /// Thread pool for real-thread execution (wall-clock measurement and
   /// genuine OS-scheduled variability); nullptr: simulated/serial paths.
   util::ThreadPool* pool = nullptr;
-  /// The accumulation algorithm inner reductions route through, selected
-  /// from fp::AlgorithmRegistry. Unset means "the kernel's historic
-  /// default" - serial almost everywhere, but e.g. TPRC's host tail is
+  /// The reduction every inner accumulation routes through: storage
+  /// dtype x accumulate dtype x registry-selected algorithm. An
+  /// fp::AlgorithmId converts implicitly (native dtypes), so historic
+  /// `ctx.accumulator = AlgorithmId::kKahan` call sites keep compiling
+  /// and keep their bits. Unset means "the kernel's historic default" -
+  /// native/native/serial almost everywhere, but e.g. TPRC's host tail is
   /// historically vectorised - and is distinguishable from an explicit
   /// kSerial request, which always means serial. The default reproduces
   /// the seed's hand-rolled loops bitwise.
-  std::optional<fp::AlgorithmId> accumulator{};
+  std::optional<fp::ReductionSpec> accumulator{};
   /// Tri-state determinism override: unset defers to the process-wide
   /// DeterminismContext switch; set forces this context one way.
   std::optional<bool> deterministic_override{};
@@ -68,11 +72,20 @@ struct EvalContext {
     return profile != nullptr ? *profile : default_profile();
   }
 
-  /// The accumulator actually in effect for kernels whose historic
-  /// default is the serial fold (i.e. all of them except noted special
-  /// cases, which consult the optional directly).
+  /// The full reduction spec in effect for kernels whose historic
+  /// default is the native serial fold (i.e. all of them except noted
+  /// special cases, which consult the optional directly). Dtype-aware
+  /// kernels dispatch on this via fp::visit_reduction.
+  fp::ReductionSpec reduction_in_effect() const noexcept {
+    return accumulator.value_or(fp::ReductionSpec{});
+  }
+
+  /// Deprecated shim for the pre-dtype scalar selector: the algorithm
+  /// axis only, dtypes dropped. Prefer reduction_in_effect(); this
+  /// remains for call sites that genuinely only branch on the algorithm
+  /// (e.g. cumsum's binned-accumulator refusal).
   fp::AlgorithmId accumulator_in_effect() const noexcept {
-    return accumulator.value_or(fp::AlgorithmId::kSerial);
+    return reduction_in_effect().algorithm;
   }
 
   /// Whether deterministic implementations are required in this context
@@ -92,10 +105,11 @@ struct EvalContext {
   }
 
   /// Convenience: this context with a different registry-selected
-  /// accumulator (per-bucket selection in comm, per-row sweeps in bench).
-  EvalContext with_accumulator(fp::AlgorithmId id) const noexcept {
+  /// reduction (per-bucket selection in comm, per-row sweeps in bench).
+  /// Takes the full spec; a bare fp::AlgorithmId converts implicitly.
+  EvalContext with_accumulator(fp::ReductionSpec spec) const noexcept {
     EvalContext copy = *this;
-    copy.accumulator = id;
+    copy.accumulator = spec;
     return copy;
   }
 

@@ -26,7 +26,7 @@
 #include "fpna/core/run_context.hpp"
 #include "fpna/dl/dataset.hpp"
 #include "fpna/dl/trainer.hpp"
-#include "fpna/fp/algorithm_id.hpp"
+#include "fpna/fp/reduction_spec.hpp"
 #include "fpna/util/thread_pool.hpp"
 
 namespace fpna::dl {
@@ -49,9 +49,11 @@ struct DataParallelConfig {
   /// Thread pool carrying the overlapped bucket reductions.
   util::ThreadPool* pool = nullptr;
   ShardSplit split = ShardSplit::kRoundRobin;
-  /// Accumulator carrying the reproducible gradient exchange (exact-merge
-  /// algorithms only; unset selects the superaccumulator).
-  std::optional<fp::AlgorithmId> comm_accumulator{};
+  /// Reduction spec carrying the reproducible gradient exchange
+  /// (exact-merge algorithms only; unset selects the superaccumulator at
+  /// native dtypes; the dtype axes quantize the wire values - e.g.
+  /// superaccumulator@bf16:f32 models exchanging bf16 gradients).
+  std::optional<fp::ReductionSpec> comm_accumulator{};
 };
 
 /// Trains one data-parallel model on a simulated P-rank group. `run`

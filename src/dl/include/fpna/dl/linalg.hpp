@@ -15,9 +15,17 @@
 //                       to serial *by construction* - for every registry
 //                       accumulator and every thread count (certified in
 //                       dl_test).
-//   * ctx.accumulator - the registry algorithm each inner dot-product /
-//                       column reduction streams through. The default
-//                       (serial) reproduces the seed loops bit for bit.
+//   * ctx.accumulator - the fp::ReductionSpec each inner dot-product /
+//                       column reduction streams through. The algorithm
+//                       axis picks the registry accumulator; the
+//                       *storage* dtype quantizes the operands (bf16 x
+//                       bf16 products are exact in binary32, the
+//                       tensor-core MAC semantics) and the *accumulate*
+//                       dtype is where the per-element stream runs. The
+//                       default (native serial) reproduces the seed
+//                       loops bit for bit, and pooled execution stays
+//                       bitwise identical to serial for every dtype
+//                       combination (certified in dl_test).
 //
 // The one deliberate exception is matmul_split_k, which re-associates the
 // inner dimension to extend the paper's Table 1 permuted-sum story to the

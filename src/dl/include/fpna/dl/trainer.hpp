@@ -10,7 +10,7 @@
 #include "fpna/core/eval_context.hpp"
 #include "fpna/dl/dataset.hpp"
 #include "fpna/dl/model.hpp"
-#include "fpna/fp/algorithm_id.hpp"
+#include "fpna/fp/reduction_spec.hpp"
 #include "fpna/sim/device_profile.hpp"
 #include "fpna/sim/lpu.hpp"
 
@@ -28,12 +28,15 @@ struct TrainConfig {
   /// GPU profile supplying scheduler policy for the ND path (nullptr:
   /// default H100).
   const sim::DeviceProfile* profile = nullptr;
-  /// Registry-selected accumulation algorithm threaded through the whole
-  /// training EvalContext: neighbour aggregation (index_add), the dense
-  /// matmul family, the loss reduction, and any other deterministic
-  /// accumulation the kernels perform. kSerial reproduces the seed's
-  /// training values bitwise.
-  fp::AlgorithmId accumulator = fp::AlgorithmId::kSerial;
+  /// Registry-selected reduction spec (storage dtype x accumulate dtype x
+  /// algorithm) threaded through the whole training EvalContext:
+  /// neighbour aggregation (index_add), the dense matmul family, the loss
+  /// reduction, and any other deterministic accumulation the kernels
+  /// perform. A bare fp::AlgorithmId converts implicitly; the default
+  /// native serial spec reproduces the seed's training values bitwise,
+  /// while e.g. {kKahan, Dtype::kBf16, Dtype::kF32} trains in the
+  /// paper's tensor-core mixed-precision setting.
+  fp::ReductionSpec accumulator = fp::AlgorithmId::kSerial;
   /// Thread pool the dense kernels (matmul family) and the deterministic
   /// index_add run on (nullptr: serial). Pooled execution is bitwise
   /// identical to serial for every accumulator and thread count, so this

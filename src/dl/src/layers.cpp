@@ -215,7 +215,7 @@ LossResult nll_loss_masked(const Matrix& log_probs,
       result.d_logits.flat(r * cols + c) = (softmax - onehot) * inv_count;
     }
   }
-  const double loss = fp::reduce(ctx.accumulator_in_effect(),
+  const double loss = fp::reduce(ctx.reduction_in_effect(),
                                  std::span<const double>(loss_terms));
   result.loss = loss / static_cast<double>(count);
   return result;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 #include <type_traits>
 #include <vector>
@@ -23,21 +24,67 @@ void require_rank2(const Matrix& m, const char* name) {
   }
 }
 
+/// The dense kernels' dtype discipline (tensor-core semantics): the
+/// spec's *storage* dtype quantizes the operands - a bf16 x bf16 product
+/// is exact in binary32, so the float multiply below models the MAC units
+/// exactly - and the *accumulate* dtype is where each output element's
+/// contribution stream runs. The native spec (identity quantize, float
+/// accumulate, serial algorithm) keeps the seed's special-cased loops.
+template <typename Acc, typename Quant>
+inline constexpr bool kNativeSerialF32 =
+    std::is_same_v<Acc, fp::SerialAccumulator<float>> && Quant::is_identity;
+
+/// Storage-quantized view of an operand matrix: the identity quantizer
+/// aliases the original (zero cost on the native paths); a real
+/// quantizer materialises the quantized copy once per kernel call, so
+/// the hot loops never re-quantize an element they re-read (matmul reads
+/// every b element m times).
+template <typename Quant>
+const Matrix& maybe_quantized(const Matrix& m,
+                              [[maybe_unused]] Quant quantize,
+                              [[maybe_unused]] std::optional<Matrix>& store) {
+  if constexpr (Quant::is_identity) {
+    return m;
+  } else {
+    store.emplace(m);
+    Matrix& q = *store;
+    for (std::int64_t i = 0; i < q.numel(); ++i) {
+      q.flat(i) = quantize(q.flat(i));
+    }
+    return q;
+  }
+}
+
+/// Runtime-spec variant for callers outside a visit_reduction dispatch
+/// (matmul_split_k quantizes once for all its chunks): materialises the
+/// bf16 copy iff the storage dtype actually quantizes a float kernel.
+const Matrix& maybe_quantized_for(const fp::ReductionSpec& spec,
+                                  const Matrix& m,
+                                  std::optional<Matrix>& store) {
+  if (spec.storage != fp::Dtype::kBf16) return m;
+  return maybe_quantized(m, fp::QuantizeBf16{}, store);
+}
+
 /// matmul restricted to inner indices [k_begin, k_end): the building block
 /// of both matmul (full range) and matmul_split_k (one chunk per call).
 /// Row-blocked over the output; per element the contributions fold in
-/// ascending p order through the context accumulator, with the serial
-/// algorithm special-cased to the classic i-k-j in-place loop (bitwise
-/// identical to the seed implementation, unit-stride inner loops).
+/// ascending p order through the context's reduction spec, with the
+/// native serial spec special-cased to the classic i-k-j in-place loop
+/// (bitwise identical to the seed implementation, unit-stride loops).
 void matmul_k_range(Matrix& c, const Matrix& a, const Matrix& b,
                     std::int64_t k_begin, std::int64_t k_end,
                     const core::EvalContext& ctx) {
   const std::int64_t m = a.size(0), k = a.size(1), n = b.size(1);
-  fp::visit_algorithm(ctx.accumulator_in_effect(), [&](auto tag) {
-    using Acc = typename decltype(tag)::template accumulator_t<float>;
-    for_each_row_block(
-        ctx, m, (k_end - k_begin) * n, [&](std::int64_t r0, std::int64_t r1) {
-          if constexpr (std::is_same_v<Acc, fp::SerialAccumulator<float>>) {
+  fp::visit_reduction<float>(
+      ctx.reduction_in_effect(), [&](auto tag, auto acc_c, auto quantize) {
+        using A = typename decltype(acc_c)::type;
+        using Acc = typename decltype(tag)::template accumulator_t<A>;
+        std::optional<Matrix> qa_store, qb_store;
+        const Matrix& qa = maybe_quantized(a, quantize, qa_store);
+        const Matrix& qb = maybe_quantized(b, quantize, qb_store);
+        for_each_row_block(ctx, m, (k_end - k_begin) * n,
+                           [&](std::int64_t r0, std::int64_t r1) {
+          if constexpr (kNativeSerialF32<Acc, decltype(quantize)>) {
             for (std::int64_t i = r0; i < r1; ++i) {
               for (std::int64_t p = k_begin; p < k_end; ++p) {
                 const float av = a.flat(i * k + p);
@@ -54,20 +101,22 @@ void matmul_k_range(Matrix& c, const Matrix& a, const Matrix& b,
             for (std::int64_t i = r0; i < r1; ++i) {
               for (auto& acc : row) acc = Acc{};
               for (std::int64_t p = k_begin; p < k_end; ++p) {
-                const float av = a.flat(i * k + p);
+                const float av = qa.flat(i * k + p);
                 if (av == 0.0f) continue;  // same sparsity skip as serial
                 const std::int64_t brow = p * n;
                 for (std::int64_t j = 0; j < n; ++j) {
-                  row[static_cast<std::size_t>(j)].add(av * b.flat(brow + j));
+                  row[static_cast<std::size_t>(j)].add(
+                      static_cast<A>(av * qb.flat(brow + j)));
                 }
               }
               for (std::int64_t j = 0; j < n; ++j) {
-                c.flat(i * n + j) = row[static_cast<std::size_t>(j)].result();
+                c.flat(i * n + j) = static_cast<float>(
+                    row[static_cast<std::size_t>(j)].result());
               }
             }
           }
         });
-  });
+      });
 }
 
 }  // namespace
@@ -96,40 +145,48 @@ Matrix matmul_transpose_a(const Matrix& a, const Matrix& b,
   // parallel form re-nests to p-i-j - per element the same ascending-i
   // stream, now wholly owned by one task.
   Matrix c(tensor::Shape{k, n}, 0.0f);
-  fp::visit_algorithm(ctx.accumulator_in_effect(), [&](auto tag) {
-    using Acc = typename decltype(tag)::template accumulator_t<float>;
-    for_each_row_block(ctx, k, m * n, [&](std::int64_t p0, std::int64_t p1) {
-      if constexpr (std::is_same_v<Acc, fp::SerialAccumulator<float>>) {
-        for (std::int64_t p = p0; p < p1; ++p) {
-          const std::int64_t crow = p * n;
-          for (std::int64_t i = 0; i < m; ++i) {
-            const float av = a.flat(i * k + p);
-            if (av == 0.0f) continue;
-            const std::int64_t brow = i * n;
-            for (std::int64_t j = 0; j < n; ++j) {
-              c.flat(crow + j) += av * b.flat(brow + j);
+  fp::visit_reduction<float>(
+      ctx.reduction_in_effect(), [&](auto tag, auto acc_c, auto quantize) {
+        using A = typename decltype(acc_c)::type;
+        using Acc = typename decltype(tag)::template accumulator_t<A>;
+        std::optional<Matrix> qa_store, qb_store;
+        const Matrix& qa = maybe_quantized(a, quantize, qa_store);
+        const Matrix& qb = maybe_quantized(b, quantize, qb_store);
+        for_each_row_block(ctx, k, m * n,
+                           [&](std::int64_t p0, std::int64_t p1) {
+          if constexpr (kNativeSerialF32<Acc, decltype(quantize)>) {
+            for (std::int64_t p = p0; p < p1; ++p) {
+              const std::int64_t crow = p * n;
+              for (std::int64_t i = 0; i < m; ++i) {
+                const float av = a.flat(i * k + p);
+                if (av == 0.0f) continue;
+                const std::int64_t brow = i * n;
+                for (std::int64_t j = 0; j < n; ++j) {
+                  c.flat(crow + j) += av * b.flat(brow + j);
+                }
+              }
+            }
+          } else {
+            std::vector<Acc> row(static_cast<std::size_t>(n));
+            for (std::int64_t p = p0; p < p1; ++p) {
+              for (auto& acc : row) acc = Acc{};
+              for (std::int64_t i = 0; i < m; ++i) {
+                const float av = qa.flat(i * k + p);
+                if (av == 0.0f) continue;  // same sparsity skip as serial
+                const std::int64_t brow = i * n;
+                for (std::int64_t j = 0; j < n; ++j) {
+                  row[static_cast<std::size_t>(j)].add(
+                      static_cast<A>(av * qb.flat(brow + j)));
+                }
+              }
+              for (std::int64_t j = 0; j < n; ++j) {
+                c.flat(p * n + j) = static_cast<float>(
+                    row[static_cast<std::size_t>(j)].result());
+              }
             }
           }
-        }
-      } else {
-        std::vector<Acc> row(static_cast<std::size_t>(n));
-        for (std::int64_t p = p0; p < p1; ++p) {
-          for (auto& acc : row) acc = Acc{};
-          for (std::int64_t i = 0; i < m; ++i) {
-            const float av = a.flat(i * k + p);
-            if (av == 0.0f) continue;  // same sparsity skip as serial
-            const std::int64_t brow = i * n;
-            for (std::int64_t j = 0; j < n; ++j) {
-              row[static_cast<std::size_t>(j)].add(av * b.flat(brow + j));
-            }
-          }
-          for (std::int64_t j = 0; j < n; ++j) {
-            c.flat(p * n + j) = row[static_cast<std::size_t>(j)].result();
-          }
-        }
-      }
-    });
-  });
+        });
+      });
   return c;
 }
 
@@ -142,31 +199,38 @@ Matrix matmul_transpose_b(const Matrix& a, const Matrix& b,
     throw std::invalid_argument("matmul_transpose_b: inner mismatch");
   }
   Matrix c(tensor::Shape{m, n}, 0.0f);
-  fp::visit_algorithm(ctx.accumulator_in_effect(), [&](auto tag) {
-    using Acc = typename decltype(tag)::template accumulator_t<float>;
-    for_each_row_block(ctx, m, k * n, [&](std::int64_t r0, std::int64_t r1) {
-      for (std::int64_t i = r0; i < r1; ++i) {
-        const std::int64_t arow = i * k;
-        const std::int64_t crow = i * n;
-        for (std::int64_t j = 0; j < n; ++j) {
-          const std::int64_t brow = j * k;
-          if constexpr (std::is_same_v<Acc, fp::SerialAccumulator<float>>) {
-            float acc = 0.0f;
-            for (std::int64_t p = 0; p < k; ++p) {
-              acc += a.flat(arow + p) * b.flat(brow + p);
+  fp::visit_reduction<float>(
+      ctx.reduction_in_effect(), [&](auto tag, auto acc_c, auto quantize) {
+        using A = typename decltype(acc_c)::type;
+        using Acc = typename decltype(tag)::template accumulator_t<A>;
+        std::optional<Matrix> qa_store, qb_store;
+        const Matrix& qa = maybe_quantized(a, quantize, qa_store);
+        const Matrix& qb = maybe_quantized(b, quantize, qb_store);
+        for_each_row_block(ctx, m, k * n,
+                           [&](std::int64_t r0, std::int64_t r1) {
+          for (std::int64_t i = r0; i < r1; ++i) {
+            const std::int64_t arow = i * k;
+            const std::int64_t crow = i * n;
+            for (std::int64_t j = 0; j < n; ++j) {
+              const std::int64_t brow = j * k;
+              if constexpr (kNativeSerialF32<Acc, decltype(quantize)>) {
+                float acc = 0.0f;
+                for (std::int64_t p = 0; p < k; ++p) {
+                  acc += a.flat(arow + p) * b.flat(brow + p);
+                }
+                c.flat(crow + j) = acc;
+              } else {
+                Acc acc;
+                for (std::int64_t p = 0; p < k; ++p) {
+                  acc.add(static_cast<A>(qa.flat(arow + p) *
+                                         qb.flat(brow + p)));
+                }
+                c.flat(crow + j) = static_cast<float>(acc.result());
+              }
             }
-            c.flat(crow + j) = acc;
-          } else {
-            Acc acc;
-            for (std::int64_t p = 0; p < k; ++p) {
-              acc.add(a.flat(arow + p) * b.flat(brow + p));
-            }
-            c.flat(crow + j) = acc.result();
           }
-        }
-      }
-    });
-  });
+        });
+      });
   return c;
 }
 
@@ -185,6 +249,20 @@ Matrix matmul_split_k(const Matrix& a, const Matrix& b, std::size_t splits,
       std::min<std::size_t>(splits, static_cast<std::size_t>(
                                         std::max<std::int64_t>(1, k))));
 
+  // Storage quantization is idempotent (a bf16 value re-rounds to
+  // itself), so quantize the operands once here and hand the chunks a
+  // native-storage spec - bitwise identical to quantizing inside every
+  // chunk, without re-copying both matrices per split.
+  core::EvalContext chunk_ctx = ctx;
+  std::optional<Matrix> qa_store, qb_store;
+  const fp::ReductionSpec spec = ctx.reduction_in_effect();
+  if (spec.storage == fp::Dtype::kBf16) {
+    chunk_ctx.accumulator =
+        fp::ReductionSpec{spec.algorithm, fp::Dtype::kNative, spec.accumulate};
+  }
+  const Matrix& aa = maybe_quantized_for(spec, a, qa_store);
+  const Matrix& bb = maybe_quantized_for(spec, b, qb_store);
+
   // Per-chunk partials: contiguous near-even k ranges, each computed with
   // the deterministic kernel (pool and accumulator per ctx).
   std::vector<Matrix> partials;
@@ -194,7 +272,7 @@ Matrix matmul_split_k(const Matrix& a, const Matrix& b, std::size_t splits,
   for (std::int64_t t = 0; t < s; ++t) {
     const std::int64_t k_end = k_begin + base + (t < rem ? 1 : 0);
     partials.emplace_back(tensor::Shape{m, n}, 0.0f);
-    matmul_k_range(partials.back(), a, b, k_begin, k_end, ctx);
+    matmul_k_range(partials.back(), aa, bb, k_begin, k_end, chunk_ctx);
     k_begin = k_end;
   }
 
@@ -251,23 +329,29 @@ Matrix column_sums(const Matrix& a, const core::EvalContext& ctx) {
   const std::int64_t m = a.size(0), n = a.size(1);
   Matrix out(tensor::Shape{n}, 0.0f);
   // Column-blocked: the seed's i-j loop folds each column in ascending
-  // row order; re-nesting to j-i keeps every column's stream intact.
-  fp::visit_algorithm(ctx.accumulator_in_effect(), [&](auto tag) {
-    using Acc = typename decltype(tag)::template accumulator_t<float>;
-    for_each_row_block(ctx, n, m, [&](std::int64_t j0, std::int64_t j1) {
-      for (std::int64_t j = j0; j < j1; ++j) {
-        if constexpr (std::is_same_v<Acc, fp::SerialAccumulator<float>>) {
-          for (std::int64_t i = 0; i < m; ++i) {
-            out.flat(j) += a.flat(i * n + j);
+  // row order; re-nesting to j-i keeps every column's stream intact. A
+  // plain reduction, so the storage dtype quantizes the addends (not
+  // operand pairs as in the matmuls).
+  fp::visit_reduction<float>(
+      ctx.reduction_in_effect(), [&](auto tag, auto acc_c, auto quantize) {
+        using A = typename decltype(acc_c)::type;
+        using Acc = typename decltype(tag)::template accumulator_t<A>;
+        for_each_row_block(ctx, n, m, [&](std::int64_t j0, std::int64_t j1) {
+          for (std::int64_t j = j0; j < j1; ++j) {
+            if constexpr (kNativeSerialF32<Acc, decltype(quantize)>) {
+              for (std::int64_t i = 0; i < m; ++i) {
+                out.flat(j) += a.flat(i * n + j);
+              }
+            } else {
+              Acc acc;
+              for (std::int64_t i = 0; i < m; ++i) {
+                acc.add(static_cast<A>(quantize(a.flat(i * n + j))));
+              }
+              out.flat(j) = static_cast<float>(acc.result());
+            }
           }
-        } else {
-          Acc acc;
-          for (std::int64_t i = 0; i < m; ++i) acc.add(a.flat(i * n + j));
-          out.flat(j) = acc.result();
-        }
-      }
-    });
-  });
+        });
+      });
   return out;
 }
 

@@ -92,16 +92,18 @@ double accuracy(const Matrix& log_probs,
 
 double measured_dense_forward_us(const ModelDims& dims,
                                  const core::EvalContext& ctx, int reps) {
-  // One measurement per (shape, pool width, accumulator): the timing
+  // One measurement per (shape, pool width, reduction spec): the timing
   // tables query the same dims many times and must not re-run the
   // kernels on every call.
+  const fp::ReductionSpec spec = ctx.reduction_in_effect();
   using Key = std::tuple<std::int64_t, std::int64_t, std::int64_t,
-                         std::int64_t, std::size_t, fp::AlgorithmId>;
+                         std::int64_t, std::size_t, fp::AlgorithmId,
+                         fp::Dtype, fp::Dtype>;
   static std::mutex mutex;
   static std::map<Key, double> cache;
   const Key key{dims.nodes, dims.features, dims.hidden, dims.classes,
                 ctx.pool != nullptr ? ctx.pool->size() : std::size_t{0},
-                ctx.accumulator_in_effect()};
+                spec.algorithm, spec.storage, spec.accumulate};
   {
     const std::lock_guard lock(mutex);
     const auto it = cache.find(key);

@@ -18,6 +18,15 @@
 // Dispatch is a static visitor (`visit_algorithm`): the switch happens once
 // per reduction call and hands the hot loop a concrete accumulator type, so
 // no per-element indirect call ever appears in the inner loop.
+//
+// The registry is dtype-polymorphic (see reduction_spec.hpp): every
+// algorithm instantiates at double, float and the software bf16, an Entry
+// carries one-shot surfaces for the canonical dtype combinations (f64
+// bitwise-identical to the historic free functions; f32/f32 and
+// bf16-storage/f32-accumulate for the DL settings), and `visit_reduction`
+// extends the static-visitor discipline to a full ReductionSpec - the
+// callback receives the algorithm tag, the accumulate-dtype constant and
+// a monomorphic storage quantizer.
 
 #include <concepts>
 #include <cstddef>
@@ -29,8 +38,10 @@
 #include <vector>
 
 #include "fpna/fp/algorithm_id.hpp"
+#include "fpna/fp/bf16.hpp"
 #include "fpna/fp/binned_sum.hpp"
 #include "fpna/fp/double_double.hpp"
+#include "fpna/fp/reduction_spec.hpp"
 #include "fpna/fp/summation.hpp"
 #include "fpna/fp/superaccumulator.hpp"
 
@@ -348,6 +359,20 @@ static_assert(Accumulator<BinnedAccumulator<double>>);
 static_assert(Accumulator<LongAccumulator<double>>);
 static_assert(Accumulator<LongAccumulator<float>>);
 
+// Every streaming accumulator also instantiates at the software bf16
+// storage dtype (arithmetic runs through the implicit float conversion
+// with one rounding per assignment - the pure-bf16 accumulate the dtype
+// sweeps use as the "no mixed precision" ablation).
+static_assert(Accumulator<SerialAccumulator<bf16>>);
+static_assert(Accumulator<PairwiseAccumulator<bf16>>);
+static_assert(Accumulator<KahanAccumulator<bf16>>);
+static_assert(Accumulator<NeumaierAccumulator<bf16>>);
+static_assert(Accumulator<KleinAccumulator<bf16>>);
+static_assert(Accumulator<DoubleDoubleAccumulator<bf16>>);
+static_assert(Accumulator<VectorizedAccumulator<bf16>>);
+static_assert(Accumulator<BinnedAccumulator<bf16>>);
+static_assert(Accumulator<LongAccumulator<bf16>>);
+
 // ---------------------------------------------------------------- tags --
 
 // One tag type per algorithm. A tag carries the streaming accumulator
@@ -496,6 +521,132 @@ T reduce(AlgorithmId id, std::span<const T> values) {
   });
 }
 
+// --------------------------------------------- dtype-polymorphic visit --
+
+/// Type constant naming a concrete accumulate dtype inside
+/// visit_reduction's callback.
+template <typename T>
+struct dtype_c {
+  using type = T;
+};
+
+// Storage quantizers: monomorphic value transforms (N -> N, the quantized
+// value is exactly representable in N because bf16 c f32 c f64) applied to
+// every addend - or, in the dot-product kernels, operand - before it
+// enters the accumulation stream. The identity is a distinct type so hot
+// loops compile the no-op away entirely.
+
+struct QuantizeNone {
+  static constexpr bool is_identity = true;
+  template <typename N>
+  N operator()(N x) const noexcept {
+    return x;
+  }
+};
+
+struct QuantizeF32 {
+  static constexpr bool is_identity = false;
+  template <typename N>
+  N operator()(N x) const noexcept {
+    return static_cast<N>(static_cast<float>(x));
+  }
+};
+
+struct QuantizeBf16 {
+  static constexpr bool is_identity = false;
+  template <typename N>
+  N operator()(N x) const noexcept {
+    return static_cast<N>(static_cast<float>(bf16(static_cast<float>(x))));
+  }
+};
+
+namespace detail {
+
+/// Storage dispatch for a kernel whose native element type is N. A
+/// storage dtype at least as wide as N is a no-op (the values already
+/// live in N); narrower dtypes quantize.
+template <typename N, typename F>
+decltype(auto) visit_storage(Dtype storage, F&& f) {
+  switch (storage) {
+    case Dtype::kBf16:
+      return f(QuantizeBf16{});
+    case Dtype::kF32:
+      if constexpr (std::same_as<N, double>) {
+        return f(QuantizeF32{});
+      } else {
+        return f(QuantizeNone{});
+      }
+    case Dtype::kNative:
+    case Dtype::kF64:
+      break;
+  }
+  return f(QuantizeNone{});
+}
+
+template <typename N, typename F>
+decltype(auto) visit_accumulate(Dtype accumulate, F&& f) {
+  switch (accumulate) {
+    case Dtype::kF64: return f(dtype_c<double>{});
+    case Dtype::kF32: return f(dtype_c<float>{});
+    case Dtype::kBf16: return f(dtype_c<bf16>{});
+    case Dtype::kNative: break;
+  }
+  return f(dtype_c<N>{});
+}
+
+}  // namespace detail
+
+/// Static visitor over the full ReductionSpec: one switch chain per
+/// reduction *call*, then `f(tag, acc_c, quantize)` runs fully
+/// monomorphised - `tag` as in visit_algorithm, `acc_c` a dtype_c naming
+/// the accumulate dtype (instantiate the tag's accumulator_t at
+/// `typename decltype(acc_c)::type`), `quantize` the storage transform to
+/// wrap around every addend/operand. N is the calling kernel's native
+/// element type; it resolves Dtype::kNative on both axes.
+template <typename N, typename F>
+decltype(auto) visit_reduction(const ReductionSpec& spec, F&& f) {
+  return visit_algorithm(spec.algorithm, [&](auto tag) -> decltype(auto) {
+    return detail::visit_storage<N>(
+        spec.storage, [&](auto quantize) -> decltype(auto) {
+          return detail::visit_accumulate<N>(
+              spec.accumulate, [&](auto acc_c) -> decltype(auto) {
+                return f(tag, acc_c, quantize);
+              });
+        });
+  });
+}
+
+/// One-shot dtype-polymorphic reduction. A spec that resolves to the
+/// kernel-native dtypes routes through the scalar reduce() above, so
+/// double results stay bitwise identical to the historic free functions;
+/// a dtype-qualified spec quantizes every addend to the storage dtype and
+/// streams it through the algorithm's accumulator instantiated at the
+/// accumulate dtype, widening the rounded result back to T (exact, since
+/// every narrower value is representable in T).
+template <typename T = double>
+T reduce(const ReductionSpec& spec, std::span<const T> values) {
+  if (spec.resolved(dtype_of_v<T>) ==
+      ReductionSpec{spec.algorithm, dtype_of_v<T>, dtype_of_v<T>}) {
+    return reduce<T>(spec.algorithm, values);
+  }
+  return visit_reduction<T>(
+      spec, [&](auto tag, auto acc_c, auto quantize) -> T {
+        using A = typename decltype(acc_c)::type;
+        typename decltype(tag)::template accumulator_t<A> acc;
+        for (const T x : values) acc.add(static_cast<A>(quantize(x)));
+        return static_cast<T>(acc.result());
+      });
+}
+
+/// Declared traits of a spec. The algorithm's traits hold for every dtype
+/// instantiation: storage quantization is elementwise (commutes with any
+/// permutation or chunking of the input) and the exactness of the
+/// exact-merge states is internal to the accumulator, independent of the
+/// dtype its result rounds to.
+inline const AlgorithmTraits& traits_of(const ReductionSpec& spec) {
+  return traits_of(spec.algorithm);
+}
+
 // ------------------------------------------------------------- registry --
 
 /// String/enum-keyed catalogue of every accumulation algorithm. Built-ins
@@ -515,8 +666,14 @@ class AlgorithmRegistry {
     AlgorithmId id = AlgorithmId::kSerial;
     std::string description;
     AlgorithmTraits traits{};
-    /// One-shot double reduction (bitwise = historic free function).
+    /// f64 storage / f64 accumulate one-shot reduction (bitwise = the
+    /// historic free function; this surface's values never move).
     double (*reduce)(std::span<const double>) = nullptr;
+    /// f32 storage / f32 accumulate: the framework-FP32 kernel setting.
+    float (*reduce_f32)(std::span<const float>) = nullptr;
+    /// bf16 storage / f32 accumulate: the tensor-core mixed-precision
+    /// setting the paper's DL experiments run under.
+    float (*reduce_bf16_f32)(std::span<const bf16>) = nullptr;
   };
 
   static AlgorithmRegistry& instance();
@@ -543,6 +700,15 @@ class AlgorithmRegistry {
   static double sum(AlgorithmId id, std::span<const double> values) {
     return reduce<double>(id, values);
   }
+  static double sum(const ReductionSpec& spec,
+                    std::span<const double> values) {
+    return reduce<double>(spec, values);
+  }
+  /// Name-driven sum: `name` is the full spec grammar
+  /// ("kahan", "kahan@bf16:f32", ...), parsed by parse_reduction_spec -
+  /// so the one lookup/throw path (at() for the algorithm, parse_dtype
+  /// for the dtypes, both listing their valid keys) serves every
+  /// name-driven surface.
   static double sum(std::string_view name, std::span<const double> values);
 
  private:
@@ -554,6 +720,24 @@ namespace detail {
 struct AlgorithmRegistrar {
   explicit AlgorithmRegistrar(AlgorithmRegistry::Entry entry);
 };
+
+/// Tag-generic fillers for the registry's per-dtype reduce surfaces: the
+/// algorithm's streaming accumulator instantiated at the accumulate
+/// dtype, addends entering in storage precision.
+template <typename Tag>
+float tag_reduce_f32(std::span<const float> values) {
+  typename Tag::template accumulator_t<float> acc;
+  acc.add(values);
+  return acc.result();
+}
+
+template <typename Tag>
+float tag_reduce_bf16_f32(std::span<const bf16> values) {
+  typename Tag::template accumulator_t<float> acc;
+  for (const bf16 x : values) acc.add(static_cast<float>(x));
+  return acc.result();
+}
+
 }  // namespace detail
 
 /// Self-registration hook: expands to a namespace-scope registrar whose
@@ -566,6 +750,7 @@ struct AlgorithmRegistrar {
   static const ::fpna::fp::detail::AlgorithmRegistrar                         \
       fpna_accumulator_registrar_##token{::fpna::fp::AlgorithmRegistry::Entry{\
           cli_name, tag_type::id, description_str, tag_type::traits,          \
-          &tag_type::reduce}};
+          &tag_type::reduce, &::fpna::fp::detail::tag_reduce_f32<tag_type>,   \
+          &::fpna::fp::detail::tag_reduce_bf16_f32<tag_type>}};
 
 }  // namespace fpna::fp

@@ -1,0 +1,137 @@
+#pragma once
+// Software bfloat16: the 16-bit truncated-significand float of the DL
+// mixed-precision setting the paper studies (8 exponent bits - the full
+// binary32 range - and 7 stored significand bits). The toolkit certifies
+// *bits*, so the type is exact by construction:
+//
+//   * bf16 -> float is a bit shift (every bf16 value is a float);
+//   * float -> bf16 rounds to nearest, ties to even, in one rounding -
+//     the hardware conversion semantics - with subnormals handled by the
+//     same carry chain (bf16 and binary32 share an exponent range, so a
+//     float subnormal lands on a bf16 subnormal) and NaN special-cased so
+//     significand rounding cannot carry a NaN into an infinity;
+//   * overflow rounds to +-inf exactly where binary32 RNE would.
+//
+// Arithmetic happens through the implicit float conversion: `a + b` is a
+// float add of exact operands, and `static_cast<bf16>(...)` is the one
+// rounding - which is precisely the "storage dtype" discipline the
+// ReductionSpec machinery needs (quantized operands, wider accumulate).
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+#include "fpna/fp/dtype.hpp"
+
+namespace fpna::fp {
+
+class bf16 {
+ public:
+  constexpr bf16() noexcept = default;
+  explicit constexpr bf16(float value) noexcept : bits_(round_bits(value)) {}
+  /// Narrowing from double goes through float first (two roundings, like
+  /// `static_cast<float>` followed by the hardware bf16 convert).
+  explicit constexpr bf16(double value) noexcept
+      : bf16(static_cast<float>(value)) {}
+
+  /// Exact widening: every bf16 value is a binary32 value.
+  constexpr operator float() const noexcept {
+    return std::bit_cast<float>(static_cast<std::uint32_t>(bits_) << 16);
+  }
+
+  static constexpr bf16 from_bits(std::uint16_t bits) noexcept {
+    bf16 out;
+    out.bits_ = bits;
+    return out;
+  }
+  constexpr std::uint16_t to_bits() const noexcept { return bits_; }
+
+  /// Bit-pattern identity (distinguishes -0 from +0, equates same-payload
+  /// NaNs) - the equality the variability metrics are defined on.
+  friend constexpr bool bitwise_equal(bf16 x, bf16 y) noexcept {
+    return x.bits_ == y.bits_;
+  }
+
+ private:
+  /// Round-to-nearest-even binary32 -> bf16, the TPU/PyTorch conversion:
+  /// adding 0x7FFF + lsb(kept significand) carries exactly when the
+  /// discarded half exceeds (or ties onto an odd) the kept part. The
+  /// carry chain also produces correct subnormal rounding and RNE
+  /// overflow to infinity; NaN is the one pattern where a significand
+  /// carry would change the value class, so it is quieted explicitly.
+  static constexpr std::uint16_t round_bits(float value) noexcept {
+    const std::uint32_t x = std::bit_cast<std::uint32_t>(value);
+    if ((x & 0x7FFFFFFFu) > 0x7F800000u) {  // NaN: keep sign, force quiet
+      return static_cast<std::uint16_t>((x >> 16) | 0x0040u);
+    }
+    const std::uint32_t bias = 0x7FFFu + ((x >> 16) & 1u);
+    return static_cast<std::uint16_t>((x + bias) >> 16);
+  }
+
+  std::uint16_t bits_ = 0;  // +0.0
+};
+
+static_assert(sizeof(bf16) == 2);
+
+/// Number of representable bf16 values between x and y (0 iff bitwise
+/// equal after collapsing -0 onto +0); INT32_MAX if either is NaN.
+constexpr std::int32_t ulp_distance_bf16(bf16 x, bf16 y) noexcept {
+  const auto is_nan = [](bf16 v) {
+    return (v.to_bits() & 0x7FFFu) > 0x7F80u;
+  };
+  if (is_nan(x) || is_nan(y)) return std::numeric_limits<std::int32_t>::max();
+  const auto monotone = [](bf16 v) -> std::int32_t {
+    std::uint16_t b = v.to_bits();
+    if (b == 0x8000u) b = 0;  // -0 -> +0
+    const auto s = static_cast<std::int32_t>(b);
+    return (b & 0x8000u) != 0 ? 0x8000 - s : s;
+  };
+  const std::int32_t ix = monotone(x), iy = monotone(y);
+  return ix >= iy ? ix - iy : iy - ix;
+}
+
+template <>
+struct dtype_of<bf16> {
+  static constexpr Dtype value = Dtype::kBf16;
+};
+
+}  // namespace fpna::fp
+
+/// Minimal numeric_limits so generic test/bench code can ask the usual
+/// questions of the storage dtype.
+template <>
+class std::numeric_limits<fpna::fp::bf16> {
+ public:
+  static constexpr bool is_specialized = true;
+  static constexpr bool is_signed = true;
+  static constexpr bool is_integer = false;
+  static constexpr bool is_exact = false;
+  static constexpr bool has_infinity = true;
+  static constexpr bool has_quiet_NaN = true;
+  static constexpr int radix = 2;
+  static constexpr int digits = 8;  // 7 stored + 1 implicit
+  static constexpr int max_exponent = 128;
+  static constexpr int min_exponent = -125;
+
+  static constexpr fpna::fp::bf16 min() noexcept {  // smallest normal
+    return fpna::fp::bf16::from_bits(0x0080u);      // 2^-126
+  }
+  static constexpr fpna::fp::bf16 denorm_min() noexcept {
+    return fpna::fp::bf16::from_bits(0x0001u);      // 2^-133
+  }
+  static constexpr fpna::fp::bf16 max() noexcept {
+    return fpna::fp::bf16::from_bits(0x7F7Fu);      // (2 - 2^-7) * 2^127
+  }
+  static constexpr fpna::fp::bf16 lowest() noexcept {
+    return fpna::fp::bf16::from_bits(0xFF7Fu);
+  }
+  static constexpr fpna::fp::bf16 epsilon() noexcept {
+    return fpna::fp::bf16::from_bits(0x3C00u);      // 2^-7
+  }
+  static constexpr fpna::fp::bf16 infinity() noexcept {
+    return fpna::fp::bf16::from_bits(0x7F80u);
+  }
+  static constexpr fpna::fp::bf16 quiet_NaN() noexcept {
+    return fpna::fp::bf16::from_bits(0x7FC0u);
+  }
+};

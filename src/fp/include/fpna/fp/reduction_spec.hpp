@@ -1,0 +1,81 @@
+#pragma once
+// ReductionSpec: the dtype-polymorphic "which reduction" selector. A
+// reduction is no longer just an algorithm - it is the triple
+//
+//     storage dtype x accumulate dtype x algorithm
+//
+// matching how GPU tensor cores actually sum (bf16-stored operands,
+// fp32 accumulate) versus how the historic double kernels sum (native
+// storage, native accumulate). The default-constructed spec is
+// native/native/serial, which reproduces the seed's bits in every layer.
+//
+// Name grammar (the CLI/bench surface):
+//
+//     <algorithm>[@<storage>[:<accumulate>]]
+//
+//     "kahan"           - native storage, native accumulate
+//     "kahan@bf16:f32"  - bf16-quantized addends, fp32 accumulate
+//     "kahan@f32"       - f32 storage, accumulate defaults to storage
+//
+// Light-weight by design: core::EvalContext stores a ReductionSpec, so
+// this header must not pull in the accumulation layer. Parsing is
+// registry-validated and therefore lives with the registry
+// (parse_reduction_spec in accumulator.hpp's module).
+
+#include <string>
+#include <string_view>
+
+#include "fpna/fp/algorithm_id.hpp"
+#include "fpna/fp/dtype.hpp"
+
+namespace fpna::fp {
+
+struct ReductionSpec {
+  AlgorithmId algorithm = AlgorithmId::kSerial;
+  /// Dtype every addend (or, for dot-product kernels, operand) is
+  /// quantized to before it enters the accumulation stream. kNative: the
+  /// kernel's own element type, no quantization.
+  Dtype storage = Dtype::kNative;
+  /// Dtype the selected algorithm's streaming accumulator runs in.
+  /// kNative: the kernel's own element type.
+  Dtype accumulate = Dtype::kNative;
+
+  constexpr ReductionSpec() noexcept = default;
+  /// The compat shim for the historic scalar selector: an AlgorithmId
+  /// converts implicitly to a native/native spec, so every call site that
+  /// used to say `ctx.accumulator = AlgorithmId::kKahan` still compiles
+  /// and still means exactly what it meant.
+  constexpr ReductionSpec(AlgorithmId id) noexcept : algorithm(id) {}
+  constexpr ReductionSpec(AlgorithmId id, Dtype storage_dtype,
+                          Dtype accumulate_dtype) noexcept
+      : algorithm(id), storage(storage_dtype), accumulate(accumulate_dtype) {}
+
+  /// True when neither axis changes the kernel's native dtype - the
+  /// specs whose results are bitwise identical to the pre-dtype API.
+  constexpr bool native() const noexcept {
+    return storage == Dtype::kNative && accumulate == Dtype::kNative;
+  }
+
+  /// This spec with kNative pinned to the calling kernel's element dtype.
+  constexpr ReductionSpec resolved(Dtype native_dtype) const noexcept {
+    ReductionSpec out = *this;
+    if (out.storage == Dtype::kNative) out.storage = native_dtype;
+    if (out.accumulate == Dtype::kNative) out.accumulate = native_dtype;
+    return out;
+  }
+
+  friend constexpr bool operator==(const ReductionSpec&,
+                                   const ReductionSpec&) noexcept = default;
+};
+
+/// "kahan", "kahan@bf16:f32", ... (native/native renders as the bare
+/// algorithm name, so historic row labels are unchanged).
+std::string to_string(const ReductionSpec& spec);
+
+/// Parses the name grammar above. The algorithm key is validated against
+/// AlgorithmRegistry (unknown names throw listing the registered keys);
+/// dtype keys throw listing the valid dtypes. Implemented with the
+/// registry in src/fp/src/reduction_spec.cpp.
+ReductionSpec parse_reduction_spec(std::string_view name);
+
+}  // namespace fpna::fp

@@ -73,7 +73,12 @@ std::vector<std::string> AlgorithmRegistry::names() const {
 
 double AlgorithmRegistry::sum(std::string_view name,
                               std::span<const double> values) {
-  return instance().at(name).reduce(values);
+  // One lookup/throw path for every name-driven surface: the spec parser
+  // resolves the algorithm through at() (unknown names list the
+  // registered keys) and the dtypes through parse_dtype (unknown dtypes
+  // list the valid keys); reduce() then dispatches. Bare names resolve to
+  // a native spec, whose double path is the historic free function.
+  return reduce<double>(parse_reduction_spec(name), values);
 }
 
 namespace detail {

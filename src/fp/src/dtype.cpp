@@ -1,0 +1,30 @@
+#include "fpna/fp/dtype.hpp"
+
+#include <stdexcept>
+
+namespace fpna::fp {
+
+const char* to_string(Dtype dtype) noexcept {
+  switch (dtype) {
+    case Dtype::kNative: return "native";
+    case Dtype::kF64: return "f64";
+    case Dtype::kF32: return "f32";
+    case Dtype::kBf16: return "bf16";
+  }
+  return "?";
+}
+
+std::string dtype_keys() {
+  return "native f64 (alias: double) f32 (alias: float) bf16";
+}
+
+Dtype parse_dtype(std::string_view name) {
+  if (name == "native") return Dtype::kNative;
+  if (name == "f64" || name == "double") return Dtype::kF64;
+  if (name == "f32" || name == "float") return Dtype::kF32;
+  if (name == "bf16") return Dtype::kBf16;
+  throw std::invalid_argument("unknown dtype '" + std::string(name) +
+                              "'; valid: " + dtype_keys());
+}
+
+}  // namespace fpna::fp

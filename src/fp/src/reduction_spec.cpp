@@ -1,0 +1,39 @@
+#include "fpna/fp/reduction_spec.hpp"
+
+#include <stdexcept>
+
+#include "fpna/fp/accumulator.hpp"
+
+namespace fpna::fp {
+
+std::string to_string(const ReductionSpec& spec) {
+  std::string out = to_string(spec.algorithm);
+  if (spec.native()) return out;
+  out += '@';
+  out += to_string(spec.storage);
+  out += ':';
+  out += to_string(spec.accumulate);
+  return out;
+}
+
+ReductionSpec parse_reduction_spec(std::string_view name) {
+  ReductionSpec spec;
+  const std::size_t at = name.find('@');
+  // The algorithm key validates against the registry: at() throws listing
+  // every registered name, so a typo'd "kahann@bf16:f32" is
+  // self-explaining.
+  spec.algorithm = AlgorithmRegistry::instance().at(name.substr(0, at)).id;
+  if (at == std::string_view::npos) return spec;
+
+  const std::string_view dtypes = name.substr(at + 1);
+  const std::size_t colon = dtypes.find(':');
+  spec.storage = parse_dtype(dtypes.substr(0, colon));
+  // "<algo>@<dtype>" means storage and accumulate both at <dtype> - the
+  // pure-precision (no mixed accumulation) reading.
+  spec.accumulate = colon == std::string_view::npos
+                        ? spec.storage
+                        : parse_dtype(dtypes.substr(colon + 1));
+  return spec;
+}
+
+}  // namespace fpna::fp

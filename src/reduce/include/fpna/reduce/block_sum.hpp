@@ -23,16 +23,19 @@ double tree_sum(std::span<const double> values);
 /// The partial sum block `block_id` produces in the paper's kernels:
 /// thread t accumulates the grid-stride elements
 ///   data[block_id*nt + t + k*nt*nb],  k = 0, 1, ...
-/// through an `accumulator`-algorithm accumulator (in k order), then the
-/// block tree combines the nt thread values. Deterministic for fixed
-/// (data, nt, nb, accumulator).
-double block_partial_sum(std::span<const double> data, std::size_t block_id,
-                         std::size_t nt, std::size_t nb,
-                         fp::AlgorithmId accumulator = fp::AlgorithmId::kSerial);
+/// through the spec's accumulator (in k order, addends quantized to the
+/// spec's storage dtype, the stream running at its accumulate dtype),
+/// then the block tree combines the nt rounded thread values in double.
+/// Deterministic for fixed (data, nt, nb, spec); a bare AlgorithmId
+/// converts to the native spec, which reproduces the historic bits.
+double block_partial_sum(
+    std::span<const double> data, std::size_t block_id, std::size_t nt,
+    std::size_t nb,
+    const fp::ReductionSpec& accumulator = fp::AlgorithmId::kSerial);
 
 /// All nb block partials (convenience for the kernel implementations).
 std::vector<double> all_block_partials(
     std::span<const double> data, std::size_t nt, std::size_t nb,
-    fp::AlgorithmId accumulator = fp::AlgorithmId::kSerial);
+    const fp::ReductionSpec& accumulator = fp::AlgorithmId::kSerial);
 
 }  // namespace fpna::reduce

@@ -4,10 +4,12 @@
 // plus reproducible alternatives.
 //
 // The unified entry point is cpu_sum(data, EvalContext, num_threads): the
-// context selects the accumulation algorithm (from fp::AlgorithmRegistry),
-// the combination order (deterministic index order vs a completion order
-// drawn from the RunContext) and the execution substrate (simulated chunks
-// vs real threads on ctx.pool). The historic entry points below are thin,
+// context selects the reduction spec (registry algorithm + storage /
+// accumulate dtypes - addends quantize to the storage dtype and each
+// chunk's stream runs at the accumulate dtype), the combination order
+// (deterministic index order vs a completion order drawn from the
+// RunContext) and the execution substrate (simulated chunks vs real
+// threads on ctx.pool). The historic entry points below are thin,
 // bitwise-compatible wrappers over it.
 
 #include <cstddef>

@@ -18,28 +18,36 @@ double tree_sum(std::span<const double> values) {
 
 double block_partial_sum(std::span<const double> data, std::size_t block_id,
                          std::size_t nt, std::size_t nb,
-                         fp::AlgorithmId accumulator) {
+                         const fp::ReductionSpec& accumulator) {
   if (nt == 0 || nb == 0) {
     throw std::invalid_argument("block_partial_sum: empty launch");
   }
   const std::size_t stride = nt * nb;
-  return fp::visit_algorithm(accumulator, [&](auto tag) -> double {
-    using Acc = typename decltype(tag)::template accumulator_t<double>;
-    std::vector<double> thread_vals(nt, 0.0);
-    for (std::size_t t = 0; t < nt; ++t) {
-      Acc acc;
-      for (std::size_t i = block_id * nt + t; i < data.size(); i += stride) {
-        acc.add(data[i]);
-      }
-      thread_vals[t] = acc.result();
-    }
-    return tree_sum(thread_vals);
-  });
+  // Each thread's grid-stride stream runs at the spec's accumulate dtype
+  // over storage-quantized elements; the rounded thread values then meet
+  // in the block's double halving tree exactly as before (the tree models
+  // the shared-memory combine, which on real hardware is not dtype-
+  // selectable per element).
+  return fp::visit_reduction<double>(
+      accumulator, [&](auto tag, auto acc_c, auto quantize) -> double {
+        using A = typename decltype(acc_c)::type;
+        using Acc = typename decltype(tag)::template accumulator_t<A>;
+        std::vector<double> thread_vals(nt, 0.0);
+        for (std::size_t t = 0; t < nt; ++t) {
+          Acc acc;
+          for (std::size_t i = block_id * nt + t; i < data.size();
+               i += stride) {
+            acc.add(static_cast<A>(quantize(data[i])));
+          }
+          thread_vals[t] = static_cast<double>(acc.result());
+        }
+        return tree_sum(thread_vals);
+      });
 }
 
 std::vector<double> all_block_partials(std::span<const double> data,
                                        std::size_t nt, std::size_t nb,
-                                       fp::AlgorithmId accumulator) {
+                                       const fp::ReductionSpec& accumulator) {
   std::vector<double> partials(nb);
   for (std::size_t b = 0; b < nb; ++b) {
     partials[b] = block_partial_sum(data, b, nt, nb, accumulator);

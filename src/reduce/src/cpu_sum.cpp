@@ -40,9 +40,20 @@ std::vector<std::pair<std::size_t, std::size_t>> static_chunks(
 /// chunk boundaries - and therefore the bits for non-exact-merge
 /// accumulators - independently of how many workers the pool happens to
 /// have.
-template <typename Acc>
+/// One chunk's partial: every addend enters in storage precision
+/// (`quantize`), the accumulator runs at the spec's accumulate dtype. The
+/// native spec (identity quantize, double accumulate) reproduces the
+/// historic span add bit for bit - add(span) is defined as the same
+/// element loop.
+template <typename Acc, typename Quant>
+void add_chunk(Acc& acc, std::span<const double> chunk, Quant quantize) {
+  using A = typename Acc::value_type;
+  for (const double x : chunk) acc.add(static_cast<A>(quantize(x)));
+}
+
+template <typename Acc, typename Quant>
 double pool_sum(std::span<const double> data, const core::EvalContext& ctx,
-                std::size_t num_threads) {
+                std::size_t num_threads, Quant quantize) {
   util::ThreadPool& pool = *ctx.pool;
   const auto ranges = static_chunks(data.size(), num_threads);
 
@@ -56,13 +67,13 @@ double pool_sum(std::span<const double> data, const core::EvalContext& ctx,
         [&](std::size_t begin, std::size_t end, std::size_t) {
           for (std::size_t c = begin; c < end; ++c) {
             const auto [lo, hi] = ranges[c];
-            partials[c].add(data.subspan(lo, hi - lo));
+            add_chunk(partials[c], data.subspan(lo, hi - lo), quantize);
           }
         },
         ranges.size());
     Acc total;
     for (const Acc& partial : partials) total.merge(partial);
-    return total.result();
+    return static_cast<double>(total.result());
   }
 
   Acc total;
@@ -73,31 +84,33 @@ double pool_sum(std::span<const double> data, const core::EvalContext& ctx,
         for (std::size_t c = begin; c < end; ++c) {
           const auto [lo, hi] = ranges[c];
           Acc partial;
-          partial.add(data.subspan(lo, hi - lo));
+          add_chunk(partial, data.subspan(lo, hi - lo), quantize);
           const std::lock_guard lock(mutex);
           total.merge(partial);  // merge in OS completion order
         }
       },
       ranges.size());
-  return total.result();
+  return static_cast<double>(total.result());
 }
 
 }  // namespace
 
 double cpu_sum(std::span<const double> data, const core::EvalContext& ctx,
                std::size_t num_threads) {
-  return fp::visit_algorithm(
-      ctx.accumulator_in_effect(), [&](auto tag) -> double {
-        using Acc = typename decltype(tag)::template accumulator_t<double>;
+  return fp::visit_reduction<double>(
+      ctx.reduction_in_effect(),
+      [&](auto tag, auto acc_c, auto quantize) -> double {
+        using A = typename decltype(acc_c)::type;
+        using Acc = typename decltype(tag)::template accumulator_t<A>;
         if (ctx.pool != nullptr) {
-          return pool_sum<Acc>(data, ctx, num_threads);
+          return pool_sum<Acc>(data, ctx, num_threads, quantize);
         }
 
         const auto ranges = static_chunks(data.size(), num_threads);
         std::vector<Acc> partials(ranges.size());
         for (std::size_t c = 0; c < ranges.size(); ++c) {
           const auto [begin, end] = ranges[c];
-          partials[c].add(data.subspan(begin, end - begin));
+          add_chunk(partials[c], data.subspan(begin, end - begin), quantize);
         }
 
         // Combination happens in chunk-index order unless the context
@@ -112,7 +125,7 @@ double cpu_sum(std::span<const double> data, const core::EvalContext& ctx,
         }
         Acc total;
         for (const std::size_t c : order) total.merge(partials[c]);
-        return total.result();
+        return static_cast<double>(total.result());
       });
 }
 

@@ -22,12 +22,16 @@ double run_ao(sim::SimDevice& device, std::span<const double> data,
   auto rng = ctx.run->fork(0xA0);
   const std::vector<std::size_t> order =
       device.scheduler().atomic_commit_order(data.size(), rng);
-  return fp::visit_algorithm(
-      ctx.accumulator_in_effect(), [&](auto tag) -> double {
-        using Acc = typename decltype(tag)::template accumulator_t<double>;
+  return fp::visit_reduction<double>(
+      ctx.reduction_in_effect(),
+      [&](auto tag, auto acc_c, auto quantize) -> double {
+        using A = typename decltype(acc_c)::type;
+        using Acc = typename decltype(tag)::template accumulator_t<A>;
         Acc acc;
-        for (const std::size_t i : order) acc.add(data[i]);
-        return acc.result();
+        for (const std::size_t i : order) {
+          acc.add(static_cast<A>(quantize(data[i])));
+        }
+        return static_cast<double>(acc.result());
       });
 }
 
@@ -41,7 +45,7 @@ double run_spa(sim::SimDevice& device, std::span<const double> data,
   const sim::LaunchConfig config{nb, nt, nt};
   device.launch(config, rng, [&](sim::BlockCtx& block) {
     const double partial = block_partial_sum(data, block.block_id(), nt, nb,
-                                             ctx.accumulator_in_effect());
+                                             ctx.reduction_in_effect());
     block.syncthreads();
     result.fetch_add(partial);
   });
@@ -67,7 +71,7 @@ double run_single_pass_deterministic(sim::SimDevice& device,
   device.launch(config, rng, [&](sim::BlockCtx& block) {
     const std::size_t b = block.block_id();
     partials[b] =
-        block_partial_sum(data, b, nt, nb, ctx.accumulator_in_effect());
+        block_partial_sum(data, b, nt, nb, ctx.reduction_in_effect());
     block.threadfence();  // publish partials[b] before retiring
     published[b] = true;
 
@@ -90,17 +94,23 @@ double run_single_pass_deterministic(sim::SimDevice& device,
       // serial case keeps the seed's partials[0]-seeded fold (an empty
       // accumulator's 0.0 + (-0.0) would flip the sign of an all-negative-
       // zero tail, breaking bitwise compatibility).
-      result = fp::visit_algorithm(
-          ctx.accumulator_in_effect(), [&](auto tag) -> double {
-            using Acc = typename decltype(tag)::template accumulator_t<double>;
-            if constexpr (std::is_same_v<Acc, fp::SerialAccumulator<double>>) {
+      result = fp::visit_reduction<double>(
+          ctx.reduction_in_effect(),
+          [&](auto tag, auto acc_c, auto quantize) -> double {
+            using A = typename decltype(acc_c)::type;
+            using Acc = typename decltype(tag)::template accumulator_t<A>;
+            if constexpr (std::is_same_v<Acc,
+                                         fp::SerialAccumulator<double>> &&
+                          decltype(quantize)::is_identity) {
               double acc = partials[0];
               for (std::size_t i = 1; i < nb; ++i) acc += partials[i];
               return acc;
             } else {
               Acc acc;
-              for (const double p : partials) acc.add(p);
-              return acc.result();
+              for (const double p : partials) {
+                acc.add(static_cast<A>(quantize(p)));
+              }
+              return static_cast<double>(acc.result());
             }
           });
     }
@@ -120,7 +130,7 @@ double run_tprc(sim::SimDevice& device, std::span<const double> data,
   const sim::LaunchConfig config{nb, nt, nt};
   device.launch(config, rng, [&](sim::BlockCtx& block) {
     partials[block.block_id()] = block_partial_sum(
-        data, block.block_id(), nt, nb, ctx.accumulator_in_effect());
+        data, block.block_id(), nt, nb, ctx.reduction_in_effect());
   });
   // Kernel-to-copy stream dependency: the copy sees all partials. An
   // explicitly selected accumulator (including kSerial) runs the host

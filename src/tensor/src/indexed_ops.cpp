@@ -253,38 +253,45 @@ void accumulate_deterministic_pooled(Tensor<T>& out,
   for (std::size_t d = 0; d < numel; ++d) {
     if (offsets[d + 1] > offsets[d]) destinations.push_back(d);
   }
-  fp::visit_algorithm(ctx.accumulator_in_effect(), [&](auto tag) {
-    using Acc = typename decltype(tag)::template accumulator_t<T>;
-    ctx.pool->parallel_for(
-        destinations.size(),
-        [&](std::size_t begin, std::size_t end, std::size_t) {
-          for (std::size_t j = begin; j < end; ++j) {
-            const std::size_t d = destinations[j];
-            if constexpr (std::is_same_v<Acc, fp::SerialAccumulator<T>>) {
-              if (seed_self) {
-                // The classic in-place fold, not a +0.0-seeded
-                // accumulator: preserves the serial path's signed-zero
-                // bits ((-0.0) + (-0.0) stays -0.0).
-                T value = out.flat(static_cast<std::int64_t>(d));
-                for (std::size_t g = offsets[d]; g < offsets[d + 1]; ++g) {
-                  value = static_cast<T>(value +
-                                         value_of(contribs[grouped[g]]));
+  fp::visit_reduction<T>(
+      ctx.reduction_in_effect(), [&](auto tag, auto acc_c, auto quantize) {
+        using A = typename decltype(acc_c)::type;
+        using Acc = typename decltype(tag)::template accumulator_t<A>;
+        ctx.pool->parallel_for(
+            destinations.size(),
+            [&](std::size_t begin, std::size_t end, std::size_t) {
+              for (std::size_t j = begin; j < end; ++j) {
+                const std::size_t d = destinations[j];
+                if constexpr (std::is_same_v<Acc, fp::SerialAccumulator<T>> &&
+                              decltype(quantize)::is_identity) {
+                  if (seed_self) {
+                    // The classic in-place fold, not a +0.0-seeded
+                    // accumulator: preserves the serial path's signed-zero
+                    // bits ((-0.0) + (-0.0) stays -0.0).
+                    T value = out.flat(static_cast<std::int64_t>(d));
+                    for (std::size_t g = offsets[d]; g < offsets[d + 1];
+                         ++g) {
+                      value = static_cast<T>(value +
+                                             value_of(contribs[grouped[g]]));
+                    }
+                    out.flat(static_cast<std::int64_t>(d)) = value;
+                    continue;
+                  }
                 }
-                out.flat(static_cast<std::int64_t>(d)) = value;
-                continue;
+                Acc acc;
+                if (seed_self) {
+                  acc.add(static_cast<A>(
+                      quantize(out.flat(static_cast<std::int64_t>(d)))));
+                }
+                for (std::size_t g = offsets[d]; g < offsets[d + 1]; ++g) {
+                  acc.add(static_cast<A>(
+                      quantize(value_of(contribs[grouped[g]]))));
+                }
+                out.flat(static_cast<std::int64_t>(d)) =
+                    static_cast<T>(acc.result());
               }
-            }
-            Acc acc;
-            if (seed_self) {
-              acc.add(out.flat(static_cast<std::int64_t>(d)));
-            }
-            for (std::size_t g = offsets[d]; g < offsets[d + 1]; ++g) {
-              acc.add(value_of(contribs[grouped[g]]));
-            }
-            out.flat(static_cast<std::int64_t>(d)) = acc.result();
-          }
-        });
-  });
+            });
+      });
 }
 
 template <typename T, typename ValueOf>
@@ -296,28 +303,32 @@ void accumulate_deterministic(Tensor<T>& out,
     accumulate_deterministic_pooled(out, contribs, ctx, seed_self, value_of);
     return;
   }
-  fp::visit_algorithm(
-      ctx.accumulator_in_effect(), [&](auto tag) {
-    using Acc = typename decltype(tag)::template accumulator_t<T>;
-    if constexpr (std::is_same_v<Acc, fp::SerialAccumulator<T>>) {
-      if (seed_self) {
-        for (const auto& c : contribs) {
-          out.flat(c.dst) = static_cast<T>(out.flat(c.dst) + value_of(c));
+  fp::visit_reduction<T>(
+      ctx.reduction_in_effect(), [&](auto tag, auto acc_c, auto quantize) {
+        using A = typename decltype(acc_c)::type;
+        using Acc = typename decltype(tag)::template accumulator_t<A>;
+        if constexpr (std::is_same_v<Acc, fp::SerialAccumulator<T>> &&
+                      decltype(quantize)::is_identity) {
+          if (seed_self) {
+            for (const auto& c : contribs) {
+              out.flat(c.dst) = static_cast<T>(out.flat(c.dst) + value_of(c));
+            }
+            return;
+          }
         }
-        return;
-      }
-    }
-    std::unordered_map<std::int64_t, Acc> per_destination;
-    per_destination.reserve(contribs.size());
-    for (const auto& c : contribs) {
-      auto [it, inserted] = per_destination.try_emplace(c.dst);
-      if (inserted && seed_self) it->second.add(out.flat(c.dst));
-      it->second.add(value_of(c));
-    }
-    for (const auto& [dst, acc] : per_destination) {
-      out.flat(dst) = acc.result();
-    }
-  });
+        std::unordered_map<std::int64_t, Acc> per_destination;
+        per_destination.reserve(contribs.size());
+        for (const auto& c : contribs) {
+          auto [it, inserted] = per_destination.try_emplace(c.dst);
+          if (inserted && seed_self) {
+            it->second.add(static_cast<A>(quantize(out.flat(c.dst))));
+          }
+          it->second.add(static_cast<A>(quantize(value_of(c))));
+        }
+        for (const auto& [dst, acc] : per_destination) {
+          out.flat(dst) = static_cast<T>(acc.result());
+        }
+      });
 }
 
 /// scatter_reduce's mean epilogue: one PyTorch denominator rule for both
@@ -447,10 +458,14 @@ Tensor<T> scatter_reduce(const Tensor<T>& self, std::int64_t dim,
 
   // Sum-family reductions on the deterministic path route through the
   // registry accumulator (non-sum modes - prod/amax/amin - have no
-  // accumulation to re-associate and keep the direct combine loop).
+  // accumulation to re-associate and keep the direct combine loop). A
+  // non-native dtype spec takes this path even for the serial algorithm:
+  // the direct combine loop below never quantizes, so storage/accumulate
+  // dtypes would otherwise be silently dropped.
   const bool sum_family = reduce == Reduce::kSum || reduce == Reduce::kMean;
   if (sum_family && !ctx.nondeterministic() &&
-      ctx.accumulator_in_effect() != fp::AlgorithmId::kSerial) {
+      (ctx.accumulator_in_effect() != fp::AlgorithmId::kSerial ||
+       !ctx.reduction_in_effect().native())) {
     accumulate_deterministic(out, contribs, ctx, /*seed_self=*/include_self,
                              [&](const Contribution& c) {
                                return src.flat(c.src);

@@ -23,24 +23,28 @@ void scan_line(std::span<T> data, std::int64_t start, std::int64_t stride,
 
   if (!ctx.nondeterministic() || length <= 2 || scan_blocks <= 1) {
     // Deterministic scan: the running prefix is the context's registry
-    // accumulator, read after every add. The serial case keeps the
+    // accumulator (at the spec's accumulate dtype, over storage-quantized
+    // addends), read after every add. The native serial case keeps the
     // classic in-place loop - an empty accumulator's 0.0 seed would flip
     // the sign of a -0.0 prefix, breaking bitwise compatibility.
-    fp::visit_algorithm(ctx.accumulator_in_effect(), [&](auto tag) {
-      using Acc = typename decltype(tag)::template accumulator_t<T>;
-      if constexpr (std::is_same_v<Acc, fp::SerialAccumulator<T>>) {
-        for (std::int64_t i = 1; i < length; ++i) {
-          at(i) = static_cast<T>(at(i) + at(i - 1));
-        }
-      } else {
-        Acc acc;
-        acc.add(at(0));
-        for (std::int64_t i = 1; i < length; ++i) {
-          acc.add(at(i));
-          at(i) = acc.result();
-        }
-      }
-    });
+    fp::visit_reduction<T>(
+        ctx.reduction_in_effect(), [&](auto tag, auto acc_c, auto quantize) {
+          using A = typename decltype(acc_c)::type;
+          using Acc = typename decltype(tag)::template accumulator_t<A>;
+          if constexpr (std::is_same_v<Acc, fp::SerialAccumulator<T>> &&
+                        decltype(quantize)::is_identity) {
+            for (std::int64_t i = 1; i < length; ++i) {
+              at(i) = static_cast<T>(at(i) + at(i - 1));
+            }
+          } else {
+            Acc acc;
+            acc.add(static_cast<A>(quantize(at(0))));
+            for (std::int64_t i = 1; i < length; ++i) {
+              acc.add(static_cast<A>(quantize(at(i))));
+              at(i) = static_cast<T>(acc.result());
+            }
+          }
+        });
     return;
   }
 
@@ -63,28 +67,31 @@ void scan_line(std::span<T> data, std::int64_t start, std::int64_t stride,
   // registry-selected accumulator (serial reproduces the seed bitwise).
   std::vector<T> aggregate(static_cast<std::size_t>(blocks), T{0});
   std::vector<T> offset(static_cast<std::size_t>(blocks), T{0});
-  fp::visit_algorithm(
-      ctx.accumulator_in_effect(), [&](auto tag) {
-    using Acc = typename decltype(tag)::template accumulator_t<T>;
-    for (std::int64_t b = 0; b < blocks; ++b) {
-      Acc acc;
-      for (std::int64_t i = begin[static_cast<std::size_t>(b)];
-           i < begin[static_cast<std::size_t>(b) + 1]; ++i) {
-        acc.add(at(i));
-      }
-      aggregate[static_cast<std::size_t>(b)] = acc.result();
-    }
+  fp::visit_reduction<T>(
+      ctx.reduction_in_effect(), [&](auto tag, auto acc_c, auto quantize) {
+        using A = typename decltype(acc_c)::type;
+        using Acc = typename decltype(tag)::template accumulator_t<A>;
+        for (std::int64_t b = 0; b < blocks; ++b) {
+          Acc acc;
+          for (std::int64_t i = begin[static_cast<std::size_t>(b)];
+               i < begin[static_cast<std::size_t>(b) + 1]; ++i) {
+            acc.add(static_cast<A>(quantize(at(i))));
+          }
+          aggregate[static_cast<std::size_t>(b)] = static_cast<T>(acc.result());
+        }
 
-    auto& rng = ctx.run->rng();
-    for (std::int64_t b = 1; b < blocks; ++b) {
-      // The b-1 preceding aggregates arrive in scheduler order.
-      std::vector<std::size_t> order = util::random_permutation(
-          static_cast<std::size_t>(b), rng);
-      Acc acc;
-      for (const std::size_t j : order) acc.add(aggregate[j]);
-      offset[static_cast<std::size_t>(b)] = acc.result();
-    }
-  });
+        auto& rng = ctx.run->rng();
+        for (std::int64_t b = 1; b < blocks; ++b) {
+          // The b-1 preceding aggregates arrive in scheduler order.
+          std::vector<std::size_t> order = util::random_permutation(
+              static_cast<std::size_t>(b), rng);
+          Acc acc;
+          for (const std::size_t j : order) {
+            acc.add(static_cast<A>(quantize(aggregate[j])));
+          }
+          offset[static_cast<std::size_t>(b)] = static_cast<T>(acc.result());
+        }
+      });
 
   for (std::int64_t b = 0; b < blocks; ++b) {
     T acc = offset[static_cast<std::size_t>(b)];

@@ -7,6 +7,7 @@
 #include <limits>
 #include <vector>
 
+#include "fpna/core/eval_context.hpp"
 #include "fpna/core/harness.hpp"
 #include "fpna/core/metrics.hpp"
 #include "fpna/core/run_context.hpp"
@@ -306,6 +307,35 @@ TEST(CountUnique, CountsDistinctBitPatterns) {
 TEST(CountUnique, EmptyAndSingleton) {
   EXPECT_EQ(count_unique_outputs({}), 0u);
   EXPECT_EQ(count_unique_outputs({{1.0}}), 1u);
+}
+
+// ----------------------------------------- EvalContext reduction specs --
+
+// The ReductionSpec migration contract: a default context is the native
+// serial spec; assigning a bare AlgorithmId (the deprecated scalar shim)
+// still compiles and still means native dtypes; with_accumulator accepts
+// the full spec.
+TEST(EvalContext, ReductionSpecDefaultsAndShim) {
+  const EvalContext ctx;
+  EXPECT_FALSE(ctx.accumulator.has_value());
+  EXPECT_EQ(ctx.reduction_in_effect(), fp::ReductionSpec{});
+  EXPECT_EQ(ctx.accumulator_in_effect(), fp::AlgorithmId::kSerial);
+
+  EvalContext scalar;
+  scalar.accumulator = fp::AlgorithmId::kKahan;  // shim: implicit spec
+  EXPECT_EQ(scalar.accumulator_in_effect(), fp::AlgorithmId::kKahan);
+  EXPECT_TRUE(scalar.reduction_in_effect().native());
+
+  const EvalContext mixed = ctx.with_accumulator(fp::ReductionSpec{
+      fp::AlgorithmId::kKahan, fp::Dtype::kBf16, fp::Dtype::kF32});
+  EXPECT_EQ(mixed.reduction_in_effect().storage, fp::Dtype::kBf16);
+  EXPECT_EQ(mixed.reduction_in_effect().accumulate, fp::Dtype::kF32);
+  EXPECT_EQ(mixed.accumulator_in_effect(), fp::AlgorithmId::kKahan);
+
+  // An explicit kSerial stays distinguishable from "unset" (the TPRC
+  // historic-default rule).
+  const EvalContext serial = ctx.with_accumulator(fp::AlgorithmId::kSerial);
+  EXPECT_TRUE(serial.accumulator.has_value());
 }
 
 }  // namespace

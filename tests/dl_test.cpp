@@ -211,6 +211,64 @@ TEST(Linalg, PooledKernelsBitwiseEqualSerialForEveryAccumulator) {
   }
 }
 
+// The dtype axis: pooled execution stays bitwise identical to serial for
+// mixed-precision specs too - the storage/accumulate dtypes change which
+// value every element takes, never how the row blocks partition it.
+TEST(Linalg, PooledKernelsBitwiseEqualSerialForDtypeSpecs) {
+  util::Xoshiro256pp rng(654);
+  const auto a = tensor::random_uniform<float>(tensor::Shape{29, 31}, -1e3,
+                                               1e3, rng);
+  const auto b = tensor::random_uniform<float>(tensor::Shape{31, 17}, -1e3,
+                                               1e3, rng);
+  for (const char* name : {"serial@bf16:f32", "kahan@bf16:f32",
+                           "serial@bf16:bf16", "serial@f32:f64",
+                           "superaccumulator@bf16:f32"}) {
+    const fp::ReductionSpec spec = fp::parse_reduction_spec(name);
+    for (const std::size_t threads : {2u, 8u}) {
+      util::ThreadPool pool(threads);
+      core::EvalContext serial_ctx;
+      serial_ctx.accumulator = spec;
+      const core::EvalContext pool_ctx = serial_ctx.with_pool(&pool);
+      const std::string label =
+          std::string(name) + " @" + std::to_string(threads);
+      EXPECT_TRUE(matmul(a, b, pool_ctx)
+                      .bitwise_equal(matmul(a, b, serial_ctx)))
+          << label;
+      EXPECT_TRUE(column_sums(a, pool_ctx)
+                      .bitwise_equal(column_sums(a, serial_ctx)))
+          << label;
+    }
+  }
+}
+
+// bf16 storage semantics are operand quantization: running the native
+// serial kernel on pre-quantized operands must reproduce the
+// serial@bf16:f32 kernel bit for bit (products of bf16 values are exact
+// in binary32, and both paths fold them in the same ascending-p order).
+TEST(Linalg, Bf16StorageMatmulMatchesQuantizedOperandReference) {
+  util::Xoshiro256pp rng(987);
+  auto a = tensor::random_uniform<float>(tensor::Shape{13, 21}, -50.0, 50.0,
+                                         rng);
+  auto b = tensor::random_uniform<float>(tensor::Shape{21, 9}, -50.0, 50.0,
+                                         rng);
+  for (std::int64_t i = 0; i < a.numel(); i += 5) a.flat(i) = 0.0f;
+
+  core::EvalContext bf16_ctx;
+  bf16_ctx.accumulator = fp::parse_reduction_spec("serial@bf16:f32");
+  const auto mixed = matmul(a, b, bf16_ctx);
+
+  auto qa = a;
+  auto qb = b;
+  for (std::int64_t i = 0; i < qa.numel(); ++i) {
+    qa.flat(i) = static_cast<float>(fp::bf16(qa.flat(i)));
+  }
+  for (std::int64_t i = 0; i < qb.numel(); ++i) {
+    qb.flat(i) = static_cast<float>(fp::bf16(qb.flat(i)));
+  }
+  const auto reference = matmul(qa, qb, core::EvalContext{});
+  EXPECT_TRUE(mixed.bitwise_equal(reference));
+}
+
 // The defaulted context reproduces the seed's hand-rolled loops: pooled
 // kSerial lands on the same pinned values as MatmulKnown.
 TEST(Linalg, PooledSerialDefaultMatchesKnownValues) {
@@ -522,6 +580,41 @@ TEST(Trainer, PooledTrainingBitwiseEqualsSerial) {
     EXPECT_EQ(pooled.epoch_losses, serial.epoch_losses);
     EXPECT_DOUBLE_EQ(pooled.train_accuracy, serial.train_accuracy);
   }
+}
+
+// The paper's DL dtype setting end to end: training under
+// kahan@bf16:f32 is run-to-run reproducible, pool-invariant bit for bit,
+// and actually engages the dtype axis (the trained weights differ from
+// the native f32 run).
+TEST(Trainer, MixedPrecisionTrainingIsReproducibleAndPoolInvariant) {
+  const auto ds = make_synthetic_citation_dataset(tiny_config());
+  util::ThreadPool pool(4);
+  TrainConfig config;
+  config.epochs = 2;
+  config.hidden = 8;
+  config.accumulator =
+      fp::ReductionSpec{fp::AlgorithmId::kKahan, fp::Dtype::kBf16,
+                        fp::Dtype::kF32};
+
+  core::RunContext run_serial(29, 0);
+  const auto serial = train(ds, config, run_serial);
+
+  config.pool = &pool;
+  core::RunContext run_pooled(29, 0);
+  const auto pooled = train(ds, config, run_pooled);
+  EXPECT_EQ(pooled.final_weights, serial.final_weights);
+  EXPECT_EQ(pooled.epoch_losses, serial.epoch_losses);
+
+  core::RunContext run_again(29, 1);
+  config.pool = nullptr;
+  const auto again = train(ds, config, run_again);
+  EXPECT_EQ(again.final_weights, serial.final_weights);
+
+  TrainConfig native = config;
+  native.accumulator = fp::AlgorithmId::kKahan;
+  core::RunContext run_native(29, 0);
+  const auto native_result = train(ds, native, run_native);
+  EXPECT_NE(native_result.final_weights, serial.final_weights);
 }
 
 TEST(Trainer, NonDeterministicTrainingProducesUniqueModels) {

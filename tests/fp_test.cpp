@@ -637,6 +637,216 @@ TEST(AlgorithmRegistry, StreamingAccumulatorsWorkInFloat) {
   }
 }
 
+// ---------------------------------------------------- bf16 & dtype axis --
+
+TEST(Bf16, RoundTripThroughFloatIsExact) {
+  // Every non-NaN bf16 bit pattern survives bf16 -> float -> bf16
+  // untouched: the widening is exact and the RNE rounding of an exact
+  // value is the identity. (NaN payloads are quieted, tested below.)
+  for (std::uint32_t bits = 0; bits < 0x10000u; ++bits) {
+    if ((bits & 0x7FFFu) > 0x7F80u) continue;  // NaN patterns
+    const bf16 v = bf16::from_bits(static_cast<std::uint16_t>(bits));
+    EXPECT_EQ(bf16(static_cast<float>(v)).to_bits(), bits) << bits;
+  }
+}
+
+TEST(Bf16, RoundsToNearestEvenOnTies) {
+  // Spacing at 1.0 is 2^-7. 1 + 2^-8 sits exactly between 1.0 (even
+  // significand) and 1 + 2^-7 (odd): ties go to 1.0. 1 + 3*2^-8 sits
+  // between 1 + 2^-7 (odd) and 1 + 2^-6 (even): ties go up.
+  EXPECT_EQ(bf16(1.0f + std::ldexp(1.0f, -8)).to_bits(), 0x3F80u);
+  EXPECT_EQ(bf16(1.0f + 3.0f * std::ldexp(1.0f, -8)).to_bits(), 0x3F82u);
+  // Just below / above the tie round to the nearer neighbour.
+  EXPECT_EQ(bf16(std::nextafter(1.0f + std::ldexp(1.0f, -8), 0.0f)).to_bits(),
+            0x3F80u);
+  EXPECT_EQ(bf16(std::nextafter(1.0f + std::ldexp(1.0f, -8), 2.0f)).to_bits(),
+            0x3F81u);
+}
+
+TEST(Bf16, SubnormalsRoundExactly) {
+  // bf16 shares binary32's exponent range, so float subnormals land on
+  // bf16 subnormals through the same carry chain. 2^-133 is the smallest
+  // bf16 subnormal.
+  const float tiny = std::ldexp(1.0f, -133);
+  EXPECT_EQ(bf16(tiny).to_bits(), 0x0001u);
+  EXPECT_EQ(static_cast<float>(bf16(tiny)), tiny);
+  EXPECT_EQ(bf16(std::ldexp(1.0f, -126)).to_bits(), 0x0080u);  // min normal
+  // Halfway between 0 and the smallest subnormal ties to even (zero).
+  EXPECT_EQ(bf16(std::ldexp(1.0f, -134)).to_bits(), 0x0000u);
+}
+
+TEST(Bf16, OverflowInfNanAndSignedZero) {
+  // FLT_MAX exceeds the bf16 RNE overflow threshold (2 - 2^-8) * 2^127.
+  EXPECT_TRUE(std::isinf(
+      static_cast<float>(bf16(std::numeric_limits<float>::max()))));
+  // Infinities and their signs are preserved exactly.
+  EXPECT_EQ(bf16(std::numeric_limits<float>::infinity()).to_bits(), 0x7F80u);
+  EXPECT_EQ(bf16(-std::numeric_limits<float>::infinity()).to_bits(), 0xFF80u);
+  // The largest finite bf16 is preserved, not rounded to inf.
+  EXPECT_EQ(bf16(static_cast<float>(bf16::from_bits(0x7F7Fu))).to_bits(),
+            0x7F7Fu);
+  // NaN stays NaN (quieted), never an infinity.
+  EXPECT_TRUE(std::isnan(static_cast<float>(bf16(std::nanf("")))));
+  // Signed zero keeps its sign bit.
+  EXPECT_EQ(bf16(-0.0f).to_bits(), 0x8000u);
+  EXPECT_EQ(bf16(0.0f).to_bits(), 0x0000u);
+  EXPECT_EQ(ulp_distance_bf16(bf16(-0.0f), bf16(0.0f)), 0);
+}
+
+TEST(Dtype, ParseToStringAndErrors) {
+  EXPECT_EQ(parse_dtype("f64"), Dtype::kF64);
+  EXPECT_EQ(parse_dtype("double"), Dtype::kF64);
+  EXPECT_EQ(parse_dtype("f32"), Dtype::kF32);
+  EXPECT_EQ(parse_dtype("float"), Dtype::kF32);
+  EXPECT_EQ(parse_dtype("bf16"), Dtype::kBf16);
+  EXPECT_EQ(parse_dtype("native"), Dtype::kNative);
+  for (const Dtype d :
+       {Dtype::kNative, Dtype::kF64, Dtype::kF32, Dtype::kBf16}) {
+    EXPECT_EQ(parse_dtype(to_string(d)), d);
+  }
+  try {
+    parse_dtype("fp8");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    // The error lists the valid dtype keys.
+    EXPECT_NE(std::string(error.what()).find("bf16"), std::string::npos);
+  }
+}
+
+TEST(ReductionSpec, GrammarRoundTripsAndDefaults) {
+  const ReductionSpec bare = parse_reduction_spec("kahan");
+  EXPECT_EQ(bare.algorithm, AlgorithmId::kKahan);
+  EXPECT_TRUE(bare.native());
+  EXPECT_EQ(to_string(bare), "kahan");
+
+  const ReductionSpec mixed = parse_reduction_spec("kahan@bf16:f32");
+  EXPECT_EQ(mixed.algorithm, AlgorithmId::kKahan);
+  EXPECT_EQ(mixed.storage, Dtype::kBf16);
+  EXPECT_EQ(mixed.accumulate, Dtype::kF32);
+  EXPECT_EQ(parse_reduction_spec(to_string(mixed)), mixed);
+
+  // Omitted accumulate dtype defaults to the storage dtype.
+  const ReductionSpec pure = parse_reduction_spec("serial@bf16");
+  EXPECT_EQ(pure.storage, Dtype::kBf16);
+  EXPECT_EQ(pure.accumulate, Dtype::kBf16);
+
+  // kNative resolves against the calling kernel's element type.
+  const ReductionSpec resolved = bare.resolved(Dtype::kF32);
+  EXPECT_EQ(resolved.storage, Dtype::kF32);
+  EXPECT_EQ(resolved.accumulate, Dtype::kF32);
+
+  // The implicit AlgorithmId shim means what it always meant.
+  const ReductionSpec shimmed = AlgorithmId::kKlein;
+  EXPECT_EQ(shimmed, ReductionSpec(AlgorithmId::kKlein, Dtype::kNative,
+                                   Dtype::kNative));
+}
+
+TEST(ReductionSpec, UnknownKeysThrowListingCatalogues) {
+  try {
+    parse_reduction_spec("kahansum@bf16:f32");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("superaccumulator"),
+              std::string::npos);
+  }
+  try {
+    parse_reduction_spec("kahan@fp8");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("bf16"), std::string::npos);
+  }
+  try {
+    parse_reduction_spec("kahan@bf16:int8");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("f32"), std::string::npos);
+  }
+}
+
+TEST(ReductionSpec, NativeSpecIsBitwiseTheScalarApi) {
+  const auto v = random_values(10000, -1e6, 1e6, 404);
+  for (const auto& entry : AlgorithmRegistry::instance().entries()) {
+    SCOPED_TRACE(entry.name);
+    const ReductionSpec spec{entry.id};
+    EXPECT_TRUE(bitwise_equal(reduce(spec, std::span<const double>(v)),
+                              reduce(entry.id, std::span<const double>(v))));
+    EXPECT_TRUE(bitwise_equal(AlgorithmRegistry::sum(entry.name, v),
+                              AlgorithmRegistry::sum(entry.id, v)));
+  }
+}
+
+TEST(ReductionSpec, Bf16StorageMatchesReferenceFp32Accumulate) {
+  // The satellite property: `reduce` over bf16 storage must equal the
+  // hand-built reference - quantize every addend to bf16, stream the
+  // exact widened values through the algorithm's fp32 accumulator.
+  const auto v = random_values(5000, -100.0, 100.0, 505);
+  for (const auto& entry : AlgorithmRegistry::instance().entries()) {
+    SCOPED_TRACE(entry.name);
+    const ReductionSpec spec{entry.id, Dtype::kBf16, Dtype::kF32};
+    const double via_spec = reduce(spec, std::span<const double>(v));
+    const float reference = visit_algorithm(entry.id, [&](auto tag) {
+      typename decltype(tag)::template accumulator_t<float> acc;
+      for (const double x : v) {
+        acc.add(static_cast<float>(bf16(static_cast<float>(x))));
+      }
+      return acc.result();
+    });
+    EXPECT_TRUE(bitwise_equal(via_spec, static_cast<double>(reference)));
+
+    // And the registry's dedicated bf16 surface agrees with the same
+    // reference on a bf16 buffer.
+    std::vector<bf16> quantized;
+    quantized.reserve(v.size());
+    for (const double x : v) quantized.emplace_back(static_cast<float>(x));
+    ASSERT_NE(entry.reduce_bf16_f32, nullptr);
+    EXPECT_TRUE(bitwise_equal32(
+        entry.reduce_bf16_f32(std::span<const bf16>(quantized)), reference));
+  }
+}
+
+TEST(AlgorithmRegistry, PerDtypeSurfacesRegistered) {
+  util::Xoshiro256pp rng(11);
+  const util::UniformReal dist(-50.0, 50.0);
+  std::vector<float> v(4096);
+  for (auto& x : v) x = static_cast<float>(dist(rng));
+  for (const auto& entry : AlgorithmRegistry::instance().entries()) {
+    SCOPED_TRACE(entry.name);
+    ASSERT_NE(entry.reduce, nullptr);
+    ASSERT_NE(entry.reduce_f32, nullptr);
+    ASSERT_NE(entry.reduce_bf16_f32, nullptr);
+    // The f32 surface is the streaming float accumulator - the same
+    // value reduce<float>(id) computes.
+    EXPECT_TRUE(bitwise_equal32(entry.reduce_f32(std::span<const float>(v)),
+                                reduce<float>(entry.id, v)));
+    // Dtype axes do not change the declared contract.
+    EXPECT_EQ(traits_of(ReductionSpec{entry.id, Dtype::kBf16, Dtype::kF32})
+                  .exact_merge,
+              entry.traits.exact_merge);
+  }
+}
+
+TEST(ReductionSpec, Bf16AccumulateDriftsFurtherThanMixedPrecision) {
+  // The motivating inequality of the mixed-precision setting: on a long
+  // ill-scaled stream, bf16 storage with fp32 accumulate stays close to
+  // the exact quantized sum, while accumulating *in* bf16 drifts.
+  const auto v = random_values(20000, 0.0, 1.0, 606);
+  const double exact_quantized =
+      reduce(ReductionSpec{AlgorithmId::kSuperaccumulator, Dtype::kBf16,
+                           Dtype::kF64},
+             std::span<const double>(v));
+  const double mixed = reduce(
+      ReductionSpec{AlgorithmId::kSerial, Dtype::kBf16, Dtype::kF32},
+      std::span<const double>(v));
+  const double pure = reduce(
+      ReductionSpec{AlgorithmId::kSerial, Dtype::kBf16, Dtype::kBf16},
+      std::span<const double>(v));
+  EXPECT_LT(std::fabs(mixed - exact_quantized),
+            std::fabs(pure - exact_quantized));
+  // bf16's 8-bit significand saturates a serial accumulation once the
+  // running sum dwarfs the addends; fp32 accumulation does not.
+  EXPECT_GT(std::fabs(pure - exact_quantized), 1.0);
+}
+
 // Contrast property: the serial sum is NOT permutation invariant on the
 // same data (this is the premise of the whole paper).
 TEST(Summation, SerialSumIsOrderSensitive) {
