@@ -8,23 +8,29 @@
 //     and the reproducible superaccumulator exchange.
 //
 //  2. Data-parallel GNN training with gradient allreduce across simulated
-//     ranks: with the arrival-tree collective every training run yields a
-//     unique model even though every rank's local computation is
-//     deterministic - the distributed analogue of the paper's SV result.
+//     ranks - dl::train_data_parallel on the schedule-based comm stack
+//     (backward-overlapped bucket firing, ring/butterfly wire schedules):
+//     with the arrival-tree collective every training run yields a unique
+//     model even though every rank's local computation is deterministic -
+//     the distributed analogue of the paper's SV result. Deterministic
+//     collectives certify run-to-run stability and the wire schedules'
+//     measured O(n)-per-rank traffic against the allgather backend's
+//     O(n*P), with final-weight bit fingerprints riding the CI
+//     determinism gate.
 //
-// Flags: --size --runs --ranks --epochs --seed --csv
+// Flags: --size --runs --ranks --epochs --seed --csv --json=<path>
 
 #include <cmath>
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "fpna/collective/allreduce.hpp"
+#include "fpna/comm/process_group.hpp"
+#include "fpna/comm/schedule.hpp"
 #include "fpna/core/harness.hpp"
 #include "fpna/core/metrics.hpp"
-#include "fpna/dl/adam.hpp"
+#include "fpna/dl/data_parallel.hpp"
 #include "fpna/dl/dataset.hpp"
-#include "fpna/dl/layers.hpp"
-#include "fpna/dl/model.hpp"
 #include "fpna/fp/superaccumulator.hpp"
 #include "fpna/stats/descriptive.hpp"
 #include "fpna/util/table.hpp"
@@ -36,7 +42,8 @@ namespace {
 // ---------------------------------------------------------------- part 1
 
 void distributed_sum_variability(std::size_t size, std::size_t runs,
-                                 std::uint64_t seed, bool csv) {
+                                 std::uint64_t seed, bool csv,
+                                 util::Table& table) {
   util::banner(std::cout,
                "Extension 1: distributed-sum variability vs rank count (" +
                    std::to_string(size) + " FP64 elements, " +
@@ -44,8 +51,6 @@ void distributed_sum_variability(std::size_t size, std::size_t runs,
   const auto data = bench::uniform_array(size, -1e6, 1e6, seed);
   const double exact = fp::Superaccumulator::sum(data);
 
-  util::Table table({"ranks", "algorithm", "deterministic (measured)",
-                     "std(Vs)", "|value - exact|"});
   for (const std::size_t ranks : {4u, 16u, 64u, 256u}) {
     for (const auto algorithm :
          {collective::Algorithm::kRing,
@@ -77,125 +82,81 @@ void distributed_sum_variability(std::size_t size, std::size_t runs,
 
 // ---------------------------------------------------------------- part 2
 
-std::vector<float> flatten_gradients(dl::GraphSageModel& model) {
-  std::vector<float> flat;
-  for (auto& [param, grad] : model.parameters()) {
-    (void)param;
-    for (const float g : grad->data()) flat.push_back(g);
-  }
-  return flat;
-}
-
-void write_gradients(dl::GraphSageModel& model,
-                     const std::vector<float>& flat) {
-  std::size_t offset = 0;
-  for (auto& [param, grad] : model.parameters()) {
-    (void)param;
-    for (float& g : grad->data()) {
-      g = flat[offset++];
-    }
-  }
-}
-
-/// One data-parallel training: `ranks` workers share identical weights;
-/// each computes the loss gradient over its own shard of training nodes
-/// (deterministic kernels); gradients are combined with the chosen
-/// collective every epoch. Returns the final flattened weights.
-std::vector<double> train_data_parallel(const dl::Dataset& ds,
-                                        std::size_t ranks, int epochs,
-                                        collective::Algorithm algorithm,
-                                        core::RunContext& run) {
-  dl::GraphSageModel model(ds.num_features(), 16, ds.num_classes, 42);
-  dl::Adam optimizer(dl::AdamConfig{.lr = 0.01f});
-  for (auto& [param, grad] : model.parameters()) {
-    optimizer.add_parameter(param, grad);
-  }
-
-  // Static shard assignment: training node i belongs to rank i % ranks.
-  std::vector<std::vector<char>> rank_masks(
-      ranks, std::vector<char>(ds.train_mask.size(), 0));
-  std::size_t next = 0;
-  for (std::size_t v = 0; v < ds.train_mask.size(); ++v) {
-    if (ds.train_mask[v]) rank_masks[next++ % ranks][v] = 1;
-  }
-
-  const tensor::OpContext det_ctx;  // every rank's local math: deterministic
-  for (int epoch = 0; epoch < epochs; ++epoch) {
-    // FP32 gradient buffers combined in FP32, as NCCL/MPI would.
-    collective::RankDataF rank_grads;
-    rank_grads.reserve(ranks);
-    for (std::size_t r = 0; r < ranks; ++r) {
-      dl::GraphSageModel::ForwardCache cache;
-      const dl::Matrix log_probs =
-          model.forward(ds.features, ds.graph, det_ctx, &cache);
-      const auto loss =
-          dl::nll_loss_masked(log_probs, ds.labels, rank_masks[r]);
-      model.zero_grad();
-      model.backward(cache, loss.d_logits, ds.graph, det_ctx);
-      rank_grads.push_back(flatten_gradients(model));
-    }
-
-    std::vector<float> combined;
-    switch (algorithm) {
-      case collective::Algorithm::kRing:
-        combined = collective::allreduce_ring(rank_grads);
-        break;
-      case collective::Algorithm::kArrivalTree:
-        combined = collective::allreduce_arrival_tree(rank_grads, run);
-        break;
-      case collective::Algorithm::kReproducible:
-        combined = collective::allreduce_reproducible(rank_grads);
-        break;
-      case collective::Algorithm::kRecursiveDoubling:
-        combined = collective::allreduce_recursive_doubling(rank_grads);
-        break;
-    }
-    for (float& g : combined) g /= static_cast<float>(ranks);
-
-    model.zero_grad();
-    write_gradients(model, combined);
-    optimizer.step();
-  }
-  return model.flattened_weights();
+std::string weights_fingerprint(const std::vector<double>& weights) {
+  bench::BitFingerprint fp;
+  fp.feed(std::span<const double>(weights));
+  return fp.hex();
 }
 
 void data_parallel_training(std::size_t ranks, int epochs, std::size_t runs,
-                            std::uint64_t seed) {
+                            std::uint64_t seed, bool csv,
+                            util::Table& table) {
   util::banner(std::cout,
-               "Extension 2: data-parallel GraphSAGE, gradient allreduce "
-               "across " + std::to_string(ranks) + " ranks, " +
-                   std::to_string(runs) + " trainings per collective");
+               "Extension 2: data-parallel GraphSAGE "
+               "(dl::train_data_parallel, backward-overlapped buckets), "
+               "gradient allreduce across " + std::to_string(ranks) +
+                   " ranks, " + std::to_string(runs) +
+                   " trainings per (collective, wire)");
   const auto ds = dl::make_synthetic_citation_dataset(
       dl::DatasetConfig::small());
 
-  util::Table table({"collective", "unique final models", "mean Vermv vs "
-                     "reproducible-collective reference"});
+  dl::DataParallelConfig reference_config;
+  reference_config.base.epochs = epochs;
+  reference_config.ranks = ranks;
+  reference_config.algorithm = collective::Algorithm::kReproducible;
   core::RunContext ref_run(seed, 0);
-  const auto reference = train_data_parallel(
-      ds, ranks, epochs, collective::Algorithm::kReproducible, ref_run);
+  const auto reference =
+      dl::train_data_parallel(ds, reference_config, ref_run).final_weights;
 
   for (const auto algorithm :
        {collective::Algorithm::kReproducible, collective::Algorithm::kRing,
         collective::Algorithm::kArrivalTree}) {
-    std::vector<std::vector<double>> finals;
-    double vermv_total = 0.0;
-    for (std::size_t r = 0; r < runs; ++r) {
-      core::RunContext run(seed + 10, r);
-      finals.push_back(train_data_parallel(ds, ranks, epochs, algorithm, run));
-      vermv_total += core::vermv(std::span<const double>(reference),
-                                 std::span<const double>(finals.back()));
+    for (const comm::WirePath wire :
+         {comm::WirePath::kAllgather, comm::WirePath::kRing,
+          comm::WirePath::kButterfly}) {
+      dl::DataParallelConfig config = reference_config;
+      config.algorithm = algorithm;
+      config.wire = wire;
+
+      comm::SimProcessGroup pg(ranks, wire);
+      std::vector<std::vector<double>> finals;
+      double vermv_total = 0.0;
+      for (std::size_t r = 0; r < runs; ++r) {
+        core::RunContext run(seed + 10, r);
+        finals.push_back(
+            dl::train_data_parallel(ds, config, run, pg).final_weights);
+        vermv_total += core::vermv(std::span<const double>(reference),
+                                   std::span<const double>(finals.back()));
+      }
+      const std::size_t unique = core::count_unique_outputs(finals);
+      const bool stable = unique == 1;
+      // Per-rank gradient traffic of the whole sweep, measured by the
+      // group's ledger: the schedule wires move O(n) per rank where the
+      // allgather backend moves O(n*P).
+      const comm::Traffic traffic = pg.traffic(0);
+      table.add_row(
+          {collective::to_string(algorithm), comm::to_string(wire),
+           std::to_string(unique) + " / " + std::to_string(runs),
+           util::sci(vermv_total / static_cast<double>(runs), 2),
+           std::to_string(traffic.bytes_sent / 1024) + " KiB",
+           stable ? "yes" : "NO",
+           stable ? weights_fingerprint(finals.front()) : "-"});
     }
-    table.add_row({collective::to_string(algorithm),
-                   std::to_string(core::count_unique_outputs(finals)) + " / " +
-                       std::to_string(runs),
-                   util::sci(vermv_total / static_cast<double>(runs), 2)});
   }
-  table.print(std::cout);
-  std::cout << "\nReading: with a deterministic collective, the distributed "
-               "training is bitwise reproducible; with arrival-order "
-               "combining, every run is a unique model even though every "
-               "rank's local computation is deterministic - communication "
-               "is an independent FPNA variability source (paper SVI).\n";
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+    std::cout
+        << "\nReading: with a deterministic collective, the distributed "
+           "training is bitwise reproducible on every wire - and the "
+           "reproducible collective's fingerprint is identical across "
+           "allgather/ring/butterfly (the serialized-superaccumulator "
+           "exchange moves traffic, never bits). With arrival-order "
+           "combining, every run is a unique model even though every "
+           "rank's local computation is deterministic - communication is "
+           "an independent FPNA variability source (paper SVI).\n";
+  }
 }
 
 }  // namespace
@@ -208,8 +169,23 @@ int main(int argc, char** argv) {
   const int epochs = static_cast<int>(cli.integer("epochs", 6));
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 42));
   const bool csv = cli.flag("csv");
+  const std::string json = cli.text("json", "");
 
-  distributed_sum_variability(size, runs, seed, csv);
-  data_parallel_training(ranks, epochs, std::min<std::size_t>(runs, 8), seed);
+  util::Table sum_table({"ranks", "algorithm", "deterministic (measured)",
+                         "std(Vs)", "|value - exact|"});
+  distributed_sum_variability(size, runs, seed, csv, sum_table);
+
+  util::Table train_table({"collective", "wire", "unique final models",
+                           "mean Vermv vs reproducible reference",
+                           "gradient traffic/rank", "run-to-run stable",
+                           "bits"});
+  data_parallel_training(ranks, epochs, std::min<std::size_t>(runs, 8), seed,
+                         csv, train_table);
+
+  if (!json.empty()) {
+    bench::write_json(json, "ext_mpi_allreduce",
+                      {{"distributed_sum", &sum_table},
+                       {"data_parallel_training", &train_table}});
+  }
   return bench::warn_unconsumed(cli) == 0 ? 0 : 1;
 }

@@ -14,6 +14,8 @@
 
 #include <cstdio>
 
+#include "fpna/comm/process_group.hpp"
+#include "fpna/comm/schedule.hpp"
 #include "fpna/core/harness.hpp"
 #include "fpna/dl/data_parallel.hpp"
 
@@ -51,9 +53,30 @@ int main() {
                 cert.deterministic ? "yes" : "NO",
                 result.epoch_losses.back(), result.train_accuracy);
   }
+  // Wire schedules: the same reproducible training (backward-overlapped
+  // bucket firing) over the allgather, ring and butterfly message paths.
+  // The serialized-superaccumulator exchange makes the bits identical on
+  // every wire; the schedules move O(n) gradient bytes per rank where the
+  // allgather backend ships O(n*P) - measured by the group's ledger.
+  std::printf("\nwire schedules (reproducible collective):\n");
+  dp.algorithm = collective::Algorithm::kReproducible;
+  for (const auto wire : {comm::WirePath::kAllgather, comm::WirePath::kRing,
+                          comm::WirePath::kButterfly}) {
+    comm::SimProcessGroup pg(dp.ranks, wire);
+    dp.wire = wire;
+    core::RunContext run(42, 0);
+    const auto result = dl::train_data_parallel(dataset, dp, run, pg);
+    const comm::Traffic traffic = pg.traffic(0);
+    std::printf("  %-10s final loss %.6f  rank-0 bytes sent %9llu "
+                "(%llu messages)\n",
+                comm::to_string(wire), result.epoch_losses.back(),
+                static_cast<unsigned long long>(traffic.bytes_sent),
+                static_cast<unsigned long long>(traffic.messages));
+  }
   std::printf(
       "\nReading: every rank's local computation is deterministic; the\n"
       "collective's combining order alone decides whether the trained\n"
-      "model is reproducible (paper SVI, measured end to end).\n");
+      "model is reproducible (paper SVI, measured end to end) - and the\n"
+      "wire schedule moves traffic, never bits.\n");
   return 0;
 }

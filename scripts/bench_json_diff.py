@@ -55,6 +55,11 @@ def main():
         headers = ta["headers"]
         repro = repro_column(headers)
         bits = bit_columns(headers)
+        if not bits:
+            # Nothing to compare: don't let such a table's rows satisfy
+            # the anti-vacuous-pass count below (a bench whose gated
+            # table stopped emitting its bit columns must still fail).
+            continue
         rows_a, rows_b = ta.get("rows", []), tb.get("rows", [])
         if len(rows_a) != len(rows_b):
             failures.append("table %r: row counts differ: %d vs %d"

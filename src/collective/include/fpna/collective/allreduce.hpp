@@ -27,6 +27,7 @@
 
 #include <cstddef>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "fpna/core/eval_context.hpp"
@@ -78,6 +79,15 @@ std::vector<T> allreduce_reproducible(const RankDataT<T>& contributions);
 /// sharded consumer (distributed_sum, comm, the data-parallel trainer)
 /// agrees on.
 std::vector<std::size_t> shard_sizes(std::size_t total, std::size_t ranks);
+
+/// The ring collective's chunk boundary rule: chunk c of `total` elements
+/// over `ranks` ranks is [min(total, c*ceil(total/ranks)), min(total,
+/// (c+1)*ceil(total/ranks))). Shared with comm::CollectiveSchedule so the
+/// wire-level reduce-scatter schedule and the in-process ring collective
+/// agree on every boundary - and therefore on every bit.
+std::pair<std::size_t, std::size_t> ring_chunk(std::size_t total,
+                                               std::size_t ranks,
+                                               std::size_t chunk_index);
 
 /// Splits one global vector into P contiguous shards (for the distributed
 /// sum below; shards may differ in length by one element).

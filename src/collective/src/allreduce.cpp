@@ -21,6 +21,16 @@ void validate(const RankDataT<T>& contributions) {
   }
 }
 
+std::pair<std::size_t, std::size_t> ring_chunk(std::size_t total,
+                                               std::size_t ranks,
+                                               std::size_t chunk_index) {
+  if (ranks == 0) throw std::invalid_argument("ring_chunk: zero ranks");
+  const std::size_t chunk = (total + ranks - 1) / ranks;
+  const std::size_t begin = std::min(total, chunk_index * chunk);
+  const std::size_t end = std::min(total, begin + chunk);
+  return {begin, end};
+}
+
 template <typename T>
 std::vector<T> allreduce_ring(const RankDataT<T>& contributions) {
   validate(contributions);
@@ -31,10 +41,8 @@ std::vector<T> allreduce_ring(const RankDataT<T>& contributions) {
   // the accumulation order for chunk c is ranks (c+1)%P, (c+2)%P, ...,
   // c%P - fixed by topology, independent of timing.
   std::vector<T> result(n, T{0});
-  const std::size_t chunk = (n + ranks - 1) / ranks;
   for (std::size_t c = 0; c < ranks; ++c) {
-    const std::size_t begin = std::min(n, c * chunk);
-    const std::size_t end = std::min(n, begin + chunk);
+    const auto [begin, end] = ring_chunk(n, ranks, c);
     for (std::size_t i = begin; i < end; ++i) {
       T acc = contributions[(c + 1) % ranks][i];
       for (std::size_t hop = 2; hop <= ranks; ++hop) {

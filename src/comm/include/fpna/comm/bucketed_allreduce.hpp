@@ -33,11 +33,14 @@
 // bits move with (P, owner map, algorithm).
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "fpna/collective/allreduce.hpp"
+#include "fpna/comm/bucket_scheduler.hpp"
 #include "fpna/comm/bucketing.hpp"
 #include "fpna/comm/process_group.hpp"
 #include "fpna/core/eval_context.hpp"
@@ -77,13 +80,85 @@ TensorList<T> bucketed_allreduce(ProcessGroup& pg,
                                  const BucketedConfig& config = {});
 
 /// Sharded reduction of `samples[s]` (each a full TensorList contribution)
-/// assigned to ranks by `owner[s]` in [0, pg.size()). Simulated backend
-/// only (exact-state exchange over a real wire is follow-up work). See the
-/// header comment for the reproducibility contract.
+/// assigned to ranks by `owner[s]` in [0, pg.size()). Needs a backend
+/// that plays every rank (the per-sample fold happens in-process; the
+/// rank-local exact-state exchange under MPI is a ROADMAP item - the
+/// superaccumulator wire serialization it needs already carries
+/// ProcessGroup::allreduce's reproducible path over the ring/butterfly
+/// schedules). See the header comment for the reproducibility contract.
 template <typename T>
 TensorList<T> sharded_bucketed_allreduce(
     ProcessGroup& pg, const std::vector<TensorList<T>>& samples,
     std::span<const std::size_t> owner, collective::Algorithm algorithm,
     const core::EvalContext& ctx, const BucketedConfig& config = {});
+
+/// The DDP overlap engine: an emission-ordered, arrival-fired bucket
+/// allreduce, shared by dl::train_data_parallel's backward-overlapped
+/// gradient exchange and bench/bucketed_allreduce --overlap=backward so
+/// the bench certifies the exact flow the trainer runs.
+///
+/// Slot s of the firing order is tensor emit_order[s] (a permutation of
+/// [0, tensor_sizes.size())); BucketAssigner packs the slots into
+/// config's buckets. `rank_tensors` is only *read*, bucket by bucket, at
+/// fire time - the caller may fill it progressively (a backward pass
+/// does) as long as every slot of a fired bucket holds its final tensor
+/// of the declared size in every rank list; a missed or misrouted
+/// emission throws std::logic_error from the fire instead of corrupting
+/// the reduction - out of the notify_slot_ready that completed the
+/// bucket when firing runs inline (overlap off, or a backend without
+/// concurrent collectives), out of finish() when it ran on the pool.
+///
+/// Reproducibility discipline (the bucketed_allreduce contract): the
+/// per-bucket arrival seeds (kArrivalTree) are drawn from ctx.run in
+/// bucket order at construction, and config.context_hook applies per
+/// bucket on a private context copy - each bucket's reduction is a pure
+/// function of its index, so firing order and pool scheduling change
+/// wall-clock, never bits. With config.overlap and a backend that
+/// supports concurrent collectives, buckets reduce on ctx.pool while the
+/// caller keeps producing tensors.
+template <typename T>
+class OverlappedBucketAllreduce {
+ public:
+  OverlappedBucketAllreduce(ProcessGroup& pg,
+                            const std::vector<TensorList<T>>& rank_tensors,
+                            std::span<const std::size_t> tensor_sizes,
+                            std::span<const std::size_t> emit_order,
+                            collective::Algorithm algorithm,
+                            const core::EvalContext& ctx,
+                            const BucketedConfig& config = {});
+
+  OverlappedBucketAllreduce(const OverlappedBucketAllreduce&) = delete;
+  OverlappedBucketAllreduce& operator=(const OverlappedBucketAllreduce&) =
+      delete;
+
+  const std::vector<Bucket>& buckets() const noexcept {
+    return scheduler_->buckets();
+  }
+
+  /// Announces slot `slot` (i.e. tensor emit_order[slot]) as final; the
+  /// owning bucket's allreduce launches at its last announcement.
+  void notify_slot_ready(std::size_t slot) {
+    scheduler_->notify_ready(slot);
+  }
+
+  /// Fires any bucket that never became ready, joins every outstanding
+  /// reduction (rethrowing the first failure) and returns the reduced
+  /// tensors in *tensor* order. Call once.
+  TensorList<T> finish();
+
+ private:
+  void fire(std::size_t bucket_index, const Bucket& bucket);
+
+  ProcessGroup& pg_;
+  const std::vector<TensorList<T>>& rank_tensors_;
+  std::vector<std::size_t> tensor_sizes_;
+  std::vector<std::size_t> emit_order_;
+  collective::Algorithm algorithm_;
+  core::EvalContext ctx_;
+  BucketedConfig config_;
+  std::vector<std::uint64_t> seeds_;
+  TensorList<T> combined_;
+  std::optional<BucketScheduler> scheduler_;
+};
 
 }  // namespace fpna::comm

@@ -7,29 +7,44 @@
 // contributions with any of the collective algorithms. Two backends share
 // one surface:
 //
-//   * SimProcessGroup - plays all P ranks in-process and delegates to the
-//     collective::allreduce variants (ring, recursive doubling, arrival
-//     tree, reproducible). The caller passes all P contributions.
-//   * MpiProcessGroup (#ifdef FPNA_HAVE_MPI) - one OS process per rank on a
-//     real cluster. The caller passes its single local contribution; the
-//     backend allgathers the rank buffers (ordered by rank id) and runs the
-//     *same* local combine as the simulation, so every rank observes
-//     bitwise-identical results and the sim/MPI backends agree bit for bit
-//     on identical inputs. (A bandwidth-optimal reduce-scatter pipeline is
-//     follow-up work; this backend certifies semantics, not throughput.)
+//   * SimProcessGroup - plays all P ranks in-process. The caller passes
+//     all P contributions.
+//   * MpiProcessGroup (#ifdef FPNA_HAVE_MPI) - one OS process per rank on
+//     a real cluster. The caller passes its single local contribution.
+//
+// Each group is constructed on a WirePath (see schedule.hpp):
+//
+//   * kAllgather gathers the rank buffers (ordered by rank id) and runs
+//     one shared local combine, so every rank observes bitwise-identical
+//     results and the sim/MPI backends agree bit for bit - semantics
+//     certified at O(n*P) traffic per rank;
+//   * kRing / kButterfly execute an explicit CollectiveSchedule through
+//     the reduce_scatter / allgather shard primitives: point-to-point
+//     messages, O(n) traffic per rank, and per-step combine orders drawn
+//     from the schedule so the bits are *identical to the allgather
+//     backend* for every algorithm and ReductionSpec (certified in
+//     comm_test and under mpirun in CI). The non-schedulable arrival-tree
+//     algorithm always falls back to the allgather combine.
 //
 // The reproducible algorithm honours the EvalContext's registry-selected
-// accumulator: any *exact-merge* algorithm (superaccumulator, binned) may
-// carry the exchange, and the rounded result stays bitwise invariant to
-// arrival order, rank count and sharding. Selecting a non-exact-merge
-// accumulator for the reproducible path throws - a collective that cannot
-// certify arrival-order invariance must not be labelled reproducible.
+// accumulator. On the allgather wire any *exact-merge* algorithm
+// (superaccumulator, binned) may carry the exchange; on a schedule wire
+// the exact state itself travels the messages as fp::Superaccumulator
+// wire words, so only the superaccumulator (bounded serialized state) is
+// accepted there - binned's exact state is its whole input buffer, which
+// has no O(1)-per-element wire form. Selecting a non-exact-merge
+// accumulator for the reproducible path throws on every wire.
+//
+// Every group keeps a per-rank TrafficLedger (bytes sent/received and
+// message counts, modelled identically for both backends) so the O(n) vs
+// O(n*P) claim is measured, not asserted.
 
 #include <cstddef>
 #include <memory>
 #include <vector>
 
 #include "fpna/collective/allreduce.hpp"
+#include "fpna/comm/schedule.hpp"
 #include "fpna/core/eval_context.hpp"
 #include "fpna/fp/algorithm_id.hpp"
 
@@ -61,15 +76,19 @@ class ProcessGroup {
   virtual std::size_t rank() const noexcept = 0;
   /// Backend name for logs/tables: "sim" or "mpi".
   virtual const char* backend() const noexcept = 0;
+  /// The message pattern this group's deterministic collectives travel
+  /// (a construction-time property).
+  virtual WirePath wire() const noexcept = 0;
   /// How many rank contributions the caller passes to allreduce(): the
   /// full P for the simulated backend, 1 (the local buffer) for MPI.
   virtual std::size_t local_contributions() const noexcept = 0;
   /// Whether allreduce() may be called concurrently from several threads.
-  /// True for the stateless simulated backend; false for MPI, whose
-  /// collectives must issue in the same order on every rank and whose
-  /// library thread level is not negotiated for concurrent calls -
-  /// bucketed_allreduce silently falls back to the inline schedule
-  /// (identical bits, see bucketed_allreduce.hpp) when this is false.
+  /// True for the simulated backend (its only shared state, the traffic
+  /// ledger, is mutex-guarded); false for MPI, whose collectives must
+  /// issue in the same order on every rank and whose library thread level
+  /// is not negotiated for concurrent calls - bucketed_allreduce silently
+  /// falls back to the inline schedule (identical bits, see
+  /// bucketed_allreduce.hpp) when this is false.
   virtual bool supports_concurrent_allreduce() const noexcept = 0;
 
   /// Allreduce-sum of the rank contributions; every rank observes the
@@ -78,6 +97,8 @@ class ProcessGroup {
   /// its RunContext from the same seed to agree on the drawn orders).
   /// kReproducible routes through ctx.accumulator when set (exact-merge
   /// algorithms only); unset selects the superaccumulator exchange.
+  /// Deterministic algorithms travel this group's wire(); the bits do not
+  /// depend on the wire.
   virtual std::vector<double> allreduce(
       const collective::RankData& contributions,
       collective::Algorithm algorithm, const core::EvalContext& ctx,
@@ -86,19 +107,58 @@ class ProcessGroup {
       const collective::RankDataF& contributions,
       collective::Algorithm algorithm, const core::EvalContext& ctx,
       std::size_t block_elements = 1024) = 0;
+
+  /// Schedule primitive: runs `schedule`'s reduce-scatter phase. Returns
+  /// a full-length buffer in which every element of a shard this
+  /// participant owns holds its final reduced value - the whole buffer
+  /// for the sim backend (it plays every rank and so owns every shard);
+  /// under MPI only schedule.shards()[rank()] is meaningful until
+  /// allgather() completes the exchange. `algorithm` selects the combine:
+  /// kRing / kRecursiveDoubling add rounded values in the schedule's
+  /// operand order (and must ride their own schedule - the one whose
+  /// association they reproduce); kReproducible carries serialized
+  /// superaccumulator states over either schedule, quantizing through
+  /// ctx's ReductionSpec.
+  virtual std::vector<double> reduce_scatter(
+      const collective::RankData& contributions,
+      const CollectiveSchedule& schedule, collective::Algorithm algorithm,
+      const core::EvalContext& ctx) = 0;
+  virtual std::vector<float> reduce_scatter(
+      const collective::RankDataF& contributions,
+      const CollectiveSchedule& schedule, collective::Algorithm algorithm,
+      const core::EvalContext& ctx) = 0;
+
+  /// Schedule primitive: runs `schedule`'s allgather (copy) phase on a
+  /// reduce_scatter result, completing the allreduce in `buffer`.
+  virtual void allgather(std::vector<double>& buffer,
+                         const CollectiveSchedule& schedule) = 0;
+  virtual void allgather(std::vector<float>& buffer,
+                         const CollectiveSchedule& schedule) = 0;
+
+  /// Accumulated wire traffic of rank `r` since construction (or the last
+  /// reset). The sim backend accounts every simulated rank; the MPI
+  /// backend only fills its own rank's row.
+  Traffic traffic(std::size_t r) const { return ledger().of_rank(r); }
+  Traffic total_traffic() const { return ledger().total(); }
+  void reset_traffic() { ledger().reset(); }
+
+ protected:
+  virtual TrafficLedger& ledger() const noexcept = 0;
 };
 
-/// Simulated backend: all P ranks live in this process. Stateless between
-/// calls and safe to use concurrently from thread-pool tasks as long as
-/// each call carries its own RunContext (bucketed_allreduce does).
+/// Simulated backend: all P ranks live in this process. Safe to use
+/// concurrently from thread-pool tasks as long as each call carries its
+/// own RunContext (bucketed_allreduce does).
 class SimProcessGroup final : public ProcessGroup {
  public:
   /// Throws std::invalid_argument on ranks == 0.
-  explicit SimProcessGroup(std::size_t ranks);
+  explicit SimProcessGroup(std::size_t ranks,
+                           WirePath wire = WirePath::kAllgather);
 
   std::size_t size() const noexcept override { return ranks_; }
   std::size_t rank() const noexcept override { return 0; }
   const char* backend() const noexcept override { return "sim"; }
+  WirePath wire() const noexcept override { return wire_; }
   std::size_t local_contributions() const noexcept override { return ranks_; }
   bool supports_concurrent_allreduce() const noexcept override {
     return true;
@@ -113,13 +173,33 @@ class SimProcessGroup final : public ProcessGroup {
                                const core::EvalContext& ctx,
                                std::size_t block_elements = 1024) override;
 
+  std::vector<double> reduce_scatter(const collective::RankData& contributions,
+                                     const CollectiveSchedule& schedule,
+                                     collective::Algorithm algorithm,
+                                     const core::EvalContext& ctx) override;
+  std::vector<float> reduce_scatter(const collective::RankDataF& contributions,
+                                    const CollectiveSchedule& schedule,
+                                    collective::Algorithm algorithm,
+                                    const core::EvalContext& ctx) override;
+
+  void allgather(std::vector<double>& buffer,
+                 const CollectiveSchedule& schedule) override;
+  void allgather(std::vector<float>& buffer,
+                 const CollectiveSchedule& schedule) override;
+
+ protected:
+  TrafficLedger& ledger() const noexcept override { return ledger_; }
+
  private:
   std::size_t ranks_;
+  WirePath wire_;
+  mutable TrafficLedger ledger_;
 };
 
 /// Simulated P-rank group (the default backend everywhere the toolkit does
 /// not run under mpirun).
-std::unique_ptr<ProcessGroup> make_process_group(std::size_t ranks);
+std::unique_ptr<ProcessGroup> make_process_group(
+    std::size_t ranks, WirePath wire = WirePath::kAllgather);
 
 #ifdef FPNA_HAVE_MPI
 /// Real MPI backend over MPI_COMM_WORLD. The caller owns MPI_Init /
@@ -128,11 +208,12 @@ std::unique_ptr<ProcessGroup> make_process_group(std::size_t ranks);
 /// local buffer, equal length on every rank).
 class MpiProcessGroup final : public ProcessGroup {
  public:
-  MpiProcessGroup();
+  explicit MpiProcessGroup(WirePath wire = WirePath::kAllgather);
 
   std::size_t size() const noexcept override { return size_; }
   std::size_t rank() const noexcept override { return rank_; }
   const char* backend() const noexcept override { return "mpi"; }
+  WirePath wire() const noexcept override { return wire_; }
   std::size_t local_contributions() const noexcept override { return 1; }
   bool supports_concurrent_allreduce() const noexcept override {
     return false;
@@ -147,12 +228,32 @@ class MpiProcessGroup final : public ProcessGroup {
                                const core::EvalContext& ctx,
                                std::size_t block_elements = 1024) override;
 
+  std::vector<double> reduce_scatter(const collective::RankData& contributions,
+                                     const CollectiveSchedule& schedule,
+                                     collective::Algorithm algorithm,
+                                     const core::EvalContext& ctx) override;
+  std::vector<float> reduce_scatter(const collective::RankDataF& contributions,
+                                    const CollectiveSchedule& schedule,
+                                    collective::Algorithm algorithm,
+                                    const core::EvalContext& ctx) override;
+
+  void allgather(std::vector<double>& buffer,
+                 const CollectiveSchedule& schedule) override;
+  void allgather(std::vector<float>& buffer,
+                 const CollectiveSchedule& schedule) override;
+
+ protected:
+  TrafficLedger& ledger() const noexcept override { return ledger_; }
+
  private:
   std::size_t size_ = 0;
   std::size_t rank_ = 0;
+  WirePath wire_;
+  mutable TrafficLedger ledger_;
 };
 
-std::unique_ptr<ProcessGroup> make_mpi_process_group();
+std::unique_ptr<ProcessGroup> make_mpi_process_group(
+    WirePath wire = WirePath::kAllgather);
 #endif  // FPNA_HAVE_MPI
 
 }  // namespace fpna::comm

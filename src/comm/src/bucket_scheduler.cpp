@@ -1,0 +1,89 @@
+#include "fpna/comm/bucket_scheduler.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace fpna::comm {
+
+BucketScheduler::BucketScheduler(std::span<const std::size_t> tensor_sizes,
+                                 std::size_t bucket_cap_elements, FireFn fire,
+                                 util::ThreadPool* pool)
+    : buckets_(BucketAssigner(bucket_cap_elements).assign(tensor_sizes)),
+      bucket_of_(tensor_sizes.size(), 0),
+      remaining_(buckets_.size(), 0),
+      notified_(tensor_sizes.size(), 0),
+      fired_(buckets_.size(), 0),
+      fire_(std::move(fire)),
+      pool_(pool) {
+  if (!fire_) {
+    throw std::invalid_argument("BucketScheduler: empty fire callback");
+  }
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    remaining_[b] = buckets_[b].tensor_count;
+    for (std::size_t t = buckets_[b].first_tensor;
+         t < buckets_[b].first_tensor + buckets_[b].tensor_count; ++t) {
+      bucket_of_[t] = b;
+    }
+  }
+}
+
+BucketScheduler::~BucketScheduler() {
+  // Join (never fire) so no task outlives its captures; exceptions are
+  // finish()'s to report.
+  for (auto& future : pending_) {
+    try {
+      future.get();
+    } catch (...) {
+    }
+  }
+}
+
+void BucketScheduler::fire(std::size_t bucket_index) {
+  fired_[bucket_index] = 1;
+  if (pool_ != nullptr) {
+    pending_.push_back(pool_->submit(
+        [this, bucket_index] { fire_(bucket_index, buckets_[bucket_index]); }));
+    return;
+  }
+  fire_(bucket_index, buckets_[bucket_index]);
+}
+
+void BucketScheduler::notify_ready(std::size_t tensor) {
+  if (tensor >= bucket_of_.size()) {
+    throw std::out_of_range("BucketScheduler::notify_ready: tensor " +
+                            std::to_string(tensor) + " out of range");
+  }
+  if (notified_[tensor]) {
+    throw std::logic_error("BucketScheduler::notify_ready: tensor " +
+                           std::to_string(tensor) + " notified twice");
+  }
+  if (finished_) {
+    throw std::logic_error(
+        "BucketScheduler::notify_ready: scheduler already finished");
+  }
+  notified_[tensor] = 1;
+  const std::size_t b = bucket_of_[tensor];
+  if (--remaining_[b] == 0) fire(b);
+}
+
+void BucketScheduler::finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    if (!fired_[b]) fire(b);
+  }
+  std::exception_ptr first_error;
+  for (auto& future : pending_) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  pending_.clear();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace fpna::comm

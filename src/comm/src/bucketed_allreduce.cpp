@@ -79,6 +79,54 @@ void for_each_bucket(std::size_t buckets, util::ThreadPool* pool,
   }
 }
 
+/// Packs one bucket of every rank list into flat per-rank buffers. Slot s
+/// of the bucket maps to tensor `tensor_of(s)` (the identity for the
+/// packed paths, the emission order for the overlap engine). When
+/// `expected_sizes` (tensor-indexed) is given, each tensor is checked at
+/// pack time - the overlap engine's guard against a bucket firing before
+/// every one of its tensors landed.
+template <typename T, typename MapFn>
+collective::RankDataT<T> pack_bucket(
+    const std::vector<TensorList<T>>& lists, const Bucket& bucket,
+    MapFn&& tensor_of, const std::vector<std::size_t>* expected_sizes) {
+  collective::RankDataT<T> packed(lists.size());
+  for (std::size_t r = 0; r < lists.size(); ++r) {
+    packed[r].reserve(bucket.elements);
+    for (std::size_t s = bucket.first_tensor;
+         s < bucket.first_tensor + bucket.tensor_count; ++s) {
+      const std::size_t t = tensor_of(s);
+      const auto& tensor = lists[r][t];
+      if (expected_sizes != nullptr &&
+          tensor.size() != (*expected_sizes)[t]) {
+        throw std::logic_error(
+            "pack_bucket: tensor " + std::to_string(t) + " of rank " +
+            std::to_string(r) + " holds " + std::to_string(tensor.size()) +
+            " elements, declared " + std::to_string((*expected_sizes)[t]) +
+            " - its emission never reached this reduction");
+      }
+      packed[r].insert(packed[r].end(), tensor.begin(), tensor.end());
+    }
+  }
+  return packed;
+}
+
+/// Scatters a bucket's reduced flat buffer back into per-tensor results
+/// (sizes tensor-indexed, slot mapping as in pack_bucket).
+template <typename T, typename MapFn>
+void unpack_bucket(const std::vector<T>& reduced, const Bucket& bucket,
+                   MapFn&& tensor_of,
+                   const std::vector<std::size_t>& sizes, TensorList<T>& out) {
+  std::size_t offset = 0;
+  for (std::size_t s = bucket.first_tensor;
+       s < bucket.first_tensor + bucket.tensor_count; ++s) {
+    const std::size_t t = tensor_of(s);
+    out[t].assign(
+        reduced.begin() + static_cast<std::ptrdiff_t>(offset),
+        reduced.begin() + static_cast<std::ptrdiff_t>(offset + sizes[t]));
+    offset += sizes[t];
+  }
+}
+
 /// The per-bucket EvalContext: a private copy of the caller's context with
 /// a per-bucket RunContext for the arrival tree (seed drawn by the caller
 /// in bucket order) and the user's hook applied last.
@@ -134,19 +182,9 @@ TensorList<T> bucketed_allreduce(ProcessGroup& pg,
   // Packing is the caller-side "gradient production" stand-in; reduction
   // and unpacking run per bucket (possibly on the pool). Unpacking writes
   // disjoint tensors per bucket, so tasks never alias.
+  const auto identity = [](std::size_t s) { return s; };
   const auto pack = [&](std::size_t b) {
-    const Bucket& bucket = buckets[b];
-    collective::RankDataT<T> packed(rank_tensors.size());
-    for (std::size_t r = 0; r < rank_tensors.size(); ++r) {
-      auto& flat = packed[r];
-      flat.reserve(bucket.elements);
-      for (std::size_t t = bucket.first_tensor;
-           t < bucket.first_tensor + bucket.tensor_count; ++t) {
-        flat.insert(flat.end(), rank_tensors[r][t].begin(),
-                    rank_tensors[r][t].end());
-      }
-    }
-    return packed;
+    return pack_bucket(rank_tensors, buckets[b], identity, nullptr);
   };
   const auto reduce_and_unpack = [&](std::size_t b,
                                      collective::RankDataT<T> packed) {
@@ -155,16 +193,7 @@ TensorList<T> bucketed_allreduce(ProcessGroup& pg,
         bucket_context(ctx, config, b, run_storage, needs_run, seeds[b]);
     const std::vector<T> reduced =
         pg.allreduce(packed, algorithm, bctx, config.block_elements);
-    const Bucket& bucket = buckets[b];
-    std::size_t offset = 0;
-    for (std::size_t t = bucket.first_tensor;
-         t < bucket.first_tensor + bucket.tensor_count; ++t) {
-      std::copy(reduced.begin() + static_cast<std::ptrdiff_t>(offset),
-                reduced.begin() + static_cast<std::ptrdiff_t>(offset +
-                                                              sizes[t]),
-                result[t].begin());
-      offset += sizes[t];
-    }
+    unpack_bucket(reduced, buckets[b], identity, sizes, result);
   };
   // MPI-style backends must issue collectives in the same order on every
   // rank and without concurrent calls: overlap degrades to the inline
@@ -289,6 +318,89 @@ TensorList<T> sharded_bucketed_allreduce(
   return result;
 }
 
+template <typename T>
+OverlappedBucketAllreduce<T>::OverlappedBucketAllreduce(
+    ProcessGroup& pg, const std::vector<TensorList<T>>& rank_tensors,
+    std::span<const std::size_t> tensor_sizes,
+    std::span<const std::size_t> emit_order,
+    collective::Algorithm algorithm, const core::EvalContext& ctx,
+    const BucketedConfig& config)
+    : pg_(pg),
+      rank_tensors_(rank_tensors),
+      tensor_sizes_(tensor_sizes.begin(), tensor_sizes.end()),
+      emit_order_(emit_order.begin(), emit_order.end()),
+      algorithm_(algorithm),
+      ctx_(ctx),
+      config_(config),
+      combined_(tensor_sizes.size()) {
+  if (rank_tensors_.size() != pg_.local_contributions()) {
+    throw std::invalid_argument(
+        "OverlappedBucketAllreduce: expected " +
+        std::to_string(pg_.local_contributions()) +
+        " tensor lists for the '" + pg_.backend() + "' backend, got " +
+        std::to_string(rank_tensors_.size()));
+  }
+  std::vector<char> seen(tensor_sizes_.size(), 0);
+  for (const std::size_t t : emit_order_) {
+    if (t >= tensor_sizes_.size() || seen[t]) {
+      throw std::invalid_argument(
+          "OverlappedBucketAllreduce: emit_order must be a permutation of "
+          "the tensor indices");
+    }
+    seen[t] = 1;
+  }
+  if (emit_order_.size() != tensor_sizes_.size()) {
+    throw std::invalid_argument(
+        "OverlappedBucketAllreduce: emit_order must name every tensor");
+  }
+  std::vector<std::size_t> slot_sizes(emit_order_.size());
+  for (std::size_t s = 0; s < emit_order_.size(); ++s) {
+    slot_sizes[s] = tensor_sizes_[emit_order_[s]];
+  }
+  util::ThreadPool* pool =
+      config_.overlap && pg_.supports_concurrent_allreduce() ? ctx_.pool
+                                                             : nullptr;
+  scheduler_.emplace(
+      std::span<const std::size_t>(slot_sizes), config_.bucket_cap_elements,
+      [this](std::size_t b, const Bucket& bucket) { fire(b, bucket); },
+      pool);
+  if (algorithm_ == collective::Algorithm::kArrivalTree) {
+    if (ctx_.run == nullptr) {
+      throw std::invalid_argument(
+          "OverlappedBucketAllreduce: arrival-tree needs EvalContext.run");
+    }
+    // Bucket-order draws on the constructing thread: the per-bucket
+    // entropy cannot depend on firing order or pool scheduling.
+    seeds_.resize(scheduler_->buckets().size());
+    for (auto& seed : seeds_) seed = ctx_.run->rng()();
+  }
+}
+
+template <typename T>
+void OverlappedBucketAllreduce<T>::fire(std::size_t bucket_index,
+                                        const Bucket& bucket) {
+  const bool needs_run = algorithm_ == collective::Algorithm::kArrivalTree;
+  std::optional<core::RunContext> run_storage;
+  const core::EvalContext bctx =
+      bucket_context(ctx_, config_, bucket_index, run_storage, needs_run,
+                     needs_run ? seeds_[bucket_index] : 0);
+  const auto slot_tensor = [this](std::size_t s) { return emit_order_[s]; };
+  // Size-checked pack: a bucket fired (possibly backfilled by finish())
+  // before every one of its tensors landed must diagnose, not reduce a
+  // short buffer.
+  const auto packed =
+      pack_bucket(rank_tensors_, bucket, slot_tensor, &tensor_sizes_);
+  const std::vector<T> reduced =
+      pg_.allreduce(packed, algorithm_, bctx, config_.block_elements);
+  unpack_bucket(reduced, bucket, slot_tensor, tensor_sizes_, combined_);
+}
+
+template <typename T>
+TensorList<T> OverlappedBucketAllreduce<T>::finish() {
+  scheduler_->finish();
+  return std::move(combined_);
+}
+
 #define FPNA_INSTANTIATE_BUCKETED(T)                                          \
   template TensorList<T> bucketed_allreduce<T>(                               \
       ProcessGroup&, const std::vector<TensorList<T>>&,                       \
@@ -297,7 +409,8 @@ TensorList<T> sharded_bucketed_allreduce(
   template TensorList<T> sharded_bucketed_allreduce<T>(                       \
       ProcessGroup&, const std::vector<TensorList<T>>&,                       \
       std::span<const std::size_t>, collective::Algorithm,                    \
-      const core::EvalContext&, const BucketedConfig&);
+      const core::EvalContext&, const BucketedConfig&);                       \
+  template class OverlappedBucketAllreduce<T>;
 
 FPNA_INSTANTIATE_BUCKETED(double)
 FPNA_INSTANTIATE_BUCKETED(float)

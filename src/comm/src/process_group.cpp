@@ -1,9 +1,13 @@
 #include "fpna/comm/process_group.hpp"
 
+#include <algorithm>
+#include <cstdint>
+#include <span>
 #include <stdexcept>
 #include <string>
 
 #include "fpna/fp/accumulator.hpp"
+#include "fpna/fp/superaccumulator.hpp"
 
 #ifdef FPNA_HAVE_MPI
 #include <mpi.h>
@@ -46,9 +50,10 @@ template std::vector<float> exact_elementwise_allreduce<float>(
 
 namespace {
 
-/// Shared backend combine: the simulated group reduces `contributions`
-/// directly; the MPI group calls this on the allgathered rank buffers, so
-/// both backends compute identical bits from identical inputs.
+/// Shared backend combine of the allgather wire: the simulated group
+/// reduces `contributions` directly; the MPI group calls this on the
+/// allgathered rank buffers, so both backends compute identical bits from
+/// identical inputs.
 template <typename T>
 std::vector<T> combine(const collective::RankDataT<T>& contributions,
                        collective::Algorithm algorithm,
@@ -61,40 +66,301 @@ std::vector<T> combine(const collective::RankDataT<T>& contributions,
   return collective::allreduce(contributions, algorithm, ctx, block_elements);
 }
 
+/// Deterministic algorithms with a wire schedule route through the
+/// reduce-scatter/allgather primitives; arrival-tree always combines on
+/// the allgather backend (its arrival-order draw has no fixed plan).
+bool use_schedule(WirePath wire, collective::Algorithm algorithm) {
+  return wire != WirePath::kAllgather &&
+         algorithm != collective::Algorithm::kArrivalTree;
+}
+
+void check_schedule(const CollectiveSchedule& schedule, std::size_t ranks,
+                    std::size_t elements, collective::Algorithm algorithm) {
+  if (schedule.ranks() != ranks || schedule.elements() != elements) {
+    throw std::invalid_argument(
+        "reduce_scatter: schedule shape mismatch (schedule is " +
+        std::to_string(schedule.ranks()) + " ranks x " +
+        std::to_string(schedule.elements()) + " elements)");
+  }
+  switch (algorithm) {
+    case collective::Algorithm::kRing:
+      if (schedule.path() != WirePath::kRing) {
+        throw std::invalid_argument(
+            "reduce_scatter: the ring algorithm's association is only "
+            "reproduced by the ring schedule");
+      }
+      return;
+    case collective::Algorithm::kRecursiveDoubling:
+      if (schedule.path() != WirePath::kButterfly) {
+        throw std::invalid_argument(
+            "reduce_scatter: recursive doubling's association is only "
+            "reproduced by the butterfly schedule");
+      }
+      return;
+    case collective::Algorithm::kReproducible:
+      return;  // order-invariant: any schedule
+    case collective::Algorithm::kArrivalTree:
+      break;
+  }
+  throw std::invalid_argument(
+      "reduce_scatter: arrival-tree has no wire schedule");
+}
+
+/// The value-mode (rounded) reduce-scatter executor over in-process rank
+/// buffers: walks the schedule's reduce messages, combining in each
+/// message's operand order, then assembles the final buffer from the
+/// shard owners. The schedules guarantee no in-step payload range is
+/// written by an earlier message of the same step, so plain in-order
+/// execution reproduces the wire semantics exactly.
+template <typename T>
+std::vector<T> sim_value_reduce_scatter(const CollectiveSchedule& schedule,
+                                        const collective::RankDataT<T>& data,
+                                        TrafficLedger& ledger) {
+  collective::RankDataT<T> buffers = data;
+  const auto& messages = schedule.messages();
+  for (std::size_t m = 0; m < schedule.reduce_message_count(); ++m) {
+    const Message& msg = messages[m];
+    ledger.record_message(msg.sender, msg.receiver,
+                          msg.range.size() * sizeof(T));
+    const auto& src = buffers[msg.sender];
+    auto& dst = buffers[msg.receiver];
+    if (msg.incoming_left) {
+      for (std::size_t i = msg.range.begin; i < msg.range.end; ++i) {
+        dst[i] = static_cast<T>(src[i] + dst[i]);
+      }
+    } else {
+      for (std::size_t i = msg.range.begin; i < msg.range.end; ++i) {
+        dst[i] = static_cast<T>(dst[i] + src[i]);
+      }
+    }
+  }
+  std::vector<T> result(schedule.elements(), T{0});
+  for (std::size_t r = 0; r < schedule.ranks(); ++r) {
+    const ShardRange shard = schedule.shards()[r];
+    for (std::size_t i = shard.begin; i < shard.end; ++i) {
+      result[i] = buffers[r][i];
+    }
+  }
+  return result;
+}
+
+/// Resolves the reproducible wire spec: only the superaccumulator's exact
+/// state has a bounded serialized form, so only it may carry a
+/// schedule-based exchange (binned's exact state is its whole input
+/// buffer). Returns the spec to visit with.
+fp::ReductionSpec wire_reproducible_spec(const core::EvalContext& ctx) {
+  const fp::ReductionSpec spec =
+      ctx.accumulator.value_or(fp::AlgorithmId::kSuperaccumulator);
+  if (spec.algorithm != fp::AlgorithmId::kSuperaccumulator) {
+    if (!fp::traits_of(spec).exact_merge) {
+      throw std::invalid_argument(
+          "reproducible allreduce: accumulator '" +
+          fp::AlgorithmRegistry::instance().at(spec.algorithm).name +
+          "' has no exact merge; choose superaccumulator or binned");
+    }
+    throw std::invalid_argument(
+        "reproducible wire exchange: only the superaccumulator's exact "
+        "state has a bounded serialized form; '" +
+        fp::AlgorithmRegistry::instance().at(spec.algorithm).name +
+        "' cannot travel a ring/butterfly schedule (use the allgather "
+        "wire)");
+  }
+  return spec;
+}
+
+constexpr std::size_t kStateBytes = fp::Superaccumulator::kWireWords * 8;
+
+/// State-mode reduce-scatter: every message carries serialized
+/// superaccumulator states (the exact value, not a rounding of it), each
+/// hop merges exactly, and only the shard owner rounds - so the bits are
+/// independent of the schedule and identical to the allgather backend's
+/// exact path. The serialize/deserialize round trip runs even in the
+/// simulation, certifying the wire format itself.
+template <typename T>
+std::vector<T> sim_state_reduce_scatter(const CollectiveSchedule& schedule,
+                                        const collective::RankDataT<T>& data,
+                                        const fp::ReductionSpec& spec,
+                                        TrafficLedger& ledger) {
+  const std::size_t n = schedule.elements();
+  return fp::visit_reduction<T>(
+      spec, [&](auto, auto acc_c, auto quantize) -> std::vector<T> {
+        using A = typename decltype(acc_c)::type;
+        std::vector<std::vector<fp::Superaccumulator>> states(
+            schedule.ranks(), std::vector<fp::Superaccumulator>(n));
+        for (std::size_t r = 0; r < schedule.ranks(); ++r) {
+          for (std::size_t i = 0; i < n; ++i) {
+            states[r][i].add(
+                static_cast<double>(static_cast<A>(quantize(data[r][i]))));
+          }
+        }
+        std::vector<std::uint64_t> words(fp::Superaccumulator::kWireWords);
+        const auto& messages = schedule.messages();
+        for (std::size_t m = 0; m < schedule.reduce_message_count(); ++m) {
+          const Message& msg = messages[m];
+          ledger.record_message(msg.sender, msg.receiver,
+                                msg.range.size() * kStateBytes);
+          for (std::size_t i = msg.range.begin; i < msg.range.end; ++i) {
+            states[msg.sender][i].serialize(words);
+            states[msg.receiver][i].add(
+                fp::Superaccumulator::deserialize(words));
+          }
+        }
+        std::vector<T> result(n, T{0});
+        for (std::size_t r = 0; r < schedule.ranks(); ++r) {
+          const ShardRange shard = schedule.shards()[r];
+          for (std::size_t i = shard.begin; i < shard.end; ++i) {
+            result[i] =
+                static_cast<T>(static_cast<A>(states[r][i].round()));
+          }
+        }
+        return result;
+      });
+}
+
+/// Copy-phase traffic of the schedule (the data itself is already
+/// complete in the sim backend, which holds every shard).
+template <typename T>
+void sim_allgather_traffic(const CollectiveSchedule& schedule,
+                           TrafficLedger& ledger, T /*element tag*/) {
+  const auto& messages = schedule.messages();
+  for (std::size_t m = schedule.reduce_message_count();
+       m < messages.size(); ++m) {
+    const Message& msg = messages[m];
+    ledger.record_message(msg.sender, msg.receiver,
+                          msg.range.size() * sizeof(T));
+  }
+}
+
+/// Modelled traffic of the allgather backend: every rank ships its full
+/// n-element buffer to the other P-1 ranks and receives theirs - the
+/// O(n*P) baseline the schedules beat.
+void record_allgather_backend_traffic(TrafficLedger& ledger,
+                                      std::size_t ranks, std::size_t elements,
+                                      std::size_t element_bytes,
+                                      bool every_rank, std::size_t rank) {
+  const std::uint64_t bytes = static_cast<std::uint64_t>(ranks - 1) *
+                              elements * element_bytes;
+  if (every_rank) {
+    for (std::size_t r = 0; r < ranks; ++r) {
+      ledger.record_exchange(r, bytes, bytes, ranks - 1);
+    }
+  } else {
+    ledger.record_exchange(rank, bytes, bytes, ranks - 1);
+  }
+}
+
 }  // namespace
 
-SimProcessGroup::SimProcessGroup(std::size_t ranks) : ranks_(ranks) {
+SimProcessGroup::SimProcessGroup(std::size_t ranks, WirePath wire)
+    : ranks_(ranks), wire_(wire), ledger_(ranks) {
   if (ranks == 0) {
     throw std::invalid_argument("SimProcessGroup: zero ranks");
   }
 }
 
+namespace {
+
+template <typename T>
+std::vector<T> sim_allreduce(SimProcessGroup& pg, std::size_t ranks,
+                             WirePath wire, TrafficLedger& ledger,
+                             const collective::RankDataT<T>& contributions,
+                             collective::Algorithm algorithm,
+                             const core::EvalContext& ctx,
+                             std::size_t block_elements) {
+  if (contributions.size() != ranks) {
+    throw std::invalid_argument(
+        "SimProcessGroup::allreduce: expected " + std::to_string(ranks) +
+        " rank contributions, got " + std::to_string(contributions.size()));
+  }
+  collective::validate(contributions);
+  const std::size_t n = contributions.front().size();
+  if (use_schedule(wire, algorithm)) {
+    const auto schedule =
+        CollectiveSchedule::for_algorithm(algorithm, wire, ranks, n);
+    auto buffer = pg.reduce_scatter(contributions, schedule, algorithm, ctx);
+    pg.allgather(buffer, schedule);
+    return buffer;
+  }
+  record_allgather_backend_traffic(ledger, ranks, n, sizeof(T),
+                                   /*every_rank=*/true, 0);
+  return combine(contributions, algorithm, ctx, block_elements);
+}
+
+template <typename T>
+std::vector<T> sim_reduce_scatter(std::size_t ranks, TrafficLedger& ledger,
+                                  const collective::RankDataT<T>& data,
+                                  const CollectiveSchedule& schedule,
+                                  collective::Algorithm algorithm,
+                                  const core::EvalContext& ctx) {
+  if (data.size() != ranks) {
+    throw std::invalid_argument(
+        "SimProcessGroup::reduce_scatter: expected " + std::to_string(ranks) +
+        " rank contributions");
+  }
+  collective::validate(data);
+  check_schedule(schedule, ranks, data.front().size(), algorithm);
+  if (algorithm == collective::Algorithm::kReproducible) {
+    return sim_state_reduce_scatter(schedule, data,
+                                    wire_reproducible_spec(ctx), ledger);
+  }
+  return sim_value_reduce_scatter(schedule, data, ledger);
+}
+
+}  // namespace
+
 std::vector<double> SimProcessGroup::allreduce(
     const collective::RankData& contributions,
     collective::Algorithm algorithm, const core::EvalContext& ctx,
     std::size_t block_elements) {
-  if (contributions.size() != ranks_) {
-    throw std::invalid_argument(
-        "SimProcessGroup::allreduce: expected " + std::to_string(ranks_) +
-        " rank contributions, got " + std::to_string(contributions.size()));
-  }
-  return combine(contributions, algorithm, ctx, block_elements);
+  return sim_allreduce(*this, ranks_, wire_, ledger_, contributions,
+                       algorithm, ctx, block_elements);
 }
 
 std::vector<float> SimProcessGroup::allreduce(
     const collective::RankDataF& contributions,
     collective::Algorithm algorithm, const core::EvalContext& ctx,
     std::size_t block_elements) {
-  if (contributions.size() != ranks_) {
-    throw std::invalid_argument(
-        "SimProcessGroup::allreduce: expected " + std::to_string(ranks_) +
-        " rank contributions, got " + std::to_string(contributions.size()));
-  }
-  return combine(contributions, algorithm, ctx, block_elements);
+  return sim_allreduce(*this, ranks_, wire_, ledger_, contributions,
+                       algorithm, ctx, block_elements);
 }
 
-std::unique_ptr<ProcessGroup> make_process_group(std::size_t ranks) {
-  return std::make_unique<SimProcessGroup>(ranks);
+std::vector<double> SimProcessGroup::reduce_scatter(
+    const collective::RankData& contributions,
+    const CollectiveSchedule& schedule, collective::Algorithm algorithm,
+    const core::EvalContext& ctx) {
+  return sim_reduce_scatter(ranks_, ledger_, contributions, schedule,
+                            algorithm, ctx);
+}
+
+std::vector<float> SimProcessGroup::reduce_scatter(
+    const collective::RankDataF& contributions,
+    const CollectiveSchedule& schedule, collective::Algorithm algorithm,
+    const core::EvalContext& ctx) {
+  return sim_reduce_scatter(ranks_, ledger_, contributions, schedule,
+                            algorithm, ctx);
+}
+
+void SimProcessGroup::allgather(std::vector<double>& buffer,
+                                const CollectiveSchedule& schedule) {
+  if (buffer.size() != schedule.elements()) {
+    throw std::invalid_argument(
+        "SimProcessGroup::allgather: buffer/schedule size mismatch");
+  }
+  sim_allgather_traffic(schedule, ledger_, double{});
+}
+
+void SimProcessGroup::allgather(std::vector<float>& buffer,
+                                const CollectiveSchedule& schedule) {
+  if (buffer.size() != schedule.elements()) {
+    throw std::invalid_argument(
+        "SimProcessGroup::allgather: buffer/schedule size mismatch");
+  }
+  sim_allgather_traffic(schedule, ledger_, float{});
+}
+
+std::unique_ptr<ProcessGroup> make_process_group(std::size_t ranks,
+                                                 WirePath wire) {
+  return std::make_unique<SimProcessGroup>(ranks, wire);
 }
 
 #ifdef FPNA_HAVE_MPI
@@ -103,6 +369,24 @@ namespace {
 
 MPI_Datatype mpi_type(double) { return MPI_DOUBLE; }
 MPI_Datatype mpi_type(float) { return MPI_FLOAT; }
+
+std::size_t mpi_world_size() {
+  int initialized = 0;
+  MPI_Initialized(&initialized);
+  if (!initialized) {
+    throw std::runtime_error(
+        "MpiProcessGroup: MPI_Init must run before constructing the group");
+  }
+  int size = 0;
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  return static_cast<std::size_t>(size);
+}
+
+std::size_t mpi_world_rank() {
+  int rank = 0;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  return static_cast<std::size_t>(rank);
+}
 
 /// Allgather every rank's local vector (equal lengths, checked) into the
 /// rank-ordered RankData the shared combine consumes.
@@ -132,53 +416,290 @@ collective::RankDataT<T> gather_contributions(const std::vector<T>& local,
   return contributions;
 }
 
+/// Per-rank tallies of one executed schedule phase.
+struct WireStats {
+  std::uint64_t words_sent = 0;
+  std::uint64_t words_received = 0;
+  std::uint64_t messages_sent = 0;
+};
+
+/// Walks [begin, end) of the schedule's messages step by step, calling
+/// `payload(msg)` to snapshot this rank's outgoing buffer (posted with
+/// MPI_Isend, tag = step) and `deliver(msg, words/values)` on each
+/// received message, in schedule order. `words_per_element` sizes the
+/// receive scratch. Every schedule guarantees a rank sends at most one
+/// message per step, so (source, tag) pairs are unambiguous, and posting
+/// the nonblocking sends before any receive makes the step deadlock-free.
+template <typename Word, typename Payload, typename Deliver>
+WireStats mpi_run_messages(const CollectiveSchedule& schedule,
+                           std::size_t begin, std::size_t end,
+                           std::size_t rank, MPI_Datatype dtype,
+                           std::size_t words_per_element, Payload&& payload,
+                           Deliver&& deliver) {
+  const auto& messages = schedule.messages();
+  WireStats stats;
+  std::size_t m = begin;
+  while (m < end) {
+    const std::size_t step = messages[m].step;
+    std::size_t step_end = m;
+    while (step_end < end && messages[step_end].step == step) ++step_end;
+
+    std::vector<std::vector<Word>> send_buffers;
+    std::vector<MPI_Request> requests;
+    for (std::size_t i = m; i < step_end; ++i) {
+      const Message& msg = messages[i];
+      if (msg.sender != rank) continue;
+      send_buffers.push_back(payload(msg));
+      requests.emplace_back();
+      MPI_Isend(send_buffers.back().data(),
+                static_cast<int>(send_buffers.back().size()), dtype,
+                static_cast<int>(msg.receiver), static_cast<int>(step),
+                MPI_COMM_WORLD, &requests.back());
+      stats.words_sent += send_buffers.back().size();
+      stats.messages_sent += 1;
+    }
+    for (std::size_t i = m; i < step_end; ++i) {
+      const Message& msg = messages[i];
+      if (msg.receiver != rank) continue;
+      std::vector<Word> scratch(msg.range.size() * words_per_element);
+      MPI_Recv(scratch.data(), static_cast<int>(scratch.size()), dtype,
+               static_cast<int>(msg.sender), static_cast<int>(step),
+               MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      stats.words_received += scratch.size();
+      deliver(msg, scratch);
+    }
+    if (!requests.empty()) {
+      MPI_Waitall(static_cast<int>(requests.size()), requests.data(),
+                  MPI_STATUSES_IGNORE);
+    }
+    m = step_end;
+  }
+  return stats;
+}
+
 template <typename T>
-std::vector<T> mpi_allreduce(const collective::RankDataT<T>& contributions,
-                             std::size_t ranks,
-                             collective::Algorithm algorithm,
-                             const core::EvalContext& ctx,
-                             std::size_t block_elements) {
+std::vector<T> mpi_allgather_combine(
+    const collective::RankDataT<T>& contributions, std::size_t ranks,
+    std::size_t rank, collective::Algorithm algorithm,
+    const core::EvalContext& ctx, std::size_t block_elements,
+    TrafficLedger& ledger) {
   if (contributions.size() != 1) {
     throw std::invalid_argument(
         "MpiProcessGroup::allreduce: pass exactly this rank's local buffer");
   }
   const auto gathered = gather_contributions(contributions.front(), ranks);
+  record_allgather_backend_traffic(ledger, ranks,
+                                   contributions.front().size(), sizeof(T),
+                                   /*every_rank=*/false, rank);
   return combine(gathered, algorithm, ctx, block_elements);
 }
 
 }  // namespace
 
-MpiProcessGroup::MpiProcessGroup() {
-  int initialized = 0;
-  MPI_Initialized(&initialized);
-  if (!initialized) {
-    throw std::runtime_error(
-        "MpiProcessGroup: MPI_Init must run before constructing the group");
-  }
-  int size = 0;
-  int rank = 0;
-  MPI_Comm_size(MPI_COMM_WORLD, &size);
-  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
-  size_ = static_cast<std::size_t>(size);
-  rank_ = static_cast<std::size_t>(rank);
+MpiProcessGroup::MpiProcessGroup(WirePath wire)
+    : size_(mpi_world_size()),
+      rank_(mpi_world_rank()),
+      wire_(wire),
+      ledger_(size_) {}
+
+namespace {
+
+template <typename T>
+std::vector<T> mpi_value_reduce_scatter(const CollectiveSchedule& schedule,
+                                        std::vector<T> local,
+                                        std::size_t rank,
+                                        TrafficLedger& ledger) {
+  const WireStats stats = mpi_run_messages<T>(
+      schedule, 0, schedule.reduce_message_count(), rank, mpi_type(T{}), 1,
+      [&](const Message& msg) {
+        return std::vector<T>(
+            local.begin() + static_cast<std::ptrdiff_t>(msg.range.begin),
+            local.begin() + static_cast<std::ptrdiff_t>(msg.range.end));
+      },
+      [&](const Message& msg, const std::vector<T>& incoming) {
+        std::size_t k = 0;
+        if (msg.incoming_left) {
+          for (std::size_t i = msg.range.begin; i < msg.range.end; ++i) {
+            local[i] = static_cast<T>(incoming[k++] + local[i]);
+          }
+        } else {
+          for (std::size_t i = msg.range.begin; i < msg.range.end; ++i) {
+            local[i] = static_cast<T>(local[i] + incoming[k++]);
+          }
+        }
+      });
+  ledger.record_exchange(rank, stats.words_sent * sizeof(T),
+                         stats.words_received * sizeof(T),
+                         stats.messages_sent);
+  return local;
 }
+
+template <typename T>
+std::vector<T> mpi_state_reduce_scatter(const CollectiveSchedule& schedule,
+                                        const std::vector<T>& local,
+                                        const fp::ReductionSpec& spec,
+                                        std::size_t rank,
+                                        TrafficLedger& ledger) {
+  constexpr std::size_t kWords = fp::Superaccumulator::kWireWords;
+  const std::size_t n = schedule.elements();
+  return fp::visit_reduction<T>(
+      spec, [&](auto, auto acc_c, auto quantize) -> std::vector<T> {
+        using A = typename decltype(acc_c)::type;
+        std::vector<fp::Superaccumulator> states(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          states[i].add(
+              static_cast<double>(static_cast<A>(quantize(local[i]))));
+        }
+        const WireStats stats = mpi_run_messages<std::uint64_t>(
+            schedule, 0, schedule.reduce_message_count(), rank, MPI_UINT64_T,
+            kWords,
+            [&](const Message& msg) {
+              std::vector<std::uint64_t> buffer(msg.range.size() * kWords);
+              for (std::size_t i = 0; i < msg.range.size(); ++i) {
+                states[msg.range.begin + i].serialize(
+                    std::span<std::uint64_t>(buffer).subspan(i * kWords,
+                                                             kWords));
+              }
+              return buffer;
+            },
+            [&](const Message& msg, const std::vector<std::uint64_t>& in) {
+              for (std::size_t i = 0; i < msg.range.size(); ++i) {
+                states[msg.range.begin + i].add(
+                    fp::Superaccumulator::deserialize(
+                        std::span<const std::uint64_t>(in).subspan(
+                            i * kWords, kWords)));
+              }
+            });
+        ledger.record_exchange(rank, stats.words_sent * 8,
+                               stats.words_received * 8,
+                               stats.messages_sent);
+        std::vector<T> result(n, T{0});
+        const ShardRange shard = schedule.shards()[rank];
+        for (std::size_t i = shard.begin; i < shard.end; ++i) {
+          result[i] = static_cast<T>(static_cast<A>(states[i].round()));
+        }
+        return result;
+      });
+}
+
+template <typename T>
+std::vector<T> mpi_reduce_scatter_impl(
+    const collective::RankDataT<T>& contributions,
+    const CollectiveSchedule& schedule, collective::Algorithm algorithm,
+    const core::EvalContext& ctx, std::size_t size, std::size_t rank,
+    TrafficLedger& ledger) {
+  if (contributions.size() != 1) {
+    throw std::invalid_argument(
+        "MpiProcessGroup::reduce_scatter: pass exactly this rank's local "
+        "buffer");
+  }
+  check_schedule(schedule, size, contributions.front().size(), algorithm);
+  if (algorithm == collective::Algorithm::kReproducible) {
+    return mpi_state_reduce_scatter(schedule, contributions.front(),
+                                    wire_reproducible_spec(ctx), rank,
+                                    ledger);
+  }
+  return mpi_value_reduce_scatter(schedule, contributions.front(), rank,
+                                  ledger);
+}
+
+template <typename T>
+void mpi_allgather_impl(std::vector<T>& buffer,
+                        const CollectiveSchedule& schedule, std::size_t rank,
+                        TrafficLedger& ledger) {
+  if (buffer.size() != schedule.elements()) {
+    throw std::invalid_argument(
+        "MpiProcessGroup::allgather: buffer/schedule size mismatch");
+  }
+  const WireStats stats = mpi_run_messages<T>(
+      schedule, schedule.reduce_message_count(),
+      schedule.messages().size(), rank, mpi_type(T{}), 1,
+      [&](const Message& msg) {
+        return std::vector<T>(
+            buffer.begin() + static_cast<std::ptrdiff_t>(msg.range.begin),
+            buffer.begin() + static_cast<std::ptrdiff_t>(msg.range.end));
+      },
+      [&](const Message& msg, const std::vector<T>& incoming) {
+        std::copy(incoming.begin(), incoming.end(),
+                  buffer.begin() +
+                      static_cast<std::ptrdiff_t>(msg.range.begin));
+      });
+  ledger.record_exchange(rank, stats.words_sent * sizeof(T),
+                         stats.words_received * sizeof(T),
+                         stats.messages_sent);
+}
+
+template <typename T>
+std::vector<T> mpi_allreduce(MpiProcessGroup& pg,
+                             const collective::RankDataT<T>& contributions,
+                             collective::Algorithm algorithm,
+                             const core::EvalContext& ctx,
+                             std::size_t block_elements, std::size_t size,
+                             std::size_t rank, WirePath wire,
+                             TrafficLedger& ledger) {
+  if (use_schedule(wire, algorithm)) {
+    if (contributions.size() != 1) {
+      throw std::invalid_argument(
+          "MpiProcessGroup::allreduce: pass exactly this rank's local "
+          "buffer");
+    }
+    const auto schedule = CollectiveSchedule::for_algorithm(
+        algorithm, wire, size, contributions.front().size());
+    auto buffer =
+        pg.reduce_scatter(contributions, schedule, algorithm, ctx);
+    pg.allgather(buffer, schedule);
+    return buffer;
+  }
+  return mpi_allgather_combine(contributions, size, rank, algorithm, ctx,
+                               block_elements, ledger);
+}
+
+}  // namespace
 
 std::vector<double> MpiProcessGroup::allreduce(
     const collective::RankData& contributions,
     collective::Algorithm algorithm, const core::EvalContext& ctx,
     std::size_t block_elements) {
-  return mpi_allreduce(contributions, size_, algorithm, ctx, block_elements);
+  return mpi_allreduce(*this, contributions, algorithm, ctx, block_elements,
+                       size_, rank_, wire_, ledger_);
 }
 
 std::vector<float> MpiProcessGroup::allreduce(
     const collective::RankDataF& contributions,
     collective::Algorithm algorithm, const core::EvalContext& ctx,
     std::size_t block_elements) {
-  return mpi_allreduce(contributions, size_, algorithm, ctx, block_elements);
+  return mpi_allreduce(*this, contributions, algorithm, ctx, block_elements,
+                       size_, rank_, wire_, ledger_);
 }
 
-std::unique_ptr<ProcessGroup> make_mpi_process_group() {
-  return std::make_unique<MpiProcessGroup>();
+std::vector<double> MpiProcessGroup::reduce_scatter(
+    const collective::RankData& contributions,
+    const CollectiveSchedule& schedule, collective::Algorithm algorithm,
+    const core::EvalContext& ctx) {
+  return mpi_reduce_scatter_impl(contributions, schedule, algorithm, ctx,
+                                 size_, rank_, ledger_);
+}
+
+std::vector<float> MpiProcessGroup::reduce_scatter(
+    const collective::RankDataF& contributions,
+    const CollectiveSchedule& schedule, collective::Algorithm algorithm,
+    const core::EvalContext& ctx) {
+  return mpi_reduce_scatter_impl(contributions, schedule, algorithm, ctx,
+                                 size_, rank_, ledger_);
+}
+
+void MpiProcessGroup::allgather(std::vector<double>& buffer,
+                                const CollectiveSchedule& schedule) {
+  mpi_allgather_impl(buffer, schedule, rank_, ledger_);
+}
+
+void MpiProcessGroup::allgather(std::vector<float>& buffer,
+                                const CollectiveSchedule& schedule) {
+  mpi_allgather_impl(buffer, schedule, rank_, ledger_);
+}
+
+std::unique_ptr<ProcessGroup> make_mpi_process_group(WirePath wire) {
+  return std::make_unique<MpiProcessGroup>(wire);
 }
 
 #endif  // FPNA_HAVE_MPI

@@ -10,6 +10,7 @@
 // implementation of this DNN is the index_add operation" (SV.B).
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "fpna/dl/graph.hpp"
@@ -18,6 +19,15 @@
 #include "fpna/util/rng.hpp"
 
 namespace fpna::dl {
+
+/// Invoked by a layer's backward as a parameter's gradient buffer
+/// receives its final contribution - the DDP hook: a data-parallel
+/// trainer can hand each finished gradient to a comm::BucketScheduler
+/// and overlap the bucket's allreduce with the rest of the backward
+/// pass, instead of waiting for every gradient to land. The argument
+/// identifies the buffer (compare against the model's parameters()
+/// gradient pointers). An empty sink costs one branch per parameter.
+using GradientSink = std::function<void(const Matrix* grad)>;
 
 /// Mean neighbour aggregation: out[v] = (1/deg(v)) sum_{u -> v} x[u].
 /// Forward of the GraphSAGE aggregator; the sum is an index_add over the
@@ -41,8 +51,11 @@ class Linear {
   Matrix forward(const Matrix& x, const core::EvalContext& ctx = {}) const;
 
   /// Accumulates dW, db and returns dX. `x` must be the forward input.
+  /// `sink` (if set) fires for grad_weight then grad_bias once each holds
+  /// its final value - valid only when backward runs once per step.
   Matrix backward(const Matrix& x, const Matrix& d_out,
-                  const core::EvalContext& ctx = {});
+                  const core::EvalContext& ctx = {},
+                  const GradientSink& sink = {});
 
   void zero_grad();
 
@@ -66,9 +79,13 @@ class SageConv {
   Matrix forward(const Matrix& x, const Graph& graph,
                  const tensor::OpContext& ctx, Cache* cache = nullptr) const;
 
-  /// Returns dX (both the self path and the aggregation path).
+  /// Returns dX (both the self path and the aggregation path). `sink`
+  /// fires for lin_self.grad_weight, lin_self.grad_bias and
+  /// lin_neigh.grad_weight as each receives its final contribution (the
+  /// folded-bias lin_neigh.grad_bias is not a parameter and never fires).
   Matrix backward(const Cache& cache, const Matrix& d_out, const Graph& graph,
-                  const tensor::OpContext& ctx);
+                  const tensor::OpContext& ctx,
+                  const GradientSink& sink = {});
 
   void zero_grad();
 

@@ -2,6 +2,7 @@
 // The paper's evaluation model (SV.B): a two-layer GraphSAGE network
 // (SAGEConv -> ReLU -> SAGEConv -> log_softmax) trained with masked NLL.
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -34,9 +35,21 @@ class GraphSageModel {
                  const tensor::OpContext& ctx,
                  ForwardCache* cache = nullptr) const;
 
-  /// Backward from d_logits; fills the layers' gradient buffers.
+  /// Backward from d_logits; fills the layers' gradient buffers. `sink`
+  /// (if set) fires as each parameter's gradient becomes final, in
+  /// *reverse layer order* (conv2's parameters before conv1's - gradients
+  /// are produced output-to-input), the readiness signal a DDP-style
+  /// trainer feeds into comm::BucketScheduler to overlap gradient
+  /// reduction with the rest of this very backward pass.
   void backward(const ForwardCache& cache, const Matrix& d_logits,
-                const Graph& graph, const tensor::OpContext& ctx);
+                const Graph& graph, const tensor::OpContext& ctx,
+                const GradientSink& sink = {});
+
+  /// The parameters() indices in the order backward() finalises their
+  /// gradients: {3, 4, 5, 0, 1, 2} (conv2 then conv1, each layer in
+  /// self-weight, self-bias, neigh-weight production order). Pinned by a
+  /// dl_test property against an instrumented backward.
+  std::vector<std::size_t> backward_gradient_order() const;
 
   void zero_grad();
 

@@ -1,5 +1,7 @@
 #include "fpna/dl/data_parallel.hpp"
 
+#include <optional>
+#include <span>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -64,7 +66,7 @@ std::vector<std::vector<char>> shard_train_mask(
 TrainResult train_data_parallel(const Dataset& dataset,
                                 const DataParallelConfig& config,
                                 core::RunContext& run) {
-  comm::SimProcessGroup pg(config.ranks);
+  comm::SimProcessGroup pg(config.ranks, config.wire);
   return train_data_parallel(dataset, config, run, pg);
 }
 
@@ -108,9 +110,35 @@ TrainResult train_data_parallel(const Dataset& dataset,
       shard_train_mask(dataset.train_mask, ranks, config.split);
 
   Adam optimizer(AdamConfig{.lr = config.base.lr});
-  for (auto& [param, grad] : result.model.parameters()) {
+  const auto params = result.model.parameters();
+  for (const auto& [param, grad] : params) {
     optimizer.add_parameter(param, grad);
   }
+  const std::size_t num_params = params.size();
+
+  // The backward-overlap plan: gradients are emitted in reverse layer
+  // order (model.backward_gradient_order), so buckets pack over that
+  // *emission* order and each one fires as its last tensor lands during
+  // the final rank's backward pass - the DDP overlap of communication
+  // with the gradient production itself, not just with packing.
+  const auto emit_order = result.model.backward_gradient_order();
+  std::vector<std::size_t> slot_of_param(num_params, 0);
+  std::vector<std::size_t> tensor_sizes(num_params, 0);
+  for (std::size_t s = 0; s < num_params; ++s) {
+    slot_of_param[emit_order[s]] = s;
+  }
+  for (std::size_t t = 0; t < num_params; ++t) {
+    tensor_sizes[t] = static_cast<std::size_t>(params[t].second->numel());
+  }
+  const auto param_index_of = [&](const Matrix* grad) {
+    for (std::size_t t = 0; t < num_params; ++t) {
+      if (params[t].second == grad) return t;
+    }
+    throw std::logic_error("train_data_parallel: unknown gradient buffer");
+  };
+
+  const bool overlap_exchange =
+      config.exchange == GradientExchange::kBucketOverlap;
 
   // With deterministic local kernels every replica's forward over the
   // shared weights is bitwise identical (only the loss mask differs per
@@ -120,8 +148,9 @@ TrainResult train_data_parallel(const Dataset& dataset,
   const bool shared_forward = !local_ctx.nondeterministic();
 
   for (int epoch = 0; epoch < config.base.epochs; ++epoch) {
-    std::vector<comm::TensorList<float>> rank_grads;
-    rank_grads.reserve(ranks);
+    std::vector<comm::TensorList<float>> rank_grads(
+        ranks, comm::TensorList<float>(num_params));
+    comm::TensorList<float> combined(num_params);
     double loss_total = 0.0;
     GraphSageModel::ForwardCache shared_cache;
     Matrix shared_log_probs;
@@ -129,6 +158,21 @@ TrainResult train_data_parallel(const Dataset& dataset,
       shared_log_probs = result.model.forward(
           dataset.features, dataset.graph, local_ctx, &shared_cache);
     }
+
+    // The shared DDP overlap engine (also certified by
+    // bench/bucketed_allreduce --overlap=backward): buckets pack over the
+    // emission order, per-bucket arrival seeds are pre-drawn in bucket
+    // order, and each bucket's allreduce launches at its last tensor -
+    // on comm_ctx.pool when overlap is on, concurrent with the rest of
+    // the backward pass below.
+    std::optional<comm::OverlappedBucketAllreduce<float>> reducer;
+    if (overlap_exchange) {
+      reducer.emplace(pg, rank_grads,
+                      std::span<const std::size_t>(tensor_sizes),
+                      std::span<const std::size_t>(emit_order),
+                      config.algorithm, comm_ctx, bucketing);
+    }
+
     for (std::size_t r = 0; r < ranks; ++r) {
       GraphSageModel::ForwardCache rank_cache;
       if (!shared_forward) {
@@ -141,13 +185,33 @@ TrainResult train_data_parallel(const Dataset& dataset,
           shared_log_probs, dataset.labels, rank_masks[r], local_ctx);
       loss_total += loss.loss;
       result.model.zero_grad();
-      result.model.backward(cache, loss.d_logits, dataset.graph, local_ctx);
-      rank_grads.push_back(gradient_tensors(result.model));
+      if (overlap_exchange) {
+        // Gradients land per tensor: the sink copies each finished buffer
+        // into this rank's slot and, on the last rank, announces it to
+        // the bucket scheduler - whose reductions then run concurrently
+        // with the remainder of this backward pass when overlap is on.
+        const bool last_rank = r + 1 == ranks;
+        const GradientSink sink = [&, r, last_rank](const Matrix* grad) {
+          const std::size_t t = param_index_of(grad);
+          rank_grads[r][t].assign(grad->data().begin(), grad->data().end());
+          if (last_rank) reducer->notify_slot_ready(slot_of_param[t]);
+        };
+        result.model.backward(cache, loss.d_logits, dataset.graph,
+                              local_ctx, sink);
+      } else {
+        result.model.backward(cache, loss.d_logits, dataset.graph,
+                              local_ctx);
+        rank_grads[r] = gradient_tensors(result.model);
+      }
     }
     result.epoch_losses.push_back(loss_total / static_cast<double>(ranks));
 
-    comm::TensorList<float> combined = comm::bucketed_allreduce(
-        pg, rank_grads, config.algorithm, comm_ctx, bucketing);
+    if (overlap_exchange) {
+      combined = reducer->finish();
+    } else {
+      combined = comm::bucketed_allreduce(pg, rank_grads, config.algorithm,
+                                          comm_ctx, bucketing);
+    }
     // DDP averaging: the exchanged sum of per-shard mean-loss gradients,
     // divided by the rank count (exact for ranks == 1).
     for (auto& tensor : combined) {

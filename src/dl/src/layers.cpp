@@ -91,9 +91,12 @@ Matrix Linear::forward(const Matrix& x, const core::EvalContext& ctx) const {
 }
 
 Matrix Linear::backward(const Matrix& x, const Matrix& d_out,
-                        const core::EvalContext& ctx) {
+                        const core::EvalContext& ctx,
+                        const GradientSink& sink) {
   grad_weight = add(grad_weight, matmul_transpose_a(x, d_out, ctx), ctx);
+  if (sink) sink(&grad_weight);
   grad_bias = add(grad_bias, column_sums(d_out, ctx), ctx);
+  if (sink) sink(&grad_bias);
   return matmul_transpose_b(d_out, weight, ctx);
 }
 
@@ -122,13 +125,15 @@ Matrix SageConv::forward(const Matrix& x, const Graph& graph,
 }
 
 Matrix SageConv::backward(const Cache& cache, const Matrix& d_out,
-                          const Graph& graph, const tensor::OpContext& ctx) {
+                          const Graph& graph, const tensor::OpContext& ctx,
+                          const GradientSink& sink) {
   // Self path.
-  Matrix d_x = lin_self.backward(cache.x, d_out, ctx);
+  Matrix d_x = lin_self.backward(cache.x, d_out, ctx, sink);
   // Neighbour path: through the matmul, then back through aggregation.
   lin_neigh.grad_weight = add(
       lin_neigh.grad_weight, matmul_transpose_a(cache.h_neigh, d_out, ctx),
       ctx);
+  if (sink) sink(&lin_neigh.grad_weight);
   const Matrix d_h_neigh = matmul_transpose_b(d_out, lin_neigh.weight, ctx);
   const Matrix d_x_agg = mean_aggregate_backward(d_h_neigh, graph, ctx);
   return add(d_x, d_x_agg, ctx);

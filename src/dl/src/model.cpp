@@ -41,10 +41,18 @@ Matrix GraphSageModel::forward(const Matrix& features, const Graph& graph,
 
 void GraphSageModel::backward(const ForwardCache& cache,
                               const Matrix& d_logits, const Graph& graph,
-                              const tensor::OpContext& ctx) {
-  const Matrix d_a1 = conv2.backward(cache.conv2, d_logits, graph, ctx);
+                              const tensor::OpContext& ctx,
+                              const GradientSink& sink) {
+  const Matrix d_a1 = conv2.backward(cache.conv2, d_logits, graph, ctx, sink);
   const Matrix d_z1 = relu_backward(cache.z1, d_a1);
-  conv1.backward(cache.conv1, d_z1, graph, ctx);
+  conv1.backward(cache.conv1, d_z1, graph, ctx, sink);
+}
+
+std::vector<std::size_t> GraphSageModel::backward_gradient_order() const {
+  // conv2 (the output layer) finalises first; within a SageConv the
+  // gradients land self-weight, self-bias, neigh-weight (the layer
+  // backward's computation order). Indices follow parameters().
+  return {3, 4, 5, 0, 1, 2};
 }
 
 void GraphSageModel::zero_grad() {

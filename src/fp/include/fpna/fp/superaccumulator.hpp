@@ -12,6 +12,7 @@
 // reduction option in src/reduce.
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <span>
 
@@ -51,6 +52,21 @@ class Superaccumulator {
 
   /// True iff both accumulators represent the same exact value.
   bool equals(const Superaccumulator& other) const noexcept;
+
+  /// Wire form: the normalised limbs (two's-complement 64-bit words) plus
+  /// one flags word (nan | pos_inf << 1 | neg_inf << 2). Normalisation
+  /// makes the encoding canonical: two accumulators holding the same
+  /// exact value serialize to identical bytes, so the exact reduction
+  /// path can travel point-to-point messages (comm's schedule-based
+  /// reduce-scatter) without losing its order-invariance certificate.
+  static constexpr std::size_t kWireWords = kNumLimbs + 1;
+
+  /// Writes exactly kWireWords words; throws std::invalid_argument when
+  /// `out` is not that size.
+  void serialize(std::span<std::uint64_t> out) const;
+
+  /// Rebuilds the exact state from serialize()'s words (size-checked).
+  static Superaccumulator deserialize(std::span<const std::uint64_t> words);
 
   /// Exceptional-value state (propagated like IEEE addition would).
   bool has_nan() const noexcept { return nan_; }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 #include "fpna/fp/double_double.hpp"
 
@@ -72,6 +73,41 @@ void Superaccumulator::normalize() noexcept {
   // representation stays finite. (Magnitudes beyond DBL_MAX round to inf.)
   limbs_[kNumLimbs - 1] += carry << kLimbBits;
   pending_ = 0;
+}
+
+void Superaccumulator::serialize(std::span<std::uint64_t> out) const {
+  if (out.size() != kWireWords) {
+    throw std::invalid_argument(
+        "Superaccumulator::serialize: need exactly kWireWords words");
+  }
+  Superaccumulator tmp = *this;
+  tmp.normalize();
+  for (int i = 0; i < kNumLimbs; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::uint64_t>(tmp.limbs_[i]);
+  }
+  out[kNumLimbs] = (tmp.nan_ ? 1u : 0u) | (tmp.pos_inf_ ? 2u : 0u) |
+                   (tmp.neg_inf_ ? 4u : 0u);
+}
+
+Superaccumulator Superaccumulator::deserialize(
+    std::span<const std::uint64_t> words) {
+  if (words.size() != kWireWords) {
+    throw std::invalid_argument(
+        "Superaccumulator::deserialize: need exactly kWireWords words");
+  }
+  Superaccumulator acc;
+  for (int i = 0; i < kNumLimbs; ++i) {
+    acc.limbs_[i] =
+        static_cast<std::int64_t>(words[static_cast<std::size_t>(i)]);
+  }
+  const std::uint64_t flags = words[kNumLimbs];
+  acc.nan_ = (flags & 1u) != 0;
+  acc.pos_inf_ = (flags & 2u) != 0;
+  acc.neg_inf_ = (flags & 4u) != 0;
+  // The wire form is normalised; the next merge re-normalises anyway.
+  acc.pending_ = 1;
+  return acc;
 }
 
 bool Superaccumulator::equals(const Superaccumulator& other) const noexcept {

@@ -11,13 +11,16 @@
 #include <numeric>
 #include <vector>
 
+#include "fpna/comm/bucket_scheduler.hpp"
 #include "fpna/comm/bucketed_allreduce.hpp"
 #include "fpna/comm/bucketing.hpp"
 #include "fpna/comm/process_group.hpp"
+#include "fpna/comm/schedule.hpp"
 #include "fpna/core/harness.hpp"
 #include "fpna/core/run_context.hpp"
 #include "fpna/dl/data_parallel.hpp"
 #include "fpna/dl/trainer.hpp"
+#include "fpna/fp/accumulator.hpp"
 #include "fpna/fp/bits.hpp"
 #include "fpna/util/rng.hpp"
 #include "fpna/util/thread_pool.hpp"
@@ -142,6 +145,340 @@ TEST(ProcessGroup, ReproducibleRejectsNonExactMergeAccumulator) {
   ctx.accumulator = fp::AlgorithmId::kBinned;
   EXPECT_NO_THROW(
       pg.allreduce(data, collective::Algorithm::kReproducible, ctx));
+}
+
+// ----------------------------------------------- CollectiveSchedule -----
+
+void check_schedule_shape(const CollectiveSchedule& s, std::size_t ranks,
+                          std::size_t n) {
+  ASSERT_EQ(s.ranks(), ranks);
+  ASSERT_EQ(s.elements(), n);
+  // Shards partition [0, n).
+  std::vector<char> covered(n, 0);
+  for (const ShardRange& shard : s.shards()) {
+    for (std::size_t i = shard.begin; i < shard.end; ++i) {
+      EXPECT_FALSE(covered[i]);
+      covered[i] = 1;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) EXPECT_TRUE(covered[i]);
+  // Messages: valid ranks/ranges, reduce phase first, steps ascending
+  // within each phase.
+  for (std::size_t m = 0; m < s.messages().size(); ++m) {
+    const Message& msg = s.messages()[m];
+    EXPECT_LT(msg.sender, ranks);
+    EXPECT_LT(msg.receiver, ranks);
+    EXPECT_NE(msg.sender, msg.receiver);
+    EXPECT_LE(msg.range.begin, msg.range.end);
+    EXPECT_LE(msg.range.end, n);
+    EXPECT_FALSE(msg.range.empty());
+    EXPECT_EQ(msg.reduce, m < s.reduce_message_count());
+  }
+}
+
+TEST(CollectiveSchedule, RingAndButterflyShardsPartitionTheBuffer) {
+  for (const std::size_t ranks : {1u, 2u, 3u, 4u, 6u, 7u, 8u, 16u}) {
+    for (const std::size_t n : {0u, 1u, 5u, 64u, 257u}) {
+      check_schedule_shape(CollectiveSchedule::ring(ranks, n), ranks, n);
+      check_schedule_shape(CollectiveSchedule::butterfly(ranks, n), ranks, n);
+    }
+  }
+}
+
+TEST(CollectiveSchedule, PerRankTrafficIsLinearInElements) {
+  // Both schedules move O(n) elements per rank; the allgather backend
+  // moves (P-1)*n. The 3n bound is generous: ring sends 2n(P-1)/P < 2n,
+  // butterfly about 2n (+n for a pre-folded extra).
+  for (const std::size_t ranks : {2u, 4u, 7u, 8u, 32u}) {
+    const std::size_t n = 1u << 14;
+    for (const auto& s : {CollectiveSchedule::ring(ranks, n),
+                          CollectiveSchedule::butterfly(ranks, n)}) {
+      for (std::size_t r = 0; r < ranks; ++r) {
+        EXPECT_LE(s.elements_sent(r), 3 * n)
+            << to_string(s.path()) << " rank " << r << " of " << ranks;
+      }
+    }
+  }
+}
+
+TEST(CollectiveSchedule, ForAlgorithmPairsEachAssociationWithItsPath) {
+  const auto ring_s = CollectiveSchedule::for_algorithm(
+      collective::Algorithm::kRing, WirePath::kButterfly, 4, 64);
+  EXPECT_EQ(ring_s.path(), WirePath::kRing);  // ring bits need the ring
+  const auto rd = CollectiveSchedule::for_algorithm(
+      collective::Algorithm::kRecursiveDoubling, WirePath::kRing, 4, 64);
+  EXPECT_EQ(rd.path(), WirePath::kButterfly);
+  const auto repro = CollectiveSchedule::for_algorithm(
+      collective::Algorithm::kReproducible, WirePath::kButterfly, 4, 64);
+  EXPECT_EQ(repro.path(), WirePath::kButterfly);  // order-invariant: free
+  EXPECT_THROW(CollectiveSchedule::for_algorithm(
+                   collective::Algorithm::kArrivalTree, WirePath::kRing, 4,
+                   64),
+               std::invalid_argument);
+  EXPECT_THROW(parse_wire_path("mesh"), std::invalid_argument);
+  EXPECT_EQ(parse_wire_path("butterfly"), WirePath::kButterfly);
+}
+
+// --------------------------------------------------- wire == allgather --
+
+template <typename T>
+collective::RankDataT<T> mixed_magnitude_rank_data(std::size_t ranks,
+                                                   std::size_t n,
+                                                   std::uint64_t seed) {
+  util::Xoshiro256pp rng(seed);
+  const util::UniformReal dist(-1e8, 1e8);
+  collective::RankDataT<T> data(ranks, std::vector<T>(n));
+  for (auto& rank : data) {
+    for (auto& x : rank) x = static_cast<T>(dist(rng));
+  }
+  return data;
+}
+
+TEST(WireSchedules, BitwiseEqualToAllgatherBackendForEveryAlgorithm) {
+  // The tentpole certification: the ring and butterfly message schedules
+  // reproduce the allgather backend's bits exactly - for the rounded
+  // deterministic algorithms (whose association the schedule pins per
+  // message) and the exact reproducible exchange (whose serialized
+  // superaccumulator states make any schedule a no-op for the bits).
+  const core::EvalContext ctx;
+  for (const std::size_t ranks : {1u, 2u, 3u, 4u, 7u, 8u, 16u}) {
+    SimProcessGroup baseline(ranks, WirePath::kAllgather);
+    for (const WirePath wire : {WirePath::kRing, WirePath::kButterfly}) {
+      SimProcessGroup wired(ranks, wire);
+      for (const std::size_t n : {1u, 5u, 63u, 257u}) {
+        const auto data = mixed_magnitude_rank_data<double>(ranks, n, 7 * n);
+        const auto dataf = mixed_magnitude_rank_data<float>(ranks, n, 7 * n);
+        for (const auto algorithm :
+             {collective::Algorithm::kRing,
+              collective::Algorithm::kRecursiveDoubling,
+              collective::Algorithm::kReproducible}) {
+          const auto expect = baseline.allreduce(data, algorithm, ctx);
+          const auto wired_bits = wired.allreduce(data, algorithm, ctx);
+          for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_TRUE(fp::bitwise_equal(wired_bits[i], expect[i]))
+                << to_string(wire) << " " << collective::to_string(algorithm)
+                << " P=" << ranks << " n=" << n << " i=" << i;
+          }
+          const auto expect_f = baseline.allreduce(dataf, algorithm, ctx);
+          const auto wired_f = wired.allreduce(dataf, algorithm, ctx);
+          for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_TRUE(fp::bitwise_equal32(wired_f[i], expect_f[i]))
+                << to_string(wire) << " " << collective::to_string(algorithm)
+                << " P=" << ranks << " n=" << n << " i=" << i << " (f32)";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(WireSchedules, ReproducibleSpecRidesTheWireBitwise) {
+  // The serialized-superaccumulator exchange honours the full
+  // ReductionSpec: storage quantization and accumulate rounding happen at
+  // the endpoints, the exact state travels the messages.
+  const auto data = mixed_magnitude_rank_data<double>(5, 96, 11);
+  for (const WirePath wire : {WirePath::kRing, WirePath::kButterfly}) {
+    SimProcessGroup wired(5, wire);
+    SimProcessGroup baseline(5, WirePath::kAllgather);
+    for (const char* name :
+         {"superaccumulator", "superaccumulator@bf16:f32",
+          "superaccumulator@f32"}) {
+      core::EvalContext ctx;
+      ctx.accumulator = fp::parse_reduction_spec(name);
+      const auto expect = baseline.allreduce(
+          data, collective::Algorithm::kReproducible, ctx);
+      const auto wired_bits = wired.allreduce(
+          data, collective::Algorithm::kReproducible, ctx);
+      for (std::size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_TRUE(fp::bitwise_equal(wired_bits[i], expect[i]))
+            << to_string(wire) << " " << name;
+      }
+    }
+  }
+}
+
+TEST(WireSchedules, ReproducibleWireRejectsUnserializableStates) {
+  SimProcessGroup wired(3, WirePath::kRing);
+  const auto data = mixed_magnitude_rank_data<double>(3, 8, 13);
+  core::EvalContext ctx;
+  // No exact merge at all: rejected on every wire.
+  ctx.accumulator = fp::AlgorithmId::kKahan;
+  EXPECT_THROW(
+      wired.allreduce(data, collective::Algorithm::kReproducible, ctx),
+      std::invalid_argument);
+  // Exact merge but unbounded state (binned buffers its inputs): fine on
+  // the allgather wire, rejected on a schedule wire.
+  ctx.accumulator = fp::AlgorithmId::kBinned;
+  EXPECT_THROW(
+      wired.allreduce(data, collective::Algorithm::kReproducible, ctx),
+      std::invalid_argument);
+  SimProcessGroup baseline(3, WirePath::kAllgather);
+  EXPECT_NO_THROW(
+      baseline.allreduce(data, collective::Algorithm::kReproducible, ctx));
+}
+
+TEST(WireSchedules, ArrivalTreeFallsBackToAllgatherCombining) {
+  // Arrival-order combining has no fixed wire plan; a scheduled group
+  // runs it on the allgather backend with identical draws.
+  SimProcessGroup wired(4, WirePath::kRing);
+  SimProcessGroup baseline(4, WirePath::kAllgather);
+  const auto data = mixed_magnitude_rank_data<double>(4, 64, 17);
+  core::RunContext run_a(19, 0);
+  core::RunContext run_b(19, 0);
+  core::EvalContext ctx_a;
+  ctx_a.run = &run_a;
+  core::EvalContext ctx_b;
+  ctx_b.run = &run_b;
+  const auto a =
+      wired.allreduce(data, collective::Algorithm::kArrivalTree, ctx_a);
+  const auto b =
+      baseline.allreduce(data, collective::Algorithm::kArrivalTree, ctx_b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(fp::bitwise_equal(a[i], b[i]));
+  }
+}
+
+TEST(WireSchedules, MeasuredTrafficIsOofNPerRankVsAllgatherOofNP) {
+  // The satellite assertion: the ring schedule *measures* O(n) bytes per
+  // rank where the allgather backend measures O(n*P).
+  const std::size_t ranks = 8;
+  const std::size_t n = 1u << 14;
+  const auto data = mixed_magnitude_rank_data<double>(ranks, n, 23);
+  const core::EvalContext ctx;
+
+  SimProcessGroup wired(ranks, WirePath::kRing);
+  (void)wired.allreduce(data, collective::Algorithm::kRing, ctx);
+  SimProcessGroup baseline(ranks, WirePath::kAllgather);
+  (void)baseline.allreduce(data, collective::Algorithm::kRing, ctx);
+
+  for (std::size_t r = 0; r < ranks; ++r) {
+    const Traffic wire_traffic = wired.traffic(r);
+    const Traffic allgather_traffic = baseline.traffic(r);
+    // Ring: reduce-scatter + allgather move < 2n elements per rank.
+    EXPECT_GT(wire_traffic.bytes_sent, 0u);
+    EXPECT_LE(wire_traffic.bytes_sent, 2 * n * sizeof(double));
+    // Allgather backend: (P-1) * n elements per rank.
+    EXPECT_EQ(allgather_traffic.bytes_sent,
+              (ranks - 1) * n * sizeof(double));
+    EXPECT_GE(allgather_traffic.bytes_sent,
+              3 * wire_traffic.bytes_sent);  // O(n*P) dwarfs O(n) at P=8
+  }
+  wired.reset_traffic();
+  EXPECT_EQ(wired.traffic(0).bytes_sent, 0u);
+  EXPECT_EQ(wired.total_traffic().messages, 0u);
+}
+
+// ------------------------------------------------------ BucketScheduler --
+
+TEST(BucketScheduler, FiresEachBucketWhenItsLastTensorArrives) {
+  const std::vector<std::size_t> sizes{4, 4, 4, 4, 2};  // cap 8: {0,1}{2,3}{4}
+  std::vector<std::size_t> fired;
+  BucketScheduler scheduler(
+      sizes, 8,
+      [&](std::size_t b, const Bucket& bucket) {
+        EXPECT_GE(bucket.tensor_count, 1u);
+        fired.push_back(b);
+      },
+      nullptr);
+  ASSERT_EQ(scheduler.buckets().size(), 3u);
+  // Reverse arrival (the backward-pass order for forward-ordered sizes).
+  scheduler.notify_ready(4);
+  EXPECT_EQ(fired, (std::vector<std::size_t>{2}));
+  scheduler.notify_ready(3);
+  EXPECT_TRUE(fired.size() == 1);  // bucket 1 waits for tensor 2
+  scheduler.notify_ready(2);
+  EXPECT_EQ(fired, (std::vector<std::size_t>{2, 1}));
+  scheduler.notify_ready(0);
+  scheduler.notify_ready(1);
+  EXPECT_EQ(fired, (std::vector<std::size_t>{2, 1, 0}));
+  scheduler.finish();
+  EXPECT_EQ(fired.size(), 3u);  // finish() re-fires nothing
+}
+
+TEST(BucketScheduler, ValidatesNotificationsAndBackfillsOnFinish) {
+  const std::vector<std::size_t> sizes{4, 4};
+  std::vector<std::size_t> fired;
+  {
+    BucketScheduler scheduler(
+        sizes, 4, [&](std::size_t b, const Bucket&) { fired.push_back(b); });
+    EXPECT_THROW(scheduler.notify_ready(2), std::out_of_range);
+    scheduler.notify_ready(0);
+    EXPECT_THROW(scheduler.notify_ready(0), std::logic_error);
+    // Tensor 1 never announced: finish() still reduces its bucket.
+    scheduler.finish();
+  }
+  EXPECT_EQ(fired, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(BucketScheduler, PoolFiringJoinsAndRethrows) {
+  util::ThreadPool pool(2);
+  const std::vector<std::size_t> sizes{1, 1, 1};
+  BucketScheduler scheduler(
+      sizes, 1,
+      [&](std::size_t b, const Bucket&) {
+        if (b == 1) throw std::runtime_error("bucket 1 failed");
+      },
+      &pool);
+  scheduler.notify_ready(0);
+  scheduler.notify_ready(1);
+  scheduler.notify_ready(2);
+  EXPECT_THROW(scheduler.finish(), std::runtime_error);
+  scheduler.finish();  // idempotent after the error was observed
+}
+
+// -------------------------------------------- OverlappedBucketAllreduce --
+
+TEST(OverlappedBucketAllreduce, MissedEmissionThrowsInsteadOfCorrupting) {
+  // finish() backfills never-notified buckets; if a tensor's emission
+  // never landed its data, the fire must diagnose the short buffer (a
+  // std::logic_error) rather than reduce past its end.
+  SimProcessGroup pg(2);
+  const std::vector<std::size_t> tensor_sizes{8, 8};
+  const std::vector<std::size_t> emit_order{1, 0};
+  std::vector<TensorList<double>> rank_tensors(2, TensorList<double>(2));
+  for (auto& rank : rank_tensors) rank[1].assign(8, 1.0);  // tensor 0 missing
+  const core::EvalContext ctx;
+  OverlappedBucketAllreduce<double> reducer(
+      pg, rank_tensors, tensor_sizes, emit_order,
+      collective::Algorithm::kReproducible, ctx,
+      BucketedConfig{.bucket_cap_elements = 8});
+  reducer.notify_slot_ready(0);  // tensor 1's bucket: fine
+  EXPECT_THROW(reducer.finish(), std::logic_error);
+
+  // Fully-fed runs reduce every tensor (values = rank count here).
+  for (auto& rank : rank_tensors) rank[0].assign(8, 2.0);
+  OverlappedBucketAllreduce<double> ok(
+      pg, rank_tensors, tensor_sizes, emit_order,
+      collective::Algorithm::kReproducible, ctx,
+      BucketedConfig{.bucket_cap_elements = 8});
+  const auto combined = ok.finish();  // backfill path, both buckets
+  ASSERT_EQ(combined.size(), 2u);
+  EXPECT_EQ(combined[0], std::vector<double>(8, 4.0));
+  EXPECT_EQ(combined[1], std::vector<double>(8, 2.0));
+}
+
+TEST(OverlappedBucketAllreduce, ValidatesEmissionOrderAndRankCount) {
+  SimProcessGroup pg(2);
+  const std::vector<std::size_t> tensor_sizes{4, 4};
+  std::vector<TensorList<double>> rank_tensors(2, TensorList<double>(2));
+  const core::EvalContext ctx;
+  const std::vector<std::size_t> repeated{0, 0};
+  EXPECT_THROW(OverlappedBucketAllreduce<double>(
+                   pg, rank_tensors, tensor_sizes, repeated,
+                   collective::Algorithm::kRing, ctx),
+               std::invalid_argument);
+  const std::vector<std::size_t> order{1, 0};
+  const std::vector<TensorList<double>> short_ranks(1,
+                                                    TensorList<double>(2));
+  EXPECT_THROW(OverlappedBucketAllreduce<double>(
+                   pg, short_ranks, tensor_sizes, order,
+                   collective::Algorithm::kRing, ctx),
+               std::invalid_argument);
+  // Arrival tree needs a run identity at construction (seed pre-draws).
+  EXPECT_THROW(OverlappedBucketAllreduce<double>(
+                   pg, rank_tensors, tensor_sizes, order,
+                   collective::Algorithm::kArrivalTree, ctx),
+               std::invalid_argument);
 }
 
 // --------------------------------------------------- bucketed_allreduce --
@@ -432,6 +769,45 @@ TEST(ShardedBucketedAllreduce, RoundedAlgorithmsMoveWithShardSplit) {
   EXPECT_TRUE(any_moved);
 }
 
+TEST(ShardedBucketedAllreduce, WireSchedulesMatchAllgatherForEverySpec) {
+  // Schedule wires against the allgather baseline across rank count x
+  // bucket cap x ReductionSpec: the rounded path (kahan@bf16:f32 local
+  // folds feeding a ring collective) and the exact superaccumulator path
+  // both land on identical bits whichever wire carries them.
+  const auto samples = ill_conditioned_samples(16, kSizes, 51);
+  for (const char* name :
+       {"kahan@bf16:f32", "serial", "superaccumulator",
+        "superaccumulator@bf16:f32"}) {
+    const fp::ReductionSpec spec = fp::parse_reduction_spec(name);
+    const auto algorithm = fp::traits_of(spec).exact_merge
+                               ? collective::Algorithm::kReproducible
+                               : collective::Algorithm::kRing;
+    for (const std::size_t ranks : {2u, 3u, 8u}) {
+      const auto owner = owner_map(16, ranks, 5);
+      SimProcessGroup baseline(ranks, WirePath::kAllgather);
+      for (const WirePath wire : {WirePath::kRing, WirePath::kButterfly}) {
+        SimProcessGroup wired(ranks, wire);
+        for (const std::size_t cap : {64u, 1u << 20}) {
+          core::EvalContext ctx;
+          ctx.accumulator = spec;
+          const BucketedConfig config{.bucket_cap_elements = cap};
+          const auto expect = sharded_bucketed_allreduce(
+              baseline, samples, owner, algorithm, ctx, config);
+          const auto got = sharded_bucketed_allreduce(
+              wired, samples, owner, algorithm, ctx, config);
+          for (std::size_t t = 0; t < kSizes.size(); ++t) {
+            for (std::size_t i = 0; i < kSizes[t]; ++i) {
+              ASSERT_TRUE(fp::bitwise_equal(got[t][i], expect[t][i]))
+                  << name << " " << to_string(wire) << " P=" << ranks
+                  << " cap=" << cap;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(ShardedBucketedAllreduce, Validation) {
   SimProcessGroup pg(2);
   const core::EvalContext ctx;
@@ -577,6 +953,90 @@ TEST(DataParallel, OverlapDoesNotMoveTrainingBits) {
   ASSERT_EQ(inline_weights.size(), overlapped.size());
   for (std::size_t i = 0; i < inline_weights.size(); ++i) {
     EXPECT_TRUE(fp::bitwise_equal(inline_weights[i], overlapped[i]));
+  }
+}
+
+TEST(DataParallel, BackwardOverlapBitwiseEqualsPackedInReproducibleMode) {
+  // The tentpole training certification: firing buckets mid-backward
+  // (reverse-order readiness, pool-overlapped reduction) produces the
+  // exact bits of the PR 2 packed-gradient path in reproducible mode, at
+  // every pool width - and for the dtype-quantized exchange too.
+  const auto ds = make_synthetic_citation_dataset(tiny_config());
+  DataParallelConfig packed;
+  packed.base.epochs = 3;
+  packed.base.hidden = 8;
+  packed.ranks = 4;
+  packed.bucket_cap_elements = 64;  // several buckets
+  packed.exchange = GradientExchange::kPacked;
+
+  for (const char* comm_spec : {"", "superaccumulator@bf16:f32"}) {
+    DataParallelConfig reference = packed;
+    if (*comm_spec != '\0') {
+      reference.comm_accumulator = fp::parse_reduction_spec(comm_spec);
+    }
+    core::RunContext packed_run(83, 0);
+    const auto packed_weights =
+        train_data_parallel(ds, reference, packed_run).final_weights;
+
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+      util::ThreadPool pool(threads);
+      DataParallelConfig overlap = reference;
+      overlap.exchange = GradientExchange::kBucketOverlap;
+      overlap.overlap = true;
+      overlap.pool = &pool;
+      core::RunContext run(83, 0);
+      const auto weights =
+          train_data_parallel(ds, overlap, run).final_weights;
+      ASSERT_EQ(weights.size(), packed_weights.size());
+      for (std::size_t i = 0; i < weights.size(); ++i) {
+        ASSERT_TRUE(fp::bitwise_equal(weights[i], packed_weights[i]))
+            << "threads " << threads << " spec '" << comm_spec << "'";
+      }
+    }
+  }
+}
+
+TEST(DataParallel, BackwardOverlapIsRunToRunStableForDeterministicRing) {
+  // The rounded ring commits to the emission-order bucket layout, so its
+  // bits may differ from the packed path - but each layout is a pure
+  // function of the configuration, certified bit-stable run to run.
+  const auto ds = make_synthetic_citation_dataset(tiny_config());
+  util::ThreadPool pool(4);
+  DataParallelConfig config;
+  config.base.epochs = 3;
+  config.base.hidden = 8;
+  config.ranks = 5;
+  config.bucket_cap_elements = 64;
+  config.algorithm = collective::Algorithm::kRing;
+  config.overlap = true;
+  config.pool = &pool;
+  const auto kernel = [&](core::RunContext& run) {
+    return train_data_parallel(ds, config, run).final_weights;
+  };
+  EXPECT_TRUE(core::certify_deterministic(kernel, 4, 89).deterministic);
+}
+
+TEST(DataParallel, TrainingBitsInvariantToWireSchedule) {
+  // Reproducible training over the allgather, ring and butterfly wires:
+  // identical weights - the wire moves traffic, never bits.
+  const auto ds = make_synthetic_citation_dataset(tiny_config());
+  DataParallelConfig config;
+  config.base.epochs = 2;
+  config.base.hidden = 8;
+  config.ranks = 4;
+  config.bucket_cap_elements = 64;
+  core::RunContext run_a(97, 0);
+  const auto reference = train_data_parallel(ds, config, run_a).final_weights;
+  for (const comm::WirePath wire :
+       {comm::WirePath::kRing, comm::WirePath::kButterfly}) {
+    config.wire = wire;
+    core::RunContext run(97, 0);
+    const auto weights = train_data_parallel(ds, config, run).final_weights;
+    ASSERT_EQ(weights.size(), reference.size());
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      EXPECT_TRUE(fp::bitwise_equal(weights[i], reference[i]))
+          << comm::to_string(wire);
+    }
   }
 }
 

@@ -532,6 +532,64 @@ TEST(Model, LayersUseDifferentInitStreams) {
   EXPECT_FALSE(m.conv1.lin_self.weight.bitwise_equal(m.conv2.lin_self.weight));
 }
 
+TEST(Model, GradientSinkEmitsEveryParameterInReverseLayerOrder) {
+  // The DDP readiness signal: backward must announce each parameter's
+  // gradient exactly once, in backward_gradient_order() (conv2 before
+  // conv1), with the buffer already holding its final value, and the
+  // sink-instrumented backward must not move any bits.
+  util::Xoshiro256pp rng(7);
+  const util::UniformReal dist(-1.0, 1.0);
+  const std::int64_t nodes = 12;
+  Graph graph;
+  graph.num_nodes = nodes;
+  for (std::int64_t v = 0; v + 1 < nodes; ++v) {
+    graph.edge_src.push_back(v);
+    graph.edge_dst.push_back(v + 1);
+    graph.edge_src.push_back(v + 1);
+    graph.edge_dst.push_back(v);
+  }
+  Matrix features(tensor::Shape{nodes, 6}, 0.0f);
+  for (auto& x : features.vec()) x = static_cast<float>(dist(rng));
+  Matrix d_logits(tensor::Shape{nodes, 3}, 0.0f);
+  for (auto& x : d_logits.vec()) x = static_cast<float>(dist(rng));
+
+  GraphSageModel model(6, 4, 3, 11);
+  const tensor::OpContext ctx;
+  GraphSageModel::ForwardCache cache;
+  (void)model.forward(features, graph, ctx, &cache);
+
+  model.zero_grad();
+  model.backward(cache, d_logits, graph, ctx);
+  std::vector<Matrix> reference;
+  for (auto& [param, grad] : model.parameters()) {
+    (void)param;
+    reference.push_back(*grad);
+  }
+
+  model.zero_grad();
+  std::vector<std::size_t> emitted;
+  std::vector<Matrix> at_emission;
+  const auto params = model.parameters();
+  model.backward(cache, d_logits, graph, ctx, [&](const Matrix* grad) {
+    for (std::size_t t = 0; t < params.size(); ++t) {
+      if (params[t].second == grad) {
+        emitted.push_back(t);
+        at_emission.push_back(*grad);
+        return;
+      }
+    }
+    FAIL() << "sink saw an unknown gradient buffer";
+  });
+  EXPECT_EQ(emitted, model.backward_gradient_order());
+  ASSERT_EQ(at_emission.size(), reference.size());
+  for (std::size_t k = 0; k < emitted.size(); ++k) {
+    // The buffer was final at emission time: identical to the plain
+    // backward's result for that parameter.
+    EXPECT_TRUE(at_emission[k].bitwise_equal(reference[emitted[k]]))
+        << "parameter " << emitted[k];
+  }
+}
+
 // ------------------------------------------------------------- trainer --
 
 DatasetConfig tiny_config() {

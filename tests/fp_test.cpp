@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
@@ -309,6 +310,56 @@ TEST(Superaccumulator, CancellationIsExact) {
   acc.add(-1e308);
   acc.add(3.0);
   EXPECT_EQ(acc.round(), 3.0);
+}
+
+TEST(Superaccumulator, WireFormRoundTripsTheExactState) {
+  // The serialized form feeding comm's schedule-based reproducible
+  // exchange: canonical (same exact value -> same words), lossless (the
+  // deserialized state merges and rounds identically), size-checked.
+  util::Xoshiro256pp rng(321);
+  const util::UniformReal dist(-1e12, 1e12);
+  Superaccumulator acc;
+  for (int i = 0; i < 500; ++i) acc.add(dist(rng));
+
+  std::vector<std::uint64_t> words(Superaccumulator::kWireWords);
+  acc.serialize(words);
+  const Superaccumulator restored = Superaccumulator::deserialize(words);
+  EXPECT_TRUE(restored.equals(acc));
+  EXPECT_EQ(restored.round(), acc.round());
+
+  // Canonical: a different add order reaching the same exact value
+  // serializes to the identical words.
+  Superaccumulator reordered;
+  reordered.add(acc);  // exact merge into a fresh state
+  std::vector<std::uint64_t> words2(Superaccumulator::kWireWords);
+  reordered.serialize(words2);
+  EXPECT_EQ(words, words2);
+
+  // Merging a deserialized state is the exact merge.
+  Superaccumulator sum = restored;
+  sum.add(Superaccumulator::deserialize(words));
+  Superaccumulator twice = acc;
+  twice.add(acc);
+  EXPECT_TRUE(sum.equals(twice));
+
+  std::vector<std::uint64_t> wrong(Superaccumulator::kWireWords - 1);
+  EXPECT_THROW(acc.serialize(wrong), std::invalid_argument);
+  EXPECT_THROW(Superaccumulator::deserialize(wrong), std::invalid_argument);
+}
+
+TEST(Superaccumulator, WireFormCarriesExceptionalState) {
+  Superaccumulator acc;
+  acc.add(std::numeric_limits<double>::infinity());
+  std::vector<std::uint64_t> words(Superaccumulator::kWireWords);
+  acc.serialize(words);
+  const Superaccumulator restored = Superaccumulator::deserialize(words);
+  EXPECT_TRUE(restored.has_pos_inf());
+  EXPECT_EQ(restored.round(), std::numeric_limits<double>::infinity());
+
+  Superaccumulator nan_acc;
+  nan_acc.add(std::numeric_limits<double>::quiet_NaN());
+  nan_acc.serialize(words);
+  EXPECT_TRUE(Superaccumulator::deserialize(words).has_nan());
 }
 
 TEST(Superaccumulator, DenormalsAccumulate) {
