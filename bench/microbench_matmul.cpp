@@ -33,6 +33,7 @@
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -42,6 +43,7 @@
 #include "fpna/dl/linalg.hpp"
 #include "fpna/fp/accumulator.hpp"
 #include "fpna/fp/bits.hpp"
+#include "fpna/fp/simd.hpp"
 #include "fpna/tensor/workload.hpp"
 #include "fpna/util/table.hpp"
 #include "fpna/util/thread_pool.hpp"
@@ -186,6 +188,39 @@ int main(int argc, char** argv) {
                        fingerprint(pooled), "yes"});
   }
 
+  // ---- Table 2b: lanes sweep (@simd<L>, 4-thread pool) ------------------
+  // The SIMD lane axis composes with the pool axis: a lane-blocked spec
+  // names ONE re-association, so the pooled kernel must still match the
+  // serial kernel bit for bit (same 0-ulp gate as the other sweeps), for
+  // the intrinsics dispatch and the forced scalar lane-emulation alike.
+  util::Table simd_table({"spec", "shape", "serial ms", "pool ms",
+                          "max ulps vs serial", "emul agrees", "bits",
+                          "reproducible"});
+  for (const std::string& spec_text :
+       {"serial", "serial@simd4", "serial@simd8", "kahan", "kahan@simd4",
+        "kahan@simd8"}) {
+    core::EvalContext serial_ctx;
+    serial_ctx.accumulator = fp::parse_reduction_spec(spec_text);
+    const core::EvalContext pool_ctx = serial_ctx.with_pool(&pool4);
+    const Matrix serial = dl::matmul(ax, ay, serial_ctx);
+    const Matrix pooled = dl::matmul(ax, ay, pool_ctx);
+    const auto serial_stats = util::time_repeated(
+        [&] { (void)dl::matmul(ax, ay, serial_ctx); }, 1, 0);
+    const auto pooled_stats = util::time_repeated(
+        [&] { (void)dl::matmul(ax, ay, pool_ctx); }, 1, 0);
+    fp::set_simd_force_scalar(true);
+    const Matrix emulated = dl::matmul(ax, ay, serial_ctx);
+    fp::set_simd_force_scalar(std::nullopt);
+    const bool emul_agrees = emulated.bitwise_equal(serial);
+    if (!pooled.bitwise_equal(serial) || !emul_agrees) gate_ok = false;
+    simd_table.add_row({spec_text, shape_string(asz, asz, asz),
+                        util::fixed(serial_stats.mean_ms(), 3),
+                        util::fixed(pooled_stats.mean_ms(), 3),
+                        std::to_string(max_ulps(serial, pooled)),
+                        emul_agrees ? "yes" : "NO", fingerprint(serial),
+                        "yes"});
+  }
+
   // ---- Table 3: dtype sweep (storage x accumulate, 4-thread pool) -------
   // The dtype axis of the ReductionSpec at the reduced shape. "max ulps
   // vs f32" measures the precision cost of the storage/accumulate choice
@@ -265,6 +300,7 @@ int main(int argc, char** argv) {
   if (csv) {
     threads_table.print_csv(std::cout);
     acc_table.print_csv(std::cout);
+    simd_table.print_csv(std::cout);
     dtype_table.print_csv(std::cout);
     splitk_table.print_csv(std::cout);
   } else {
@@ -273,6 +309,8 @@ int main(int argc, char** argv) {
     threads_table.print(std::cout);
     util::banner(std::cout, "Accumulator sweep (4-thread pool)");
     acc_table.print(std::cout);
+    util::banner(std::cout, "SIMD lanes sweep (@simd<L>, 4-thread pool)");
+    simd_table.print(std::cout);
     util::banner(std::cout, "Dtype sweep (storage x accumulate, 4-thread "
                             "pool)");
     dtype_table.print(std::cout);
@@ -293,6 +331,7 @@ int main(int argc, char** argv) {
     bench::write_json(json, "microbench_matmul",
                       {{"threads", &threads_table},
                        {"accumulators", &acc_table},
+                       {"simd_lanes", &simd_table},
                        {"dtypes", &dtype_table},
                        {"split_k", &splitk_table}});
   }

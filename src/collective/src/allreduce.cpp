@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fpna/core/chunking.hpp"
 #include "fpna/fp/accumulator.hpp"
 #include "fpna/util/permutation.hpp"
 
@@ -25,10 +26,11 @@ std::pair<std::size_t, std::size_t> ring_chunk(std::size_t total,
                                                std::size_t ranks,
                                                std::size_t chunk_index) {
   if (ranks == 0) throw std::invalid_argument("ring_chunk: zero ranks");
-  const std::size_t chunk = (total + ranks - 1) / ranks;
-  const std::size_t begin = std::min(total, chunk_index * chunk);
-  const std::size_t end = std::min(total, begin + chunk);
-  return {begin, end};
+  // The ceil-stride rule shared through core/chunking.hpp: every rank
+  // derives chunk boundaries from (total, ranks) alone, so no boundary
+  // metadata travels the wire. Deliberately distinct from the near-even
+  // shard_sizes rule below - see the core header for the invariant.
+  return core::ceil_chunk(total, ranks, chunk_index);
 }
 
 template <typename T>
@@ -246,8 +248,13 @@ double distributed_sum(std::span<const double> data, std::size_t ranks,
 
 std::vector<std::size_t> shard_sizes(std::size_t total, std::size_t ranks) {
   if (ranks == 0) throw std::invalid_argument("shard_sizes: zero ranks");
-  std::vector<std::size_t> sizes(ranks, total / ranks);
-  for (std::size_t r = 0; r < total % ranks; ++r) ++sizes[r];
+  // Near-even rule from core/chunking.hpp (the same split cpu_sum and
+  // ThreadPool::parallel_for use); with ranks > total trailing shards
+  // are empty.
+  std::vector<std::size_t> sizes(ranks);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    sizes[r] = core::even_chunk_size(total, ranks, r);
+  }
   return sizes;
 }
 

@@ -201,8 +201,9 @@ std::vector<T> sim_state_reduce_scatter(const CollectiveSchedule& schedule,
                                 msg.range.size() * kStateBytes);
           for (std::size_t i = msg.range.begin; i < msg.range.end; ++i) {
             states[msg.sender][i].serialize(words);
-            states[msg.receiver][i].add(
-                fp::Superaccumulator::deserialize(words));
+            // add_wire merges the wire image in place - bitwise the
+            // deserialize-then-add path, minus the copy.
+            states[msg.receiver][i].add_wire(words);
           }
         }
         std::vector<T> result(n, T{0});
@@ -564,10 +565,9 @@ std::vector<T> mpi_state_reduce_scatter(const CollectiveSchedule& schedule,
             },
             [&](const Message& msg, const std::vector<std::uint64_t>& in) {
               for (std::size_t i = 0; i < msg.range.size(); ++i) {
-                states[msg.range.begin + i].add(
-                    fp::Superaccumulator::deserialize(
-                        std::span<const std::uint64_t>(in).subspan(
-                            i * kWords, kWords)));
+                states[msg.range.begin + i].add_wire(
+                    std::span<const std::uint64_t>(in).subspan(i * kWords,
+                                                               kWords));
               }
             });
         ledger.record_exchange(rank, stats.words_sent * 8,

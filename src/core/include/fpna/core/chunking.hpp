@@ -1,0 +1,108 @@
+#pragma once
+// The toolkit's chunk-boundary rules, in ONE place. In a codebase whose
+// whole point is that the association of a sum is an observable part of
+// an algorithm's identity, chunk boundaries are load-bearing: they decide
+// where partial accumulations split and merge, and therefore which bits
+// a deterministic chunked reduction produces. Before this header, three
+// layers hand-rolled the same near-even rule (reduce::cpu_sum's static
+// chunks, collective::shard_sizes, util::ThreadPool::parallel_for) and
+// the ring collectives used a second, ceil-based rule - four chances for
+// an off-by-one to silently move certified bits.
+//
+// THE INVARIANT each rule pins: boundaries are a pure function of
+// (total, parts) - never of pool width, scheduling, or timing - so a
+// reduction that fixes its chunk count fixes its bits, whether the
+// chunks run serially, on a pool, or across ranks.
+//
+// Two distinct rules exist on purpose (they are NOT interchangeable -
+// they place boundaries differently and certified bit patterns depend on
+// each where it is used):
+//
+//  * even_chunk: near-even contiguous split, the first total % parts
+//    chunks one element longer ("OpenMP static schedule"). Used by
+//    reduce::cpu_sum, collective::shard_sizes / the data-parallel
+//    trainer, and util::ThreadPool::parallel_for (which cannot include
+//    this header - util sits below core in the module graph - but
+//    implements the identical rule; core_test pins the agreement).
+//
+//  * ceil_chunk: fixed stride ceil(total/parts), trailing chunks may be
+//    empty. The ring collective / wire reduce-scatter rule, where every
+//    rank must agree on chunk c's boundaries WITHOUT knowing who owns
+//    which element - the stride depends only on (total, parts), so it
+//    travels the wire implicitly.
+//
+// dl's row-blocked kernels derive their chunk COUNT from the problem
+// size (size_derived_parts) and then split with parallel_for's even
+// rule: boundaries stay a pure function of the problem shape.
+
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace fpna::core {
+
+/// Near-even contiguous split: chunk `index` of `total` items over
+/// `parts` chunks. The first total % parts chunks are one item longer;
+/// with parts > total the trailing chunks are empty. Preconditions:
+/// parts >= 1, index < parts (checked).
+constexpr std::pair<std::size_t, std::size_t> even_chunk(
+    std::size_t total, std::size_t parts, std::size_t index) {
+  if (parts == 0) throw std::invalid_argument("even_chunk: zero parts");
+  if (index >= parts) throw std::invalid_argument("even_chunk: index >= parts");
+  const std::size_t base = total / parts;
+  const std::size_t rem = total % parts;
+  // begin = index*base + min(index, rem): closed form of "the first rem
+  // chunks are one longer", so chunk boundaries need no running scan.
+  const std::size_t begin = index * base + (index < rem ? index : rem);
+  const std::size_t len = base + (index < rem ? 1 : 0);
+  return {begin, begin + len};
+}
+
+/// Chunk `index`'s length under the even rule.
+constexpr std::size_t even_chunk_size(std::size_t total, std::size_t parts,
+                                      std::size_t index) {
+  const auto [begin, end] = even_chunk(total, parts, index);
+  return end - begin;
+}
+
+/// All `parts` [begin, end) ranges under the even rule, in order.
+inline std::vector<std::pair<std::size_t, std::size_t>> even_chunks(
+    std::size_t total, std::size_t parts) {
+  if (parts == 0) throw std::invalid_argument("even_chunks: zero parts");
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  ranges.reserve(parts);
+  for (std::size_t c = 0; c < parts; ++c) {
+    ranges.push_back(even_chunk(total, parts, c));
+  }
+  return ranges;
+}
+
+/// Ceil-stride split: chunk `index` is [min(total, index * s),
+/// min(total, (index + 1) * s)) with s = ceil(total / parts). Chunks
+/// past the data are empty. This is the ring/wire rule - see the header
+/// comment for why it differs from even_chunk and must stay distinct.
+constexpr std::pair<std::size_t, std::size_t> ceil_chunk(
+    std::size_t total, std::size_t parts, std::size_t index) {
+  if (parts == 0) throw std::invalid_argument("ceil_chunk: zero parts");
+  const std::size_t stride = (total + parts - 1) / parts;
+  const std::size_t begin = std::min(total, index * stride);
+  const std::size_t end = std::min(total, begin + stride);
+  return {begin, end};
+}
+
+/// Size-derived chunk count for a row-blocked parallel loop (PR 3's
+/// rule, moved here from dl): enough rows per chunk to target
+/// `target_work_per_chunk` scalar operations, never fewer than one row.
+/// The count depends only on the problem shape - pair it with the even
+/// rule and pooled bits match serial bits by construction.
+constexpr std::size_t size_derived_parts(
+    std::size_t items, std::size_t work_per_item,
+    std::size_t target_work_per_chunk = std::size_t{1} << 16) {
+  const std::size_t work = work_per_item == 0 ? 1 : work_per_item;
+  std::size_t per_chunk = target_work_per_chunk / work;
+  if (per_chunk == 0) per_chunk = 1;
+  return (items + per_chunk - 1) / per_chunk;
+}
+
+}  // namespace fpna::core

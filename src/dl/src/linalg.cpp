@@ -257,8 +257,8 @@ Matrix matmul_split_k(const Matrix& a, const Matrix& b, std::size_t splits,
   std::optional<Matrix> qa_store, qb_store;
   const fp::ReductionSpec spec = ctx.reduction_in_effect();
   if (spec.storage == fp::Dtype::kBf16) {
-    chunk_ctx.accumulator =
-        fp::ReductionSpec{spec.algorithm, fp::Dtype::kNative, spec.accumulate};
+    chunk_ctx.accumulator = fp::ReductionSpec{spec.algorithm, fp::Dtype::kNative,
+                                              spec.accumulate, spec.lanes};
   }
   const Matrix& aa = maybe_quantized_for(spec, a, qa_store);
   const Matrix& bb = maybe_quantized_for(spec, b, qb_store);

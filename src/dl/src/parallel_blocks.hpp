@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "fpna/core/chunking.hpp"
 #include "fpna/core/eval_context.hpp"
 #include "fpna/util/thread_pool.hpp"
 
@@ -14,13 +15,13 @@ namespace fpna::dl::detail {
 /// Chunk count for a row-blocked parallel loop: boundaries derive from
 /// the problem size alone (never the pool width), targeting ~64k scalar
 /// operations per task so tiny kernels don't drown in submit overhead.
+/// The rule lives in core/chunking.hpp alongside the split rules it
+/// pairs with.
 inline std::size_t size_derived_chunks(std::int64_t rows,
                                        std::int64_t work_per_row) {
-  constexpr std::int64_t kTargetWorkPerChunk = 1 << 16;
-  const std::int64_t rows_per_chunk = std::max<std::int64_t>(
-      1, kTargetWorkPerChunk / std::max<std::int64_t>(1, work_per_row));
-  return static_cast<std::size_t>((rows + rows_per_chunk - 1) /
-                                  rows_per_chunk);
+  return core::size_derived_parts(
+      static_cast<std::size_t>(std::max<std::int64_t>(0, rows)),
+      static_cast<std::size_t>(std::max<std::int64_t>(0, work_per_row)));
 }
 
 /// Runs body(row_begin, row_end) over [0, rows): serially without a pool

@@ -27,7 +27,17 @@
 // extends the static-visitor discipline to a full ReductionSpec - the
 // callback receives the algorithm tag, the accumulate-dtype constant and
 // a monomorphic storage quantizer.
+//
+// The SIMD lane axis (see simd.hpp and reduction_spec.hpp's grammar)
+// composes over all of the above: `tags::Simd<Tag, L>` wraps any base
+// algorithm tag so its accumulator_t is the L-lane LaneBlockedAccumulator,
+// and `visit_lane_algorithm` / `visit_reduction` monomorphise the lane
+// count exactly like the algorithm and the dtypes - so every call site
+// that instantiates `tag::accumulator_t` (cpu_sum chunk folds, the dense
+// dl kernels, the tensor scatter reductions, the collective wire) gets
+// lane-blocked variants with no changes of its own.
 
+#include <array>
 #include <concepts>
 #include <cstddef>
 #include <cstdint>
@@ -42,10 +52,19 @@
 #include "fpna/fp/binned_sum.hpp"
 #include "fpna/fp/double_double.hpp"
 #include "fpna/fp/reduction_spec.hpp"
+#include "fpna/fp/simd.hpp"
 #include "fpna/fp/summation.hpp"
 #include "fpna/fp/superaccumulator.hpp"
 
 namespace fpna::fp {
+
+namespace detail {
+// Raw state access for the SIMD kernels (src/fp/src/simd*.cpp): the
+// intrinsics fast path loads accumulator members into register lanes,
+// runs the exact scalar op sequence vectorised, and stores them back.
+// Defined after the accumulator classes below.
+struct SimdLaneAccess;
+}  // namespace detail
 
 // -------------------------------------------------------------- concept --
 
@@ -78,6 +97,7 @@ class SerialAccumulator {
   T result() const noexcept { return sum_; }
 
  private:
+  friend struct detail::SimdLaneAccess;
   T sum_{};
 };
 
@@ -136,6 +156,8 @@ class PairwiseAccumulator {
   }
 
  private:
+  friend struct detail::SimdLaneAccess;
+
   void push_block(T v) {
     std::size_t level = 0;
     std::uint64_t mask = blocks_;
@@ -179,6 +201,7 @@ class KahanAccumulator {
   T result() const noexcept { return sum_; }
 
  private:
+  friend struct detail::SimdLaneAccess;
   T sum_{};
   T comp_{};
 };
@@ -207,6 +230,7 @@ class NeumaierAccumulator {
   T result() const noexcept { return static_cast<T>(sum_ + comp_); }
 
  private:
+  friend struct detail::SimdLaneAccess;
   static T abs_(T v) noexcept { return v < T{} ? static_cast<T>(-v) : v; }
   T sum_{};
   T comp_{};
@@ -249,6 +273,7 @@ class KleinAccumulator {
   }
 
  private:
+  friend struct detail::SimdLaneAccess;
   static T abs_(T v) noexcept { return v < T{} ? static_cast<T>(-v) : v; }
   T sum_{};
   T cs_{};
@@ -373,6 +398,153 @@ static_assert(Accumulator<VectorizedAccumulator<bf16>>);
 static_assert(Accumulator<BinnedAccumulator<bf16>>);
 static_assert(Accumulator<LongAccumulator<bf16>>);
 
+// ------------------------------------------- lane-blocked (SIMD) tier --
+
+namespace detail {
+
+struct SimdLaneAccess {
+  template <typename T>
+  static T& sum(SerialAccumulator<T>& a) noexcept {
+    return a.sum_;
+  }
+  template <typename T>
+  static T& sum(KahanAccumulator<T>& a) noexcept {
+    return a.sum_;
+  }
+  template <typename T>
+  static T& comp(KahanAccumulator<T>& a) noexcept {
+    return a.comp_;
+  }
+  template <typename T>
+  static T& sum(NeumaierAccumulator<T>& a) noexcept {
+    return a.sum_;
+  }
+  template <typename T>
+  static T& comp(NeumaierAccumulator<T>& a) noexcept {
+    return a.comp_;
+  }
+  template <typename T>
+  static T& sum(KleinAccumulator<T>& a) noexcept {
+    return a.sum_;
+  }
+  template <typename T>
+  static T& cs(KleinAccumulator<T>& a) noexcept {
+    return a.cs_;
+  }
+  template <typename T>
+  static T& ccs(KleinAccumulator<T>& a) noexcept {
+    return a.ccs_;
+  }
+  template <typename T>
+  static T& block(PairwiseAccumulator<T>& a) noexcept {
+    return a.block_;
+  }
+  template <typename T>
+  static std::size_t& block_count(PairwiseAccumulator<T>& a) noexcept {
+    return a.block_count_;
+  }
+  template <typename T>
+  static void push_block(PairwiseAccumulator<T>& a, T v) {
+    a.push_block(v);
+  }
+};
+
+// Intrinsics dispatch for LaneBlockedAccumulator::add(span): deal
+// x[0..n) round-robin into lanes[0..lane_count) starting at lane `next`,
+// bitwise identical to the scalar emulation loop. Returns true when an
+// intrinsics kernel consumed the span; false (no host support,
+// force-scalar in effect, or no kernel for this (algorithm, dtype, L))
+// sends the caller down the emulation loop. Implemented in
+// src/fp/src/simd.cpp; kernels in src/fp/src/simd_avx2.cpp / _avx512.cpp.
+bool simd_add_span(SerialAccumulator<double>* lanes, std::size_t lane_count,
+                   std::size_t& next, const double* x, std::size_t n) noexcept;
+bool simd_add_span(SerialAccumulator<float>* lanes, std::size_t lane_count,
+                   std::size_t& next, const float* x, std::size_t n) noexcept;
+bool simd_add_span(KahanAccumulator<double>* lanes, std::size_t lane_count,
+                   std::size_t& next, const double* x, std::size_t n) noexcept;
+bool simd_add_span(KahanAccumulator<float>* lanes, std::size_t lane_count,
+                   std::size_t& next, const float* x, std::size_t n) noexcept;
+bool simd_add_span(NeumaierAccumulator<double>* lanes, std::size_t lane_count,
+                   std::size_t& next, const double* x, std::size_t n) noexcept;
+bool simd_add_span(NeumaierAccumulator<float>* lanes, std::size_t lane_count,
+                   std::size_t& next, const float* x, std::size_t n) noexcept;
+bool simd_add_span(KleinAccumulator<double>* lanes, std::size_t lane_count,
+                   std::size_t& next, const double* x, std::size_t n) noexcept;
+bool simd_add_span(KleinAccumulator<float>* lanes, std::size_t lane_count,
+                   std::size_t& next, const float* x, std::size_t n) noexcept;
+bool simd_add_span(PairwiseAccumulator<double>* lanes, std::size_t lane_count,
+                   std::size_t& next, const double* x, std::size_t n) noexcept;
+bool simd_add_span(PairwiseAccumulator<float>* lanes, std::size_t lane_count,
+                   std::size_t& next, const float* x, std::size_t n) noexcept;
+/// Catch-all: no intrinsics tier for this accumulator/dtype (bf16 lanes,
+/// the exact-merge states, double-double, ...) - always emulate.
+template <typename Base>
+bool simd_add_span(Base*, std::size_t, std::size_t&,
+                   const typename Base::value_type*, std::size_t) noexcept {
+  return false;
+}
+
+}  // namespace detail
+
+/// The lane-blocked wrapper: L independent sub-streams of Base, dealt
+/// round-robin (element i of a stream goes to lane i mod L - exactly how
+/// a vector register blocks a summation loop), folded lane 0 upward with
+/// Base::merge at result(). This IS the reference re-association for
+/// `<algorithm>@simd<L>`: the element-at-a-time path below is the
+/// portable scalar emulation, and the intrinsics path reached through
+/// add(span) is REQUIRED to produce identical bits (it runs the same
+/// per-lane IEEE op sequence, one lane per register slot; property-tested
+/// in fp_test and gated in CI via FPNA_FORCE_SCALAR_SIMD).
+///
+/// merge() combines lane-wise (lane l with lane l), ignoring both sides'
+/// round-robin phase - the chunked analogue of concatenating each lane's
+/// sub-stream. Deterministic for a fixed chunking, exact iff Base's merge
+/// is exact; like every non-exact accumulator here, chunked bits differ
+/// from one-shot bits by association, never by schedule.
+template <typename Base, std::size_t L>
+class LaneBlockedAccumulator {
+  static_assert(L >= 2,
+                "LaneBlockedAccumulator<Base, 1> is Base itself; "
+                "visit_lane_algorithm hands lanes == 1 the base tag");
+
+ public:
+  using value_type = typename Base::value_type;
+  using base_type = Base;
+  static constexpr std::size_t kLanes = L;
+
+  void add(value_type x) {
+    lanes_[next_].add(x);
+    next_ = (next_ + 1) % L;
+  }
+  void add(std::span<const value_type> values) {
+    if (detail::simd_add_span(lanes_.data(), L, next_, values.data(),
+                              values.size())) {
+      return;
+    }
+    for (const value_type x : values) add(x);
+  }
+  void merge(const LaneBlockedAccumulator& other) {
+    for (std::size_t l = 0; l < L; ++l) lanes_[l].merge(other.lanes_[l]);
+  }
+  /// Pinned lane fold: start from lane 0's state and merge lanes 1..L-1
+  /// in ascending index order - one fixed association, so the result is
+  /// a pure function of the per-lane sub-streams.
+  value_type result() const {
+    Base total = lanes_[0];
+    for (std::size_t l = 1; l < L; ++l) total.merge(lanes_[l]);
+    return total.result();
+  }
+
+ private:
+  std::array<Base, L> lanes_{};
+  std::size_t next_ = 0;  // lane the next element lands in
+};
+
+static_assert(Accumulator<LaneBlockedAccumulator<SerialAccumulator<double>, 4>>);
+static_assert(Accumulator<LaneBlockedAccumulator<KahanAccumulator<float>, 8>>);
+static_assert(Accumulator<LaneBlockedAccumulator<KleinAccumulator<bf16>, 16>>);
+static_assert(Accumulator<LaneBlockedAccumulator<LongAccumulator<double>, 4>>);
+
 // ---------------------------------------------------------------- tags --
 
 // One tag type per algorithm. A tag carries the streaming accumulator
@@ -478,6 +650,29 @@ struct Super {
   }
 };
 
+/// Lane-blocked wrapper tag: the same algorithm identity as Tag, with the
+/// accumulator swapped for the L-lane blocking. Traits carry over
+/// verbatim: lane-blocking is deterministic for a fixed L (the lane
+/// assignment i mod L and the fold order are pinned), and it preserves
+/// permutation-invariance/exact-merge exactly when Base has them (exact
+/// lanes fold exactly; for order-sensitive bases both the scalar and the
+/// lane-blocked association are order-sensitive).
+template <typename Tag, std::size_t L>
+struct Simd {
+  static constexpr AlgorithmId id = Tag::id;
+  static constexpr AlgorithmTraits traits = Tag::traits;
+  static constexpr std::size_t lanes = L;
+  using base_tag = Tag;
+  template <typename T>
+  using accumulator_t =
+      LaneBlockedAccumulator<typename Tag::template accumulator_t<T>, L>;
+  static double reduce(std::span<const double> v) {
+    accumulator_t<double> acc;
+    acc.add(v);
+    return acc.result();
+  }
+};
+
 }  // namespace tags
 
 /// Static visitor: one switch per reduction *call*, monomorphised inner
@@ -502,6 +697,31 @@ decltype(auto) visit_algorithm(AlgorithmId id, F&& f) {
   }
   throw std::invalid_argument(
       "visit_algorithm: AlgorithmId outside the registered enum");
+}
+
+/// Lane dispatch composed over visit_algorithm: lanes <= 1 hands `f` the
+/// base tag itself (so `@simd1` IS the scalar algorithm, bitwise), other
+/// supported counts the tags::Simd wrapper. The set is deliberately
+/// closed (kSimdLaneCounts) for the same reason visit_algorithm's switch
+/// is: a lane count the visitor does not know must throw, never silently
+/// run a different re-association. The spec parser enforces the same set,
+/// so this throw only fires for programmatically built specs.
+template <typename F>
+decltype(auto) visit_lane_algorithm(AlgorithmId id, std::size_t lanes, F&& f) {
+  return visit_algorithm(id, [&](auto tag) -> decltype(auto) {
+    using Tag = decltype(tag);
+    switch (lanes) {
+      case 0:
+      case 1: return f(tag);
+      case 4: return f(tags::Simd<Tag, 4>{});
+      case 8: return f(tags::Simd<Tag, 8>{});
+      case 16: return f(tags::Simd<Tag, 16>{});
+      default: break;
+    }
+    throw std::invalid_argument(
+        "visit_lane_algorithm: unsupported SIMD lane count " +
+        std::to_string(lanes) + " (supported: 1, 4, 8, 16)");
+  });
 }
 
 /// One-shot reduction through the selected algorithm. For double this is
@@ -598,27 +818,33 @@ decltype(auto) visit_accumulate(Dtype accumulate, F&& f) {
 
 /// Static visitor over the full ReductionSpec: one switch chain per
 /// reduction *call*, then `f(tag, acc_c, quantize)` runs fully
-/// monomorphised - `tag` as in visit_algorithm, `acc_c` a dtype_c naming
-/// the accumulate dtype (instantiate the tag's accumulator_t at
-/// `typename decltype(acc_c)::type`), `quantize` the storage transform to
-/// wrap around every addend/operand. N is the calling kernel's native
-/// element type; it resolves Dtype::kNative on both axes.
+/// monomorphised - `tag` as in visit_algorithm (a tags::Simd wrapper when
+/// the spec is lane-blocked, so accumulator_t is already the lane-blocked
+/// type and call sites need no lane awareness of their own), `acc_c` a
+/// dtype_c naming the accumulate dtype (instantiate the tag's
+/// accumulator_t at `typename decltype(acc_c)::type`), `quantize` the
+/// storage transform to wrap around every addend/operand. N is the
+/// calling kernel's native element type; it resolves Dtype::kNative on
+/// both axes.
 template <typename N, typename F>
 decltype(auto) visit_reduction(const ReductionSpec& spec, F&& f) {
-  return visit_algorithm(spec.algorithm, [&](auto tag) -> decltype(auto) {
-    return detail::visit_storage<N>(
-        spec.storage, [&](auto quantize) -> decltype(auto) {
-          return detail::visit_accumulate<N>(
-              spec.accumulate, [&](auto acc_c) -> decltype(auto) {
-                return f(tag, acc_c, quantize);
-              });
-        });
-  });
+  return visit_lane_algorithm(
+      spec.algorithm, spec.lanes, [&](auto tag) -> decltype(auto) {
+        return detail::visit_storage<N>(
+            spec.storage, [&](auto quantize) -> decltype(auto) {
+              return detail::visit_accumulate<N>(
+                  spec.accumulate, [&](auto acc_c) -> decltype(auto) {
+                    return f(tag, acc_c, quantize);
+                  });
+            });
+      });
 }
 
-/// One-shot dtype-polymorphic reduction. A spec that resolves to the
-/// kernel-native dtypes routes through the scalar reduce() above, so
-/// double results stay bitwise identical to the historic free functions;
+/// One-shot dtype-polymorphic reduction. A scalar (lanes == 1) spec that
+/// resolves to the kernel-native dtypes routes through the scalar
+/// reduce() above, so double results stay bitwise identical to the
+/// historic free functions (the equality below fails for lane-blocked
+/// specs because the right-hand side carries lanes == 1);
 /// a dtype-qualified spec quantizes every addend to the storage dtype and
 /// streams it through the algorithm's accumulator instantiated at the
 /// accumulate dtype, widening the rounded result back to T (exact, since
@@ -633,7 +859,15 @@ T reduce(const ReductionSpec& spec, std::span<const T> values) {
       spec, [&](auto tag, auto acc_c, auto quantize) -> T {
         using A = typename decltype(acc_c)::type;
         typename decltype(tag)::template accumulator_t<A> acc;
-        for (const T x : values) acc.add(static_cast<A>(quantize(x)));
+        if constexpr (std::same_as<A, T> &&
+                      decltype(quantize)::is_identity) {
+          // Bulk ingestion - defined as the same element loop for every
+          // accumulator, so bits never move; lane-blocked states take
+          // their intrinsics fast path here.
+          acc.add(values);
+        } else {
+          for (const T x : values) acc.add(static_cast<A>(quantize(x)));
+        }
         return static_cast<T>(acc.result());
       });
 }

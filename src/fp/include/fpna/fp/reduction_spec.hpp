@@ -1,27 +1,38 @@
 #pragma once
-// ReductionSpec: the dtype-polymorphic "which reduction" selector. A
-// reduction is no longer just an algorithm - it is the triple
+// ReductionSpec: the dtype- and lane-polymorphic "which reduction"
+// selector. A reduction is no longer just an algorithm - it is the tuple
 //
-//     storage dtype x accumulate dtype x algorithm
+//     storage dtype x accumulate dtype x algorithm x SIMD lane count
 //
 // matching how GPU tensor cores actually sum (bf16-stored operands,
 // fp32 accumulate) versus how the historic double kernels sum (native
-// storage, native accumulate). The default-constructed spec is
-// native/native/serial, which reproduces the seed's bits in every layer.
+// storage, native accumulate), and - on the lane axis - how a vector
+// unit actually sums: L interleaved sub-streams folded in a pinned
+// order. The default-constructed spec is native/native/serial/1 lane,
+// which reproduces the seed's bits in every layer.
 //
 // Name grammar (the CLI/bench surface):
 //
-//     <algorithm>[@<storage>[:<accumulate>]]
+//     <algorithm>[@[simd<L>[:]][<storage>[:<accumulate>]]]
 //
-//     "kahan"           - native storage, native accumulate
-//     "kahan@bf16:f32"  - bf16-quantized addends, fp32 accumulate
-//     "kahan@f32"       - f32 storage, accumulate defaults to storage
+//     "kahan"                - native storage, native accumulate, scalar
+//     "kahan@bf16:f32"       - bf16-quantized addends, fp32 accumulate
+//     "kahan@f32"            - f32 storage, accumulate defaults to storage
+//     "kahan@simd8"          - 8 lane-blocked Kahan sub-streams, native dtypes
+//     "kahan@simd8:bf16:f32" - the lane axis composed with the dtype axes
+//     "kahan@simd1"          - explicit scalar (bitwise = "kahan")
+//
+// Each (algorithm, L) names exactly one re-association - lane l sums
+// elements l, l+L, l+2L, ... and the lanes fold in ascending index order
+// at result() - so a lane-qualified name is as bitwise-certifiable as the
+// scalar names (see fp/simd.hpp for the dispatch machinery).
 //
 // Light-weight by design: core::EvalContext stores a ReductionSpec, so
 // this header must not pull in the accumulation layer. Parsing is
 // registry-validated and therefore lives with the registry
 // (parse_reduction_spec in accumulator.hpp's module).
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -39,6 +50,11 @@ struct ReductionSpec {
   /// Dtype the selected algorithm's streaming accumulator runs in.
   /// kNative: the kernel's own element type.
   Dtype accumulate = Dtype::kNative;
+  /// SIMD lane count: the input stream is dealt round-robin across
+  /// `lanes` independent sub-streams of the selected algorithm, folded
+  /// lane 0 upward at finalize. 1 = the scalar algorithm (no wrapper,
+  /// bitwise the historic path). Valid counts are fp::kSimdLaneCounts.
+  std::uint8_t lanes = 1;
 
   constexpr ReductionSpec() noexcept = default;
   /// The compat shim for the historic scalar selector: an AlgorithmId
@@ -47,8 +63,22 @@ struct ReductionSpec {
   /// and still means exactly what it meant.
   constexpr ReductionSpec(AlgorithmId id) noexcept : algorithm(id) {}
   constexpr ReductionSpec(AlgorithmId id, Dtype storage_dtype,
-                          Dtype accumulate_dtype) noexcept
-      : algorithm(id), storage(storage_dtype), accumulate(accumulate_dtype) {}
+                          Dtype accumulate_dtype,
+                          std::uint8_t lane_count = 1) noexcept
+      : algorithm(id),
+        storage(storage_dtype),
+        accumulate(accumulate_dtype),
+        lanes(lane_count) {}
+
+  /// This spec with a different lane count (the other axes unchanged).
+  constexpr ReductionSpec with_lanes(std::uint8_t lane_count) const noexcept {
+    ReductionSpec out = *this;
+    out.lanes = lane_count;
+    return out;
+  }
+
+  /// True when the lane axis changes the re-association (lanes > 1).
+  constexpr bool lane_blocked() const noexcept { return lanes > 1; }
 
   /// True when neither axis changes the kernel's native dtype - the
   /// specs whose results are bitwise identical to the pre-dtype API.

@@ -38,8 +38,18 @@ class Superaccumulator {
   }
 
   /// Merges another accumulator (exact; used to combine per-thread
-  /// partials into an order-independent total).
+  /// partials into an order-independent total). The limb-wise integer
+  /// add vectorizes (fp::simd_add_i64) - integer adds are exact, so the
+  /// fast path is trivially bitwise identical.
   void add(const Superaccumulator& other) noexcept;
+
+  /// Merges a wire image (serialize()'s kWireWords words) directly,
+  /// bitwise identical to `add(deserialize(words))` but skipping the
+  /// deserialize copy and the redundant re-normalisation of the rhs (the
+  /// wire form is canonical by construction). This is the hot merge of
+  /// the collective reduce-scatter: every received shard is one of these
+  /// adds per element. Throws std::invalid_argument on a wrong-size span.
+  void add_wire(std::span<const std::uint64_t> words);
 
   /// Rounds the accumulated value to the nearest double. Pure function of
   /// the (normalised) limb state: identical limbs give identical bits.

@@ -53,6 +53,10 @@ const AlgorithmRegistry::Entry& AlgorithmRegistry::at(
   std::string message = "unknown accumulator '" + std::string(name) +
                         "'; registered:";
   for (const Entry& entry : entries_) message += " " + entry.name;
+  message +=
+      " (each also accepts @simd<L> lane-blocked variants, L in {1, 4, 8, "
+      "16}, and @<storage>[:<accumulate>] dtype qualifiers, e.g. "
+      "kahan@simd8:bf16:f32)";
   throw std::invalid_argument(message);
 }
 

@@ -3,16 +3,60 @@
 #include <stdexcept>
 
 #include "fpna/fp/accumulator.hpp"
+#include "fpna/fp/simd.hpp"
 
 namespace fpna::fp {
 
+namespace {
+
+std::string lane_counts_list() {
+  std::string out;
+  for (const std::size_t l : kSimdLaneCounts) {
+    if (!out.empty()) out += ", ";
+    out += std::to_string(l);
+  }
+  return out;
+}
+
+/// Parses a "simd<L>" token (the text between '@' and the first ':').
+/// Unknown counts throw listing the valid set, so "kahan@simd3" is as
+/// self-explaining as a typo'd algorithm or dtype key.
+std::uint8_t parse_simd_lanes(std::string_view token) {
+  const std::string_view digits = token.substr(4);  // past "simd"
+  std::size_t lanes = 0;
+  bool ok = !digits.empty() && digits.size() <= 3;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') {
+      ok = false;
+      break;
+    }
+    lanes = lanes * 10 + static_cast<std::size_t>(c - '0');
+  }
+  if (!ok || !simd_lane_count_supported(lanes)) {
+    throw std::invalid_argument(
+        "bad SIMD lane token '" + std::string(token) +
+        "'; lane-blocked specs are <algorithm>@simd<L> with L in {" +
+        lane_counts_list() + "} (e.g. kahan@simd8, kahan@simd8:bf16:f32)");
+  }
+  return static_cast<std::uint8_t>(lanes);
+}
+
+}  // namespace
+
 std::string to_string(const ReductionSpec& spec) {
   std::string out = to_string(spec.algorithm);
-  if (spec.native()) return out;
+  if (spec.native() && !spec.lane_blocked()) return out;
   out += '@';
-  out += to_string(spec.storage);
-  out += ':';
-  out += to_string(spec.accumulate);
+  if (spec.lane_blocked()) {
+    out += "simd";
+    out += std::to_string(static_cast<std::size_t>(spec.lanes));
+    if (!spec.native()) out += ':';
+  }
+  if (!spec.native()) {
+    out += to_string(spec.storage);
+    out += ':';
+    out += to_string(spec.accumulate);
+  }
   return out;
 }
 
@@ -25,14 +69,23 @@ ReductionSpec parse_reduction_spec(std::string_view name) {
   spec.algorithm = AlgorithmRegistry::instance().at(name.substr(0, at)).id;
   if (at == std::string_view::npos) return spec;
 
-  const std::string_view dtypes = name.substr(at + 1);
-  const std::size_t colon = dtypes.find(':');
-  spec.storage = parse_dtype(dtypes.substr(0, colon));
+  std::string_view rest = name.substr(at + 1);
+  // Optional leading lane token: "<algo>@simd<L>[:<dtypes>]". No dtype
+  // key starts with "simd", so the prefix is unambiguous.
+  if (rest.substr(0, 4) == "simd") {
+    const std::size_t colon = rest.find(':');
+    spec.lanes = parse_simd_lanes(rest.substr(0, colon));
+    if (colon == std::string_view::npos) return spec;
+    rest = rest.substr(colon + 1);
+  }
+
+  const std::size_t colon = rest.find(':');
+  spec.storage = parse_dtype(rest.substr(0, colon));
   // "<algo>@<dtype>" means storage and accumulate both at <dtype> - the
   // pure-precision (no mixed accumulation) reading.
   spec.accumulate = colon == std::string_view::npos
                         ? spec.storage
-                        : parse_dtype(dtypes.substr(colon + 1));
+                        : parse_dtype(rest.substr(colon + 1));
   return spec;
 }
 

@@ -1,0 +1,146 @@
+#include "fpna/fp/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "fpna/fp/accumulator.hpp"
+#include "simd_kernels.hpp"
+
+namespace fpna::fp {
+
+namespace {
+
+/// FPNA_FORCE_SCALAR_SIMD, read once: set (and not "0" or empty) forces
+/// the scalar lane-emulation everywhere - the cross-host reference CI
+/// pins the intrinsics tier against.
+bool env_force_scalar() noexcept {
+  static const bool value = [] {
+    const char* v = std::getenv("FPNA_FORCE_SCALAR_SIMD");
+    return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+  }();
+  return value;
+}
+
+/// -1: follow the environment; 0/1: programmatic override (test hook).
+std::atomic<int> g_force_scalar_override{-1};
+
+}  // namespace
+
+const SimdSupport& simd_support() noexcept {
+  static const SimdSupport support = [] {
+    SimdSupport s;
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+    __builtin_cpu_init();
+    s.avx2 = __builtin_cpu_supports("avx2") != 0;
+    s.avx512f = __builtin_cpu_supports("avx512f") != 0;
+#endif
+    return s;
+  }();
+  return support;
+}
+
+bool simd_force_scalar() noexcept {
+  const int override = g_force_scalar_override.load(std::memory_order_relaxed);
+  if (override >= 0) return override != 0;
+  return env_force_scalar();
+}
+
+void set_simd_force_scalar(std::optional<bool> force) noexcept {
+  g_force_scalar_override.store(force.has_value() ? (*force ? 1 : 0) : -1,
+                                std::memory_order_relaxed);
+}
+
+const char* simd_active_isa() noexcept {
+  if (simd_force_scalar()) return "scalar";
+  const SimdSupport& s = simd_support();
+  if (s.avx512f) return "avx512f";
+  if (s.avx2) return "avx2";
+  return "scalar";
+}
+
+void simd_add_i64(std::int64_t* dst, const std::int64_t* src,
+                  std::size_t n) noexcept {
+  if (!simd_force_scalar() && simd_support().avx2 &&
+      simd_detail::avx2::add_i64(dst, src, n)) {
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+namespace detail {
+
+namespace {
+
+/// One dispatch for every (accumulator, dtype) pair: widest certified
+/// tier first, each tier declining lane counts it has no kernel for, the
+/// caller's emulation as the final fallback. Tiny spans skip the state
+/// gather/scatter entirely - a pure heuristic, since every tier is
+/// bitwise identical by contract.
+template <typename Base, typename T>
+bool dispatch_span(Base* lanes, std::size_t lane_count, std::size_t& next,
+                   const T* x, std::size_t n) noexcept {
+  if (n < 2 * lane_count) return false;
+  if (simd_force_scalar()) return false;
+  const SimdSupport& s = simd_support();
+  if (s.avx512f &&
+      simd_detail::avx512::add_span(lanes, lane_count, next, x, n)) {
+    return true;
+  }
+  if (s.avx2 && simd_detail::avx2::add_span(lanes, lane_count, next, x, n)) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool simd_add_span(SerialAccumulator<double>* lanes, std::size_t lane_count,
+                   std::size_t& next, const double* x,
+                   std::size_t n) noexcept {
+  return dispatch_span(lanes, lane_count, next, x, n);
+}
+bool simd_add_span(SerialAccumulator<float>* lanes, std::size_t lane_count,
+                   std::size_t& next, const float* x, std::size_t n) noexcept {
+  return dispatch_span(lanes, lane_count, next, x, n);
+}
+bool simd_add_span(KahanAccumulator<double>* lanes, std::size_t lane_count,
+                   std::size_t& next, const double* x,
+                   std::size_t n) noexcept {
+  return dispatch_span(lanes, lane_count, next, x, n);
+}
+bool simd_add_span(KahanAccumulator<float>* lanes, std::size_t lane_count,
+                   std::size_t& next, const float* x, std::size_t n) noexcept {
+  return dispatch_span(lanes, lane_count, next, x, n);
+}
+bool simd_add_span(NeumaierAccumulator<double>* lanes, std::size_t lane_count,
+                   std::size_t& next, const double* x,
+                   std::size_t n) noexcept {
+  return dispatch_span(lanes, lane_count, next, x, n);
+}
+bool simd_add_span(NeumaierAccumulator<float>* lanes, std::size_t lane_count,
+                   std::size_t& next, const float* x, std::size_t n) noexcept {
+  return dispatch_span(lanes, lane_count, next, x, n);
+}
+bool simd_add_span(KleinAccumulator<double>* lanes, std::size_t lane_count,
+                   std::size_t& next, const double* x,
+                   std::size_t n) noexcept {
+  return dispatch_span(lanes, lane_count, next, x, n);
+}
+bool simd_add_span(KleinAccumulator<float>* lanes, std::size_t lane_count,
+                   std::size_t& next, const float* x, std::size_t n) noexcept {
+  return dispatch_span(lanes, lane_count, next, x, n);
+}
+bool simd_add_span(PairwiseAccumulator<double>* lanes, std::size_t lane_count,
+                   std::size_t& next, const double* x,
+                   std::size_t n) noexcept {
+  return dispatch_span(lanes, lane_count, next, x, n);
+}
+bool simd_add_span(PairwiseAccumulator<float>* lanes, std::size_t lane_count,
+                   std::size_t& next, const float* x, std::size_t n) noexcept {
+  return dispatch_span(lanes, lane_count, next, x, n);
+}
+
+}  // namespace detail
+
+}  // namespace fpna::fp

@@ -1,0 +1,223 @@
+// AVX2 tier of the lane-blocked accumulators. This translation unit is
+// compiled with -mavx2 on x86 (see src/CMakeLists.txt) and with nothing
+// special elsewhere, in which case every entry point is a stub returning
+// false. The runtime CPUID check in simd.cpp guarantees no function here
+// executes on a host without AVX2.
+//
+// Register shapes: __m256d holds 4 f64 lanes, __m256 holds 8 f32 lanes;
+// wider lane counts use R consecutive registers (f64: L=8 -> 2, L=16 ->
+// 4; f32: L=16 -> 2). All arithmetic is plain IEEE add/sub - no FMA, no
+// reassociation - so each register slot runs exactly the scalar
+// algorithm's op sequence and the results match the emulation bit for
+// bit (property-tested in fp_test, gated in the microbench JSON).
+
+#include "simd_kernels.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace fpna::fp::simd_detail {
+
+namespace {
+
+struct VecD {
+  using scalar = double;
+  using mask = __m256d;
+  static constexpr int kWidth = 4;
+  __m256d v;
+
+  static VecD load(const double* p) noexcept { return {_mm256_loadu_pd(p)}; }
+  static void store(VecD a, double* p) noexcept { _mm256_storeu_pd(p, a.v); }
+  static VecD zero() noexcept { return {_mm256_setzero_pd()}; }
+  static VecD add(VecD a, VecD b) noexcept {
+    return {_mm256_add_pd(a.v, b.v)};
+  }
+  static VecD sub(VecD a, VecD b) noexcept {
+    return {_mm256_sub_pd(a.v, b.v)};
+  }
+  /// Sign-mask clear: +0.0 for -0.0, which the ordered-quiet GE compare
+  /// cannot distinguish from the scalar abs_'s -0.0 (IEEE compares treat
+  /// the zeros as equal), and NaN stays NaN (compare false) - so the
+  /// branch selection matches the scalar code on every input.
+  static VecD abs(VecD a) noexcept {
+    return {_mm256_andnot_pd(_mm256_set1_pd(-0.0), a.v)};
+  }
+  static mask ge_abs(VecD a, VecD b) noexcept {
+    return _mm256_cmp_pd(abs(a).v, abs(b).v, _CMP_GE_OQ);
+  }
+  static VecD select(mask m, VecD t, VecD f) noexcept {
+    return {_mm256_blendv_pd(f.v, t.v, m)};
+  }
+};
+
+struct VecS {
+  using scalar = float;
+  using mask = __m256;
+  static constexpr int kWidth = 8;
+  __m256 v;
+
+  static VecS load(const float* p) noexcept { return {_mm256_loadu_ps(p)}; }
+  static void store(VecS a, float* p) noexcept { _mm256_storeu_ps(p, a.v); }
+  static VecS zero() noexcept { return {_mm256_setzero_ps()}; }
+  static VecS add(VecS a, VecS b) noexcept {
+    return {_mm256_add_ps(a.v, b.v)};
+  }
+  static VecS sub(VecS a, VecS b) noexcept {
+    return {_mm256_sub_ps(a.v, b.v)};
+  }
+  static VecS abs(VecS a) noexcept {
+    return {_mm256_andnot_ps(_mm256_set1_ps(-0.0f), a.v)};
+  }
+  static mask ge_abs(VecS a, VecS b) noexcept {
+    return _mm256_cmp_ps(abs(a).v, abs(b).v, _CMP_GE_OQ);
+  }
+  static VecS select(mask m, VecS t, VecS f) noexcept {
+    return {_mm256_blendv_ps(f.v, t.v, m)};
+  }
+};
+
+template <template <typename> class Step, typename Base>
+bool span_f64(Base* lanes, std::size_t lane_count, std::size_t& next,
+              const double* x, std::size_t n) {
+  switch (lane_count) {
+    case 4: run_span<VecD, 1, Step>(lanes, next, x, n); return true;
+    case 8: run_span<VecD, 2, Step>(lanes, next, x, n); return true;
+    case 16: run_span<VecD, 4, Step>(lanes, next, x, n); return true;
+    default: return false;
+  }
+}
+
+template <template <typename> class Step, typename Base>
+bool span_f32(Base* lanes, std::size_t lane_count, std::size_t& next,
+              const float* x, std::size_t n) {
+  switch (lane_count) {
+    case 8: run_span<VecS, 1, Step>(lanes, next, x, n); return true;
+    case 16: run_span<VecS, 2, Step>(lanes, next, x, n); return true;
+    default: return false;
+  }
+}
+
+}  // namespace
+
+namespace avx2 {
+
+bool add_span(SerialAccumulator<double>* lanes, std::size_t lane_count,
+              std::size_t& next, const double* x, std::size_t n) {
+  return span_f64<SerialStep>(lanes, lane_count, next, x, n);
+}
+bool add_span(SerialAccumulator<float>* lanes, std::size_t lane_count,
+              std::size_t& next, const float* x, std::size_t n) {
+  return span_f32<SerialStep>(lanes, lane_count, next, x, n);
+}
+bool add_span(KahanAccumulator<double>* lanes, std::size_t lane_count,
+              std::size_t& next, const double* x, std::size_t n) {
+  return span_f64<KahanStep>(lanes, lane_count, next, x, n);
+}
+bool add_span(KahanAccumulator<float>* lanes, std::size_t lane_count,
+              std::size_t& next, const float* x, std::size_t n) {
+  return span_f32<KahanStep>(lanes, lane_count, next, x, n);
+}
+bool add_span(NeumaierAccumulator<double>* lanes, std::size_t lane_count,
+              std::size_t& next, const double* x, std::size_t n) {
+  return span_f64<NeumaierStep>(lanes, lane_count, next, x, n);
+}
+bool add_span(NeumaierAccumulator<float>* lanes, std::size_t lane_count,
+              std::size_t& next, const float* x, std::size_t n) {
+  return span_f32<NeumaierStep>(lanes, lane_count, next, x, n);
+}
+bool add_span(KleinAccumulator<double>* lanes, std::size_t lane_count,
+              std::size_t& next, const double* x, std::size_t n) {
+  return span_f64<KleinStep>(lanes, lane_count, next, x, n);
+}
+bool add_span(KleinAccumulator<float>* lanes, std::size_t lane_count,
+              std::size_t& next, const float* x, std::size_t n) {
+  return span_f32<KleinStep>(lanes, lane_count, next, x, n);
+}
+bool add_span(PairwiseAccumulator<double>* lanes, std::size_t lane_count,
+              std::size_t& next, const double* x, std::size_t n) {
+  switch (lane_count) {
+    case 4: return run_pairwise<VecD, 1>(lanes, next, x, n);
+    case 8: return run_pairwise<VecD, 2>(lanes, next, x, n);
+    case 16: return run_pairwise<VecD, 4>(lanes, next, x, n);
+    default: return false;
+  }
+}
+bool add_span(PairwiseAccumulator<float>* lanes, std::size_t lane_count,
+              std::size_t& next, const float* x, std::size_t n) {
+  switch (lane_count) {
+    case 8: return run_pairwise<VecS, 1>(lanes, next, x, n);
+    case 16: return run_pairwise<VecS, 2>(lanes, next, x, n);
+    default: return false;
+  }
+}
+
+bool add_i64(std::int64_t* dst, const std::int64_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_add_epi64(a, b));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+  return true;
+}
+
+}  // namespace avx2
+
+}  // namespace fpna::fp::simd_detail
+
+#else  // !defined(__AVX2__): link-compatible stubs, never selected.
+
+namespace fpna::fp::simd_detail::avx2 {
+
+bool add_span(SerialAccumulator<double>*, std::size_t, std::size_t&,
+              const double*, std::size_t) {
+  return false;
+}
+bool add_span(SerialAccumulator<float>*, std::size_t, std::size_t&,
+              const float*, std::size_t) {
+  return false;
+}
+bool add_span(KahanAccumulator<double>*, std::size_t, std::size_t&,
+              const double*, std::size_t) {
+  return false;
+}
+bool add_span(KahanAccumulator<float>*, std::size_t, std::size_t&,
+              const float*, std::size_t) {
+  return false;
+}
+bool add_span(NeumaierAccumulator<double>*, std::size_t, std::size_t&,
+              const double*, std::size_t) {
+  return false;
+}
+bool add_span(NeumaierAccumulator<float>*, std::size_t, std::size_t&,
+              const float*, std::size_t) {
+  return false;
+}
+bool add_span(KleinAccumulator<double>*, std::size_t, std::size_t&,
+              const double*, std::size_t) {
+  return false;
+}
+bool add_span(KleinAccumulator<float>*, std::size_t, std::size_t&,
+              const float*, std::size_t) {
+  return false;
+}
+bool add_span(PairwiseAccumulator<double>*, std::size_t, std::size_t&,
+              const double*, std::size_t) {
+  return false;
+}
+bool add_span(PairwiseAccumulator<float>*, std::size_t, std::size_t&,
+              const float*, std::size_t) {
+  return false;
+}
+bool add_i64(std::int64_t*, const std::int64_t*, std::size_t) {
+  return false;
+}
+
+}  // namespace fpna::fp::simd_detail::avx2
+
+#endif

@@ -1,0 +1,204 @@
+// AVX-512F tier of the lane-blocked accumulators: one __m512d holds all
+// 8 f64 lanes of an @simd8 stream (two for @simd16), one __m512 all 16
+// f32 lanes of @simd16. Compiled with -mavx512f on x86 (see
+// src/CMakeLists.txt), stubs elsewhere; only entered after simd.cpp's
+// runtime CPUID check. Bitwise interchangeable with the AVX2 tier and
+// the scalar emulation: vaddpd/vsubpd at 512 bits are the same IEEE
+// operations per slot, and the mask-blend transcribes the same compare
+// branch.
+
+#include "simd_kernels.hpp"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+namespace fpna::fp::simd_detail {
+
+namespace {
+
+struct VecD8 {
+  using scalar = double;
+  using mask = __mmask8;
+  static constexpr int kWidth = 8;
+  __m512d v;
+
+  static VecD8 load(const double* p) noexcept { return {_mm512_loadu_pd(p)}; }
+  static void store(VecD8 a, double* p) noexcept { _mm512_storeu_pd(p, a.v); }
+  static VecD8 zero() noexcept { return {_mm512_setzero_pd()}; }
+  static VecD8 add(VecD8 a, VecD8 b) noexcept {
+    return {_mm512_add_pd(a.v, b.v)};
+  }
+  static VecD8 sub(VecD8 a, VecD8 b) noexcept {
+    return {_mm512_sub_pd(a.v, b.v)};
+  }
+  static VecD8 abs(VecD8 a) noexcept { return {_mm512_abs_pd(a.v)}; }
+  static mask ge_abs(VecD8 a, VecD8 b) noexcept {
+    return _mm512_cmp_pd_mask(abs(a).v, abs(b).v, _CMP_GE_OQ);
+  }
+  static VecD8 select(mask m, VecD8 t, VecD8 f) noexcept {
+    return {_mm512_mask_blend_pd(m, f.v, t.v)};
+  }
+};
+
+struct VecS16 {
+  using scalar = float;
+  using mask = __mmask16;
+  static constexpr int kWidth = 16;
+  __m512 v;
+
+  static VecS16 load(const float* p) noexcept { return {_mm512_loadu_ps(p)}; }
+  static void store(VecS16 a, float* p) noexcept { _mm512_storeu_ps(p, a.v); }
+  static VecS16 zero() noexcept { return {_mm512_setzero_ps()}; }
+  static VecS16 add(VecS16 a, VecS16 b) noexcept {
+    return {_mm512_add_ps(a.v, b.v)};
+  }
+  static VecS16 sub(VecS16 a, VecS16 b) noexcept {
+    return {_mm512_sub_ps(a.v, b.v)};
+  }
+  static VecS16 abs(VecS16 a) noexcept { return {_mm512_abs_ps(a.v)}; }
+  static mask ge_abs(VecS16 a, VecS16 b) noexcept {
+    return _mm512_cmp_ps_mask(abs(a).v, abs(b).v, _CMP_GE_OQ);
+  }
+  static VecS16 select(mask m, VecS16 t, VecS16 f) noexcept {
+    return {_mm512_mask_blend_ps(m, f.v, t.v)};
+  }
+};
+
+template <template <typename> class Step, typename Base>
+bool span_f64(Base* lanes, std::size_t lane_count, std::size_t& next,
+              const double* x, std::size_t n) {
+  switch (lane_count) {
+    case 8: run_span<VecD8, 1, Step>(lanes, next, x, n); return true;
+    case 16: run_span<VecD8, 2, Step>(lanes, next, x, n); return true;
+    default: return false;  // L=4 falls through to the AVX2 tier
+  }
+}
+
+template <template <typename> class Step, typename Base>
+bool span_f32(Base* lanes, std::size_t lane_count, std::size_t& next,
+              const float* x, std::size_t n) {
+  if (lane_count != 16) return false;  // L=8 falls through to AVX2
+  run_span<VecS16, 1, Step>(lanes, next, x, n);
+  return true;
+}
+
+}  // namespace
+
+namespace avx512 {
+
+bool add_span(SerialAccumulator<double>* lanes, std::size_t lane_count,
+              std::size_t& next, const double* x, std::size_t n) {
+  return span_f64<SerialStep>(lanes, lane_count, next, x, n);
+}
+bool add_span(SerialAccumulator<float>* lanes, std::size_t lane_count,
+              std::size_t& next, const float* x, std::size_t n) {
+  return span_f32<SerialStep>(lanes, lane_count, next, x, n);
+}
+bool add_span(KahanAccumulator<double>* lanes, std::size_t lane_count,
+              std::size_t& next, const double* x, std::size_t n) {
+  return span_f64<KahanStep>(lanes, lane_count, next, x, n);
+}
+bool add_span(KahanAccumulator<float>* lanes, std::size_t lane_count,
+              std::size_t& next, const float* x, std::size_t n) {
+  return span_f32<KahanStep>(lanes, lane_count, next, x, n);
+}
+bool add_span(NeumaierAccumulator<double>* lanes, std::size_t lane_count,
+              std::size_t& next, const double* x, std::size_t n) {
+  return span_f64<NeumaierStep>(lanes, lane_count, next, x, n);
+}
+bool add_span(NeumaierAccumulator<float>* lanes, std::size_t lane_count,
+              std::size_t& next, const float* x, std::size_t n) {
+  return span_f32<NeumaierStep>(lanes, lane_count, next, x, n);
+}
+bool add_span(KleinAccumulator<double>* lanes, std::size_t lane_count,
+              std::size_t& next, const double* x, std::size_t n) {
+  return span_f64<KleinStep>(lanes, lane_count, next, x, n);
+}
+bool add_span(KleinAccumulator<float>* lanes, std::size_t lane_count,
+              std::size_t& next, const float* x, std::size_t n) {
+  return span_f32<KleinStep>(lanes, lane_count, next, x, n);
+}
+bool add_span(PairwiseAccumulator<double>* lanes, std::size_t lane_count,
+              std::size_t& next, const double* x, std::size_t n) {
+  switch (lane_count) {
+    case 8: return run_pairwise<VecD8, 1>(lanes, next, x, n);
+    case 16: return run_pairwise<VecD8, 2>(lanes, next, x, n);
+    default: return false;
+  }
+}
+bool add_span(PairwiseAccumulator<float>* lanes, std::size_t lane_count,
+              std::size_t& next, const float* x, std::size_t n) {
+  if (lane_count != 16) return false;
+  return run_pairwise<VecS16, 1>(lanes, next, x, n);
+}
+
+bool add_i64(std::int64_t* dst, const std::int64_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i a =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(dst + i));
+    const __m512i b =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(src + i));
+    _mm512_storeu_si512(reinterpret_cast<void*>(dst + i),
+                        _mm512_add_epi64(a, b));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+  return true;
+}
+
+}  // namespace avx512
+
+}  // namespace fpna::fp::simd_detail
+
+#else  // !defined(__AVX512F__): link-compatible stubs, never selected.
+
+namespace fpna::fp::simd_detail::avx512 {
+
+bool add_span(SerialAccumulator<double>*, std::size_t, std::size_t&,
+              const double*, std::size_t) {
+  return false;
+}
+bool add_span(SerialAccumulator<float>*, std::size_t, std::size_t&,
+              const float*, std::size_t) {
+  return false;
+}
+bool add_span(KahanAccumulator<double>*, std::size_t, std::size_t&,
+              const double*, std::size_t) {
+  return false;
+}
+bool add_span(KahanAccumulator<float>*, std::size_t, std::size_t&,
+              const float*, std::size_t) {
+  return false;
+}
+bool add_span(NeumaierAccumulator<double>*, std::size_t, std::size_t&,
+              const double*, std::size_t) {
+  return false;
+}
+bool add_span(NeumaierAccumulator<float>*, std::size_t, std::size_t&,
+              const float*, std::size_t) {
+  return false;
+}
+bool add_span(KleinAccumulator<double>*, std::size_t, std::size_t&,
+              const double*, std::size_t) {
+  return false;
+}
+bool add_span(KleinAccumulator<float>*, std::size_t, std::size_t&,
+              const float*, std::size_t) {
+  return false;
+}
+bool add_span(PairwiseAccumulator<double>*, std::size_t, std::size_t&,
+              const double*, std::size_t) {
+  return false;
+}
+bool add_span(PairwiseAccumulator<float>*, std::size_t, std::size_t&,
+              const float*, std::size_t) {
+  return false;
+}
+bool add_i64(std::int64_t*, const std::int64_t*, std::size_t) {
+  return false;
+}
+
+}  // namespace fpna::fp::simd_detail::avx512
+
+#endif

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "fpna/fp/double_double.hpp"
+#include "fpna/fp/simd.hpp"
 
 namespace fpna::fp {
 
@@ -47,11 +48,33 @@ void Superaccumulator::add(const Superaccumulator& other) noexcept {
   normalize();
   Superaccumulator rhs = other;
   rhs.normalize();
-  for (int i = 0; i < kNumLimbs; ++i) limbs_[i] += rhs.limbs_[i];
+  simd_add_i64(limbs_.data(), rhs.limbs_.data(), kNumLimbs);
   pending_ = 2;
   nan_ = nan_ || rhs.nan_;
   pos_inf_ = pos_inf_ || rhs.pos_inf_;
   neg_inf_ = neg_inf_ || rhs.neg_inf_;
+}
+
+void Superaccumulator::add_wire(std::span<const std::uint64_t> words) {
+  if (words.size() != kWireWords) {
+    throw std::invalid_argument(
+        "Superaccumulator::add_wire: need exactly kWireWords words");
+  }
+  // Same op sequence as add(deserialize(words)): the rhs normalize that
+  // path performs is the identity on the already-canonical wire limbs
+  // (every limb in [0, 2^32) except the sign-carrying top limb, which
+  // the floor-div carry chain maps to itself), so only this side
+  // normalises. Limb words reinterpret as the two's-complement int64s
+  // serialize() wrote.
+  normalize();
+  static_assert(sizeof(std::uint64_t) == sizeof(std::int64_t));
+  simd_add_i64(limbs_.data(),
+               reinterpret_cast<const std::int64_t*>(words.data()), kNumLimbs);
+  pending_ = 2;
+  const std::uint64_t flags = words[kNumLimbs];
+  nan_ = nan_ || (flags & 1u) != 0;
+  pos_inf_ = pos_inf_ || (flags & 2u) != 0;
+  neg_inf_ = neg_inf_ || (flags & 4u) != 0;
 }
 
 void Superaccumulator::normalize() noexcept {

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <vector>
 
+#include "fpna/core/chunking.hpp"
 #include "fpna/fp/accumulator.hpp"
 #include "fpna/util/permutation.hpp"
 
@@ -11,23 +12,16 @@ namespace fpna::reduce {
 
 namespace {
 
-/// Static chunk boundaries, OpenMP static-schedule style: near-equal
-/// contiguous chunks, the first `n % chunks` chunks one element longer.
+/// Static chunk boundaries, OpenMP static-schedule style. The rule
+/// itself lives in core/chunking.hpp (shared with collective's shard
+/// split and pinned against ThreadPool::parallel_for by core_test);
+/// cpu_sum's policy on top of it: never more chunks than elements, and
+/// an empty input still yields one (empty) chunk.
 std::vector<std::pair<std::size_t, std::size_t>> static_chunks(
     std::size_t n, std::size_t chunks) {
   if (chunks == 0) chunks = 1;
   chunks = std::min(chunks, n == 0 ? std::size_t{1} : n);
-  std::vector<std::pair<std::size_t, std::size_t>> ranges;
-  ranges.reserve(chunks);
-  const std::size_t base = n / chunks;
-  const std::size_t rem = n % chunks;
-  std::size_t begin = 0;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t len = base + (c < rem ? 1 : 0);
-    ranges.emplace_back(begin, begin + len);
-    begin += len;
-  }
-  return ranges;
+  return core::even_chunks(n, chunks);
 }
 
 /// Real-thread execution on ctx.pool: by default (and whenever
@@ -48,7 +42,14 @@ std::vector<std::pair<std::size_t, std::size_t>> static_chunks(
 template <typename Acc, typename Quant>
 void add_chunk(Acc& acc, std::span<const double> chunk, Quant quantize) {
   using A = typename Acc::value_type;
-  for (const double x : chunk) acc.add(static_cast<A>(quantize(x)));
+  if constexpr (Quant::is_identity && std::same_as<A, double>) {
+    // Bulk add: defined as the same element loop for every accumulator,
+    // and the entry point where lane-blocked accumulators engage their
+    // intrinsics fast path (bitwise-certified against that loop).
+    acc.add(chunk);
+  } else {
+    for (const double x : chunk) acc.add(static_cast<A>(quantize(x)));
+  }
 }
 
 template <typename Acc, typename Quant>

@@ -459,13 +459,15 @@ Tensor<T> scatter_reduce(const Tensor<T>& self, std::int64_t dim,
   // Sum-family reductions on the deterministic path route through the
   // registry accumulator (non-sum modes - prod/amax/amin - have no
   // accumulation to re-associate and keep the direct combine loop). A
-  // non-native dtype spec takes this path even for the serial algorithm:
-  // the direct combine loop below never quantizes, so storage/accumulate
-  // dtypes would otherwise be silently dropped.
+  // non-native dtype spec or a lane-blocked (@simd<L>) spec takes this
+  // path even for the serial algorithm: the direct combine loop below
+  // never quantizes and never lane-blocks, so those axes would otherwise
+  // be silently dropped.
   const bool sum_family = reduce == Reduce::kSum || reduce == Reduce::kMean;
   if (sum_family && !ctx.nondeterministic() &&
       (ctx.accumulator_in_effect() != fp::AlgorithmId::kSerial ||
-       !ctx.reduction_in_effect().native())) {
+       !ctx.reduction_in_effect().native() ||
+       ctx.reduction_in_effect().lane_blocked())) {
     accumulate_deterministic(out, contribs, ctx, /*seed_self=*/include_self,
                              [&](const Contribution& c) {
                                return src.flat(c.src);

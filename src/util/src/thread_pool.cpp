@@ -43,6 +43,10 @@ void ThreadPool::parallel_for(
   if (n == 0) return;
   if (chunks == 0) chunks = size();
   chunks = std::min(chunks, n);
+  // Near-even split: the first n % chunks chunks get one extra element.
+  // This is the same rule as core::even_chunk (util sits below core in
+  // the module graph, so it cannot include that header); core_test pins
+  // the boundary agreement. Keep in sync with core/chunking.hpp.
   const std::size_t base = n / chunks;
   const std::size_t rem = n % chunks;
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "fpna/collective/allreduce.hpp"
+#include "fpna/core/chunking.hpp"
 #include "fpna/core/harness.hpp"
 #include "fpna/core/metrics.hpp"
 #include "fpna/fp/bits.hpp"
@@ -204,6 +205,28 @@ TEST(DistributedSum, MetadataHelpers) {
   EXPECT_FALSE(is_deterministic(Algorithm::kArrivalTree));
   EXPECT_STREQ(to_string(Algorithm::kRecursiveDoubling),
                "recursive-doubling");
+}
+
+// The collective wrappers delegate to core/chunking.hpp; these pins mean
+// a change to the shared rules cannot silently move wire boundaries (and
+// with them the certified bits of every schedule-based reduction).
+TEST(Chunking, RingChunkIsTheCeilRuleAndShardSizesTheEvenRule) {
+  for (const std::size_t total : {0u, 1u, 9u, 64u, 1000u}) {
+    for (const std::size_t ranks : {1u, 2u, 3u, 8u, 41u}) {
+      std::size_t shard_total = 0;
+      const auto sizes = shard_sizes(total, ranks);
+      ASSERT_EQ(sizes.size(), ranks);
+      for (std::size_t r = 0; r < ranks; ++r) {
+        EXPECT_EQ(ring_chunk(total, ranks, r),
+                  core::ceil_chunk(total, ranks, r));
+        EXPECT_EQ(sizes[r], core::even_chunk_size(total, ranks, r));
+        shard_total += sizes[r];
+      }
+      EXPECT_EQ(shard_total, total);
+    }
+  }
+  EXPECT_THROW(ring_chunk(10, 0, 0), std::invalid_argument);
+  EXPECT_THROW(shard_sizes(10, 0), std::invalid_argument);
 }
 
 }  // namespace

@@ -5,14 +5,18 @@
 
 #include <cmath>
 #include <limits>
+#include <mutex>
+#include <string>
 #include <vector>
 
+#include "fpna/core/chunking.hpp"
 #include "fpna/core/eval_context.hpp"
 #include "fpna/core/harness.hpp"
 #include "fpna/core/metrics.hpp"
 #include "fpna/core/run_context.hpp"
 #include "fpna/fp/summation.hpp"
 #include "fpna/util/permutation.hpp"
+#include "fpna/util/thread_pool.hpp"
 
 namespace fpna::core {
 namespace {
@@ -336,6 +340,93 @@ TEST(EvalContext, ReductionSpecDefaultsAndShim) {
   // historic-default rule).
   const EvalContext serial = ctx.with_accumulator(fp::AlgorithmId::kSerial);
   EXPECT_TRUE(serial.accumulator.has_value());
+}
+
+// ------------------------------------------------------------ chunking --
+
+TEST(Chunking, EvenChunksPartitionContiguouslyAndNearEvenly) {
+  for (const std::size_t total : {0u, 1u, 7u, 64u, 1000u, 4097u}) {
+    for (const std::size_t parts : {1u, 2u, 3u, 7u, 16u, 5000u}) {
+      SCOPED_TRACE(std::to_string(total) + "/" + std::to_string(parts));
+      const auto ranges = even_chunks(total, parts);
+      ASSERT_EQ(ranges.size(), parts);
+      std::size_t expect_begin = 0, min_len = total, max_len = 0;
+      for (std::size_t c = 0; c < parts; ++c) {
+        EXPECT_EQ(ranges[c].first, expect_begin);
+        EXPECT_LE(ranges[c].first, ranges[c].second);
+        // The closed-form single-chunk accessors agree with the scan.
+        EXPECT_EQ(even_chunk(total, parts, c), ranges[c]);
+        EXPECT_EQ(even_chunk_size(total, parts, c),
+                  ranges[c].second - ranges[c].first);
+        const std::size_t len = ranges[c].second - ranges[c].first;
+        min_len = std::min(min_len, len);
+        max_len = std::max(max_len, len);
+        expect_begin = ranges[c].second;
+      }
+      EXPECT_EQ(expect_begin, total);           // exact partition
+      EXPECT_LE(max_len - min_len, 1u);         // near-even
+      // Longer chunks come first (the OpenMP static-schedule shape).
+      EXPECT_EQ(ranges.front().second - ranges.front().first, max_len);
+    }
+  }
+  EXPECT_THROW(even_chunks(10, 0), std::invalid_argument);
+  EXPECT_THROW(even_chunk(10, 4, 4), std::invalid_argument);
+}
+
+TEST(Chunking, CeilChunkCoversWithFixedStride) {
+  for (const std::size_t total : {0u, 1u, 10u, 63u, 64u, 65u}) {
+    for (const std::size_t parts : {1u, 2u, 7u, 100u}) {
+      SCOPED_TRACE(std::to_string(total) + "/" + std::to_string(parts));
+      const std::size_t stride = (total + parts - 1) / parts;
+      std::size_t covered = 0;
+      for (std::size_t c = 0; c < parts; ++c) {
+        const auto [begin, end] = ceil_chunk(total, parts, c);
+        EXPECT_EQ(begin, std::min(total, c * stride));
+        EXPECT_EQ(end, std::min(total, begin + stride));
+        covered += end - begin;
+      }
+      EXPECT_EQ(covered, total);
+    }
+  }
+  EXPECT_THROW(ceil_chunk(10, 0, 0), std::invalid_argument);
+}
+
+// The invariant the header documents: ThreadPool::parallel_for cannot
+// include core/chunking.hpp (util sits below core), so this test pins
+// that its hand-rolled near-even split places every boundary exactly
+// where core::even_chunk does.
+TEST(Chunking, ParallelForBoundariesAgreeWithEvenChunk) {
+  util::ThreadPool pool(3);
+  for (const std::size_t n : {1u, 5u, 64u, 1001u}) {
+    for (const std::size_t chunks : {1u, 2u, 7u, 64u}) {
+      SCOPED_TRACE(std::to_string(n) + "/" + std::to_string(chunks));
+      // parallel_for clamps the chunk count to n; mirror that policy.
+      const std::size_t effective = std::min(chunks, n);
+      std::vector<std::pair<std::size_t, std::size_t>> observed(effective);
+      std::mutex mutex;
+      pool.parallel_for(
+          n,
+          [&](std::size_t begin, std::size_t end, std::size_t c) {
+            const std::lock_guard lock(mutex);
+            observed[c] = {begin, end};
+          },
+          chunks);
+      EXPECT_EQ(observed, even_chunks(n, effective));
+    }
+  }
+}
+
+TEST(Chunking, SizeDerivedPartsIsAPureFunctionOfTheShape) {
+  // ~64k scalar ops per chunk, at least one row each, never zero chunks
+  // for nonzero work.
+  EXPECT_EQ(size_derived_parts(0, 100), 0u);
+  EXPECT_EQ(size_derived_parts(1, 1), 1u);
+  EXPECT_EQ(size_derived_parts(1024, 64), 1u);     // 64k work -> one chunk
+  EXPECT_EQ(size_derived_parts(2048, 64), 2u);
+  EXPECT_EQ(size_derived_parts(10, 1 << 20), 10u);  // huge rows: 1 row/chunk
+  EXPECT_EQ(size_derived_parts(100, 0), 1u);        // zero work clamps
+  // Same shape, same count - regardless of any pool or host property.
+  EXPECT_EQ(size_derived_parts(12345, 678), size_derived_parts(12345, 678));
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "fpna/core/harness.hpp"
 #include "fpna/core/metrics.hpp"
 #include "fpna/fp/accumulator.hpp"
+#include "fpna/fp/simd.hpp"
 #include "fpna/util/thread_pool.hpp"
 #include "fpna/dl/adam.hpp"
 #include "fpna/dl/dataset.hpp"
@@ -239,6 +241,64 @@ TEST(Linalg, PooledKernelsBitwiseEqualSerialForDtypeSpecs) {
           << label;
     }
   }
+}
+
+// The SIMD lane axis: a lane-blocked spec names one re-association, so
+// pooled execution must still equal serial bit for bit at every thread
+// count, and the forced scalar lane-emulation must equal whatever the
+// host's intrinsics dispatch produced.
+TEST(Linalg, PooledKernelsBitwiseEqualSerialForLaneBlockedSpecs) {
+  util::Xoshiro256pp rng(777);
+  const auto a = tensor::random_uniform<float>(tensor::Shape{33, 27}, -1e3,
+                                               1e3, rng);
+  const auto b = tensor::random_uniform<float>(tensor::Shape{27, 21}, -1e3,
+                                               1e3, rng);
+  for (const char* name : {"serial@simd4", "serial@simd8", "kahan@simd4",
+                           "kahan@simd8", "klein@simd16",
+                           "kahan@simd8:bf16:f32"}) {
+    const fp::ReductionSpec spec = fp::parse_reduction_spec(name);
+    core::EvalContext serial_ctx;
+    serial_ctx.accumulator = spec;
+    const dl::Matrix reference = matmul(a, b, serial_ctx);
+    const dl::Matrix ref_cols = column_sums(a, serial_ctx);
+
+    fp::set_simd_force_scalar(true);
+    const bool emul_matmul = matmul(a, b, serial_ctx).bitwise_equal(reference);
+    const bool emul_cols =
+        column_sums(a, serial_ctx).bitwise_equal(ref_cols);
+    fp::set_simd_force_scalar(std::nullopt);
+    EXPECT_TRUE(emul_matmul) << name;
+    EXPECT_TRUE(emul_cols) << name;
+
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+      util::ThreadPool pool(threads);
+      const core::EvalContext pool_ctx = serial_ctx.with_pool(&pool);
+      const std::string label =
+          std::string(name) + " @" + std::to_string(threads);
+      EXPECT_TRUE(matmul(a, b, pool_ctx).bitwise_equal(reference)) << label;
+      EXPECT_TRUE(column_sums(a, pool_ctx).bitwise_equal(ref_cols)) << label;
+    }
+  }
+}
+
+// Lanes survive the split-k chunk spec reconstruction (the bf16 path
+// rebuilds the spec with native storage - it must keep the lane count,
+// or splits would silently fall back to the scalar association).
+TEST(Linalg, SplitKPreservesLaneBlockingUnderBf16Storage) {
+  util::Xoshiro256pp rng(778);
+  const auto a = tensor::random_uniform<float>(tensor::Shape{17, 40}, -1e3,
+                                               1e3, rng);
+  const auto b = tensor::random_uniform<float>(tensor::Shape{40, 11}, -1e3,
+                                               1e3, rng);
+  core::EvalContext ctx;
+  ctx.accumulator = fp::parse_reduction_spec("kahan@simd8:bf16:f32");
+  // splits == 1 copies the single partial: bitwise the plain matmul under
+  // the same spec, which only holds if the chunk spec kept lanes == 8.
+  EXPECT_TRUE(dl::matmul_split_k(a, b, 1, ctx)
+                  .bitwise_equal(dl::matmul(a, b, ctx)));
+  // And the deterministic multi-split path stays run-to-run stable.
+  EXPECT_TRUE(dl::matmul_split_k(a, b, 4, ctx)
+                  .bitwise_equal(dl::matmul_split_k(a, b, 4, ctx)));
 }
 
 // bf16 storage semantics are operand quantization: running the native

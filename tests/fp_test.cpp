@@ -16,6 +16,7 @@
 #include "fpna/fp/bits.hpp"
 #include "fpna/fp/double_double.hpp"
 #include "fpna/fp/eft.hpp"
+#include "fpna/fp/simd.hpp"
 #include "fpna/fp/summation.hpp"
 #include "fpna/fp/superaccumulator.hpp"
 #include "fpna/util/permutation.hpp"
@@ -896,6 +897,238 @@ TEST(ReductionSpec, Bf16AccumulateDriftsFurtherThanMixedPrecision) {
   // bf16's 8-bit significand saturates a serial accumulation once the
   // running sum dwarfs the addends; fp32 accumulation does not.
   EXPECT_GT(std::fabs(pure - exact_quantized), 1.0);
+}
+
+// ------------------------------------------------- SIMD lane blocking --
+
+// Restores the force-scalar override (and therefore the dispatch tier)
+// however a test exits.
+struct ForceScalarGuard {
+  ~ForceScalarGuard() { set_simd_force_scalar(std::nullopt); }
+};
+
+TEST(Simd, SupportAndForceScalarRoundTrip) {
+  ForceScalarGuard guard;
+  const SimdSupport& support = simd_support();
+  // AVX-512F implies AVX2 on every real CPU; the detector preserves it.
+  if (support.avx512f) EXPECT_TRUE(support.avx2);
+  const std::string isa = simd_active_isa();
+  EXPECT_TRUE(isa == "avx512f" || isa == "avx2" || isa == "scalar");
+
+  set_simd_force_scalar(true);
+  EXPECT_TRUE(simd_force_scalar());
+  EXPECT_STREQ(simd_active_isa(), "scalar");
+  set_simd_force_scalar(false);
+  EXPECT_FALSE(simd_force_scalar());
+  set_simd_force_scalar(std::nullopt);  // back to the environment's answer
+  EXPECT_TRUE(isa == simd_active_isa());
+}
+
+// The certification property behind the whole tier: for every lane
+// count, the intrinsics dispatch and the portable scalar lane-emulation
+// are the SAME re-association, bit for bit - including when the stream
+// arrives in ragged pieces that leave the round-robin cursor mid-phase.
+template <typename Base, std::size_t L, typename T>
+void expect_intrinsics_match_emulation(std::span<const T> values) {
+  ForceScalarGuard guard;
+  // Reference: the always-compiled element loop (force-scalar on), fed
+  // the same ragged pieces.
+  const std::vector<std::size_t> cuts{0, 1, L - 1, L, 3 * L + 1,
+                                      values.size()};
+  const auto run = [&](bool force) {
+    set_simd_force_scalar(force);
+    LaneBlockedAccumulator<Base, L> acc;
+    std::size_t begin = 0;
+    for (const std::size_t cut : cuts) {
+      const std::size_t end = std::min(values.size(), std::max(cut, begin));
+      acc.add(values.subspan(begin, end - begin));
+      begin = end;
+    }
+    acc.add(values.subspan(begin));
+    return acc.result();
+  };
+  const auto emulated = run(true);
+  const auto dispatched = run(false);
+  EXPECT_EQ(to_bits(static_cast<double>(emulated)),
+            to_bits(static_cast<double>(dispatched)));
+}
+
+TEST(Simd, IntrinsicsMatchLaneEmulationBitwise) {
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                              std::size_t{64}, std::size_t{1000},
+                              std::size_t{4097}}) {
+    SCOPED_TRACE(n);
+    const auto v = random_values(n, -1e12, 1e12, 0xC0FFEE + n);
+    std::vector<float> vf(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      vf[i] = static_cast<float>(v[i]);
+    }
+    const std::span<const double> d(v);
+    const std::span<const float> f(vf);
+
+    expect_intrinsics_match_emulation<SerialAccumulator<double>, 4>(d);
+    expect_intrinsics_match_emulation<SerialAccumulator<double>, 8>(d);
+    expect_intrinsics_match_emulation<SerialAccumulator<double>, 16>(d);
+    expect_intrinsics_match_emulation<KahanAccumulator<double>, 4>(d);
+    expect_intrinsics_match_emulation<KahanAccumulator<double>, 8>(d);
+    expect_intrinsics_match_emulation<KahanAccumulator<double>, 16>(d);
+    expect_intrinsics_match_emulation<NeumaierAccumulator<double>, 4>(d);
+    expect_intrinsics_match_emulation<NeumaierAccumulator<double>, 8>(d);
+    expect_intrinsics_match_emulation<KleinAccumulator<double>, 4>(d);
+    expect_intrinsics_match_emulation<KleinAccumulator<double>, 8>(d);
+    expect_intrinsics_match_emulation<KleinAccumulator<double>, 16>(d);
+    expect_intrinsics_match_emulation<PairwiseAccumulator<double>, 4>(d);
+    expect_intrinsics_match_emulation<PairwiseAccumulator<double>, 8>(d);
+    expect_intrinsics_match_emulation<SerialAccumulator<float>, 8>(f);
+    expect_intrinsics_match_emulation<KahanAccumulator<float>, 8>(f);
+    expect_intrinsics_match_emulation<KahanAccumulator<float>, 16>(f);
+    expect_intrinsics_match_emulation<NeumaierAccumulator<float>, 16>(f);
+    expect_intrinsics_match_emulation<KleinAccumulator<float>, 8>(f);
+    expect_intrinsics_match_emulation<PairwiseAccumulator<float>, 16>(f);
+  }
+}
+
+TEST(Simd, LaneEmulationMatchesHandFoldedLanes) {
+  // Pin the reference re-association itself: element i goes to lane
+  // i mod L, lanes fold in ascending index order at result().
+  const auto v = random_values(1003, -1e6, 1e6, 77);
+  constexpr std::size_t kL = 4;
+  ForceScalarGuard guard;
+  set_simd_force_scalar(true);
+  LaneBlockedAccumulator<KahanAccumulator<double>, kL> acc;
+  acc.add(std::span<const double>(v));
+
+  std::array<KahanAccumulator<double>, kL> lanes;
+  for (std::size_t i = 0; i < v.size(); ++i) lanes[i % kL].add(v[i]);
+  KahanAccumulator<double> total = lanes[0];
+  for (std::size_t l = 1; l < kL; ++l) total.merge(lanes[l]);
+  EXPECT_TRUE(bitwise_equal(acc.result(), total.result()));
+}
+
+TEST(Simd, EverySpecInTheLaneGridRunsOnThisHost) {
+  // The portability half of the certificate: every registry algorithm
+  // composed with every lane count (and a dtype axis for good measure)
+  // evaluates on ANY host - intrinsics where the CPU has them, the
+  // emulation elsewhere - with force-scalar toggling never moving bits.
+  ForceScalarGuard guard;
+  const auto v = random_values(2048, -1e3, 1e3, 88);
+  const std::span<const double> values(v);
+  for (const auto& entry : AlgorithmRegistry::instance().entries()) {
+    for (const std::size_t lanes : kSimdLaneCounts) {
+      SCOPED_TRACE(entry.name + "@simd" + std::to_string(lanes));
+      const ReductionSpec spec{entry.id, Dtype::kNative, Dtype::kNative,
+                               static_cast<std::uint8_t>(lanes)};
+      set_simd_force_scalar(false);
+      const double fast = reduce(spec, values);
+      set_simd_force_scalar(true);
+      const double emulated = reduce(spec, values);
+      EXPECT_TRUE(bitwise_equal(fast, emulated));
+
+      const ReductionSpec mixed{entry.id, Dtype::kBf16, Dtype::kF32,
+                                static_cast<std::uint8_t>(lanes)};
+      set_simd_force_scalar(false);
+      const double fast_mixed = reduce(mixed, values);
+      set_simd_force_scalar(true);
+      const double emulated_mixed = reduce(mixed, values);
+      EXPECT_TRUE(bitwise_equal(fast_mixed, emulated_mixed));
+    }
+  }
+}
+
+TEST(Simd, Simd1IsBitwiseTheBaseScalar) {
+  // @simd1 is the base algorithm by construction: the grammar accepts
+  // it, the spec normalises back to the bare name, and the bits agree.
+  const ReductionSpec one = parse_reduction_spec("kahan@simd1");
+  EXPECT_EQ(one.lanes, 1);
+  EXPECT_FALSE(one.lane_blocked());
+  EXPECT_EQ(one, parse_reduction_spec("kahan"));
+  EXPECT_EQ(to_string(one), "kahan");
+
+  const auto v = random_values(4096, -1e9, 1e9, 99);
+  EXPECT_TRUE(bitwise_equal(reduce(one, std::span<const double>(v)),
+                            reduce(AlgorithmId::kKahan,
+                                   std::span<const double>(v))));
+}
+
+TEST(Simd, GrammarRoundTripsWithLanes) {
+  const ReductionSpec full = parse_reduction_spec("kahan@simd8:bf16:f32");
+  EXPECT_EQ(full.algorithm, AlgorithmId::kKahan);
+  EXPECT_EQ(full.lanes, 8);
+  EXPECT_EQ(full.storage, Dtype::kBf16);
+  EXPECT_EQ(full.accumulate, Dtype::kF32);
+  EXPECT_EQ(to_string(full), "kahan@simd8:bf16:f32");
+  EXPECT_EQ(parse_reduction_spec(to_string(full)), full);
+
+  const ReductionSpec bare = parse_reduction_spec("serial@simd4");
+  EXPECT_EQ(bare.lanes, 4);
+  EXPECT_TRUE(bare.native());
+  EXPECT_EQ(to_string(bare), "serial@simd4");
+  EXPECT_EQ(parse_reduction_spec(to_string(bare)), bare);
+
+  // with_lanes is the programmatic spelling of the same axis.
+  EXPECT_EQ(parse_reduction_spec("klein").with_lanes(16),
+            parse_reduction_spec("klein@simd16"));
+}
+
+TEST(Simd, UnsupportedLaneTokensThrowListingTheValidSet) {
+  for (const char* bad : {"kahan@simd3", "kahan@simd0", "kahan@simd32",
+                          "kahan@simdx", "kahan@simd"}) {
+    SCOPED_TRACE(bad);
+    try {
+      parse_reduction_spec(bad);
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& error) {
+      const std::string what = error.what();
+      EXPECT_NE(what.find('4'), std::string::npos);
+      EXPECT_NE(what.find("16"), std::string::npos);
+    }
+  }
+  EXPECT_THROW(
+      visit_lane_algorithm(AlgorithmId::kKahan, 3, [](auto) { return 0; }),
+      std::invalid_argument);
+}
+
+TEST(Simd, RegistryCatalogueErrorMentionsTheLaneAxis) {
+  try {
+    AlgorithmRegistry::instance().at("no-such-algorithm");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("@simd"), std::string::npos);
+  }
+}
+
+TEST(Simd, AddI64MatchesScalarLoop) {
+  ForceScalarGuard guard;
+  std::vector<std::int64_t> a(137), b(137), reference;
+  util::Xoshiro256pp rng(3);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<std::int64_t>(rng()) >> 8;
+    b[i] = static_cast<std::int64_t>(rng()) >> 8;
+  }
+  reference = a;
+  for (std::size_t i = 0; i < a.size(); ++i) reference[i] += b[i];
+  set_simd_force_scalar(false);
+  simd_add_i64(a.data(), b.data(), a.size());
+  EXPECT_EQ(a, reference);
+}
+
+TEST(Superaccumulator, AddWireMatchesDeserializeAdd) {
+  const auto v = random_values(512, -1e30, 1e30, 1234);
+  Superaccumulator incoming;
+  incoming.add(std::span<const double>(v).subspan(0, 256));
+  std::vector<std::uint64_t> words(Superaccumulator::kWireWords);
+  incoming.serialize(words);
+
+  Superaccumulator via_wire, via_deserialize;
+  via_wire.add(std::span<const double>(v).subspan(256));
+  via_deserialize.add(std::span<const double>(v).subspan(256));
+  via_wire.add_wire(words);
+  via_deserialize.add(Superaccumulator::deserialize(words));
+  EXPECT_TRUE(via_wire.equals(via_deserialize));
+  EXPECT_TRUE(bitwise_equal(via_wire.round(), via_deserialize.round()));
+
+  std::vector<std::uint64_t> wrong(Superaccumulator::kWireWords - 1);
+  EXPECT_THROW(via_wire.add_wire(wrong), std::invalid_argument);
 }
 
 // Contrast property: the serial sum is NOT permutation invariant on the

@@ -5,11 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <optional>
 #include <vector>
 
 #include "fpna/core/harness.hpp"
 #include "fpna/core/metrics.hpp"
+#include "fpna/fp/accumulator.hpp"
 #include "fpna/fp/bits.hpp"
+#include "fpna/fp/simd.hpp"
 #include "fpna/fp/summation.hpp"
 #include "fpna/fp/superaccumulator.hpp"
 #include "fpna/reduce/block_sum.hpp"
@@ -315,6 +318,45 @@ TEST(CpuSum, EmptyInputs) {
   EXPECT_EQ(cpu_sum_reproducible(empty, 4), 0.0);
   core::RunContext ctx(1, 0);
   EXPECT_EQ(cpu_sum_unordered(empty, ctx, 4), 0.0);
+}
+
+TEST(CpuSum, LaneBlockedSpecsAreDeterministicAndHostIndependent) {
+  // A lane-blocked spec through the unified entry point: run-to-run
+  // stable, identical with and without a pool (same chunks, index-order
+  // merge), and - the certification property - identical whether the
+  // intrinsics dispatch or the forced scalar lane-emulation executes.
+  const auto v = test_array(60000, 17);
+  util::ThreadPool pool(4);
+  for (const char* name : {"serial@simd4", "kahan@simd8", "klein@simd16"}) {
+    SCOPED_TRACE(name);
+    core::EvalContext ctx;
+    ctx.accumulator = fp::parse_reduction_spec(name);
+    const double reference = cpu_sum(v, ctx, 8);
+    EXPECT_TRUE(fp::bitwise_equal(cpu_sum(v, ctx, 8), reference));
+
+    core::EvalContext pooled = ctx;
+    pooled.pool = &pool;
+    EXPECT_TRUE(fp::bitwise_equal(cpu_sum(v, pooled, 8), reference));
+
+    fp::set_simd_force_scalar(true);
+    const double emulated = cpu_sum(v, ctx, 8);
+    fp::set_simd_force_scalar(std::nullopt);
+    EXPECT_TRUE(fp::bitwise_equal(emulated, reference));
+  }
+}
+
+TEST(CpuSum, LaneBlockingChangesTheAssociationDeterministically) {
+  // @simd<L> names a DIFFERENT re-association than the base algorithm
+  // (that is the point - it is a new registry name, not an approximation
+  // of the old one), picked up deterministically. Wide mixed-sign data:
+  // with near-constant positive addends the two associations can round
+  // to the same bits by accident.
+  const auto v = test_array(50000, 18);
+  core::EvalContext base, simd;
+  simd.accumulator = fp::parse_reduction_spec("serial@simd8");
+  const double lane_blocked = cpu_sum(v, simd, 8);
+  EXPECT_FALSE(fp::bitwise_equal(lane_blocked, cpu_sum(v, base, 8)));
+  EXPECT_TRUE(fp::bitwise_equal(cpu_sum(v, simd, 8), lane_blocked));
 }
 
 // Table 3 scenario: the ordered reduction is bitwise stable over trials,
