@@ -1,18 +1,21 @@
 #pragma once
 // Shared helpers for the experiment harnesses: seeded data generation,
 // the standard CLI contract (--runs, --size, --seed, --full, --csv,
-// --json=<path>), bit-pattern fingerprints and the machine-readable JSON
-// emitter behind the CI determinism gate.
+// --json=<path>, --trace=<path>, --provenance=<path>), bit-pattern
+// fingerprints and the machine-readable JSON emitter behind the CI
+// determinism gate.
 
 #include <bit>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "fpna/obs/recorder.hpp"
 #include "fpna/util/cli.hpp"
 #include "fpna/util/rng.hpp"
 #include "fpna/util/table.hpp"
@@ -137,6 +140,61 @@ inline void write_json(const std::string& path, const std::string& bench_name,
   out << (tables.empty() ? "]" : "\n  ]") << "\n}\n";
   if (!out) throw std::runtime_error("write_json: write failed: " + path);
 }
+
+// ------------------------------------------------------ observability ----
+
+/// The --trace=<file> / --provenance=<file> contract shared by the bench
+/// harnesses. Either flag attaches an obs::Recorder (recorder() != nullptr)
+/// that the harness threads through the EvalContexts of its *correctness*
+/// passes - timing loops stay untraced so instrumentation never skews the
+/// numbers being measured. finish() writes whichever outputs were
+/// requested; two provenance dumps of a reproducible configuration feed
+/// scripts/trace_divergence.py (the CI trace gate).
+class ObsOptions {
+ public:
+  explicit ObsOptions(const util::Cli& cli)
+      : trace_path_(cli.text("trace", "")),
+        provenance_path_(cli.text("provenance", "")) {
+    if (!trace_path_.empty() || !provenance_path_.empty()) {
+      recorder_ = std::make_unique<obs::Recorder>();
+    }
+  }
+
+  obs::Recorder* recorder() const noexcept { return recorder_.get(); }
+  bool enabled() const noexcept { return recorder_ != nullptr; }
+
+  /// Rows of the recorder's metrics registry as a printable/JSON-able
+  /// table (empty table when tracing is off).
+  util::Table metrics_table() const {
+    util::Table table({"metric", "type", "value", "samples"});
+    if (recorder_ != nullptr) {
+      for (const auto& row : recorder_->metrics().snapshot()) {
+        table.add_row({row.name, row.type, row.value, row.count});
+      }
+    }
+    return table;
+  }
+
+  /// Writes the Chrome trace and/or provenance JSONL the flags asked for.
+  void finish() const {
+    if (recorder_ == nullptr) return;
+    if (!trace_path_.empty()) {
+      recorder_->write_chrome_trace(trace_path_);
+      std::cerr << "trace: " << recorder_->event_count() << " events -> "
+                << trace_path_ << "\n";
+    }
+    if (!provenance_path_.empty()) {
+      recorder_->write_provenance_jsonl(provenance_path_);
+      std::cerr << "provenance: " << recorder_->provenance_count()
+                << " records -> " << provenance_path_ << "\n";
+    }
+  }
+
+ private:
+  std::string trace_path_;
+  std::string provenance_path_;
+  std::unique_ptr<obs::Recorder> recorder_;
+};
 
 /// Warns about unknown flags (after all lookups) and returns the count.
 inline int warn_unconsumed(const util::Cli& cli) {

@@ -137,6 +137,12 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(cli.integer("seed", 42));
   const bool csv = cli.flag("csv");
   const std::string json = cli.text("json", "");
+  // --trace / --provenance attach a recorder to the deterministic passes
+  // (the exact reduction and the ring-layout table) - the provenance dump
+  // is a pure function of the flags, so two identical invocations must
+  // produce byte-identical files (the CI trace gate).
+  const bench::ObsOptions obs_opts(cli);
+  obs::Recorder* const recorder = obs_opts.recorder();
   const comm::WirePath wire =
       comm::parse_wire_path(cli.text("wire", "allgather"));
   const bool backward_overlap = cli.text("overlap", "") == "backward";
@@ -166,6 +172,7 @@ int main(int argc, char** argv) {
 
   util::ThreadPool pool(threads);
   core::EvalContext exact_ctx;
+  exact_ctx.recorder = recorder;
   comm::SimProcessGroup exact_group(1);
   const std::vector<std::size_t> exact_owner(samples, 0);
   const auto exact = comm::sharded_bucketed_allreduce(
@@ -264,14 +271,15 @@ int main(int argc, char** argv) {
       }
     }
     for (const std::size_t ranks : {2u, 4u, 8u, 16u, 32u}) {
-      comm::SimProcessGroup pg(ranks);
+      comm::SimProcessGroup pg(ranks, wire);
       std::vector<std::size_t> owner(samples);
       for (std::size_t s = 0; s < samples; ++s) owner[s] = s % ranks;
       std::vector<comm::TensorList<double>> per_cap;
       for (const std::size_t cap : caps) {
         comm::BucketedConfig config;
         config.bucket_cap_elements = cap;
-        const core::EvalContext ctx;  // deterministic, serial local folds
+        core::EvalContext ctx;  // deterministic, serial local folds
+        ctx.recorder = recorder;
         per_cap.push_back(comm::sharded_bucketed_allreduce(
             pg, sample_grads, owner, collective::Algorithm::kRing, ctx,
             config));
@@ -341,17 +349,20 @@ int main(int argc, char** argv) {
     }
   }
 
+  const util::Table metrics_table = obs_opts.metrics_table();
   if (!json.empty()) {
     std::vector<bench::NamedTable> tables{{"sweep", &table},
                                           {"ring_layout", &ring_table}};
     if (backward_overlap) {
       tables.push_back({"backward_overlap", &backward_table});
     }
+    if (obs_opts.enabled()) tables.push_back({"metrics", &metrics_table});
     bench::write_json(json, "bucketed_allreduce", tables);
   }
   if (csv) {
     table.print_csv(std::cout);
     ring_table.print_csv(std::cout);
+    if (obs_opts.enabled()) metrics_table.print_csv(std::cout);
   } else {
     table.print(std::cout);
     std::cout
@@ -383,6 +394,11 @@ int main(int argc, char** argv) {
              "emission-order layout (stable, but its own bits), and the "
              "arrival tree stays non-deterministic either way.\n";
     }
+    if (obs_opts.enabled()) {
+      util::banner(std::cout, "Recorder metrics (traced passes)");
+      metrics_table.print(std::cout);
+    }
   }
+  obs_opts.finish();
   return bench::warn_unconsumed(cli) == 0 ? 0 : 1;
 }

@@ -91,6 +91,11 @@ int main(int argc, char** argv) {
       fp::parse_reduction_spec(cli.text("accumulator", "serial"));
   const bool csv = cli.flag("csv");
   const std::string json = cli.text("json", "");
+  // --trace / --provenance attach a recorder to the *correctness* passes
+  // only; the timing lambdas keep recorder-free contexts so tracing never
+  // skews the measured numbers.
+  const bench::ObsOptions obs_opts(cli);
+  obs::Recorder* const recorder = obs_opts.recorder();
 
   util::banner(std::cout, "Deterministic pool-parallel dense kernels (" +
                               std::to_string(size) + "^3, " +
@@ -139,12 +144,12 @@ int main(int argc, char** argv) {
   for (const auto& kernel : kernels) {
     core::EvalContext serial_ctx;
     serial_ctx.accumulator = sweep_spec;
-    const Matrix serial = kernel.run(serial_ctx);
+    const Matrix serial = kernel.run(serial_ctx.with_recorder(recorder));
     const auto serial_stats = util::time_repeated(
         [&] { (void)kernel.run(serial_ctx); }, reps, 1);
     for (std::size_t t = 0; t < thread_counts.size(); ++t) {
       const core::EvalContext ctx = serial_ctx.with_pool(pools[t].get());
-      const Matrix pooled = kernel.run(ctx);
+      const Matrix pooled = kernel.run(ctx.with_recorder(recorder));
       const auto pooled_stats =
           util::time_repeated([&] { (void)kernel.run(ctx); }, reps, 1);
       const std::int64_t ulps = max_ulps(serial, pooled);
@@ -271,7 +276,8 @@ int main(int argc, char** argv) {
   for (const std::size_t splits : {2u, 8u, 32u}) {
     core::EvalContext det_ctx;
     det_ctx.pool = &pool4;
-    const Matrix det_a = dl::matmul_split_k(ill_a, ill_b, splits, det_ctx);
+    const Matrix det_a = dl::matmul_split_k(ill_a, ill_b, splits,
+                                            det_ctx.with_recorder(recorder));
     const Matrix det_b = dl::matmul_split_k(ill_a, ill_b, splits, det_ctx);
     if (!det_a.bitwise_equal(det_b)) gate_ok = false;
     splitk_table.add_row({std::to_string(splits), "chunk order", "2", "1", "0",
@@ -284,6 +290,7 @@ int main(int argc, char** argv) {
       core::RunContext run(seed + 11, r);
       core::EvalContext nd_ctx = core::EvalContext::nondeterministic_on(run);
       nd_ctx.pool = &pool4;
+      nd_ctx.recorder = recorder;  // seeded shuffles: reproducible traces
       const Matrix shuffled =
           dl::matmul_split_k(ill_a, ill_b, splits, nd_ctx);
       const std::string bits = fingerprint(shuffled);
@@ -297,12 +304,15 @@ int main(int argc, char** argv) {
                           std::to_string(worst), first_bits, "no"});
   }
 
+  const util::Table metrics_table = obs_opts.metrics_table();
+
   if (csv) {
     threads_table.print_csv(std::cout);
     acc_table.print_csv(std::cout);
     simd_table.print_csv(std::cout);
     dtype_table.print_csv(std::cout);
     splitk_table.print_csv(std::cout);
+    if (obs_opts.enabled()) metrics_table.print_csv(std::cout);
   } else {
     util::banner(std::cout, "Thread sweep (row-blocked pool, " +
                                 fp::to_string(sweep_spec) + ")");
@@ -325,16 +335,24 @@ int main(int argc, char** argv) {
                  "quantization only; bf16:bf16 also accumulates in bf16 "
                  "and drifts much further). Only the deliberately "
                  "re-associating split-k shuffle rows move their bits.\n";
+    if (obs_opts.enabled()) {
+      util::banner(std::cout, "Recorder metrics (traced correctness passes)");
+      metrics_table.print(std::cout);
+    }
   }
 
   if (!json.empty()) {
-    bench::write_json(json, "microbench_matmul",
-                      {{"threads", &threads_table},
-                       {"accumulators", &acc_table},
-                       {"simd_lanes", &simd_table},
-                       {"dtypes", &dtype_table},
-                       {"split_k", &splitk_table}});
+    std::vector<bench::NamedTable> json_tables{{"threads", &threads_table},
+                                               {"accumulators", &acc_table},
+                                               {"simd_lanes", &simd_table},
+                                               {"dtypes", &dtype_table},
+                                               {"split_k", &splitk_table}};
+    if (obs_opts.enabled()) {
+      json_tables.push_back({"metrics", &metrics_table});
+    }
+    bench::write_json(json, "microbench_matmul", json_tables);
   }
+  obs_opts.finish();
 
   if (!gate_ok) {
     std::cerr << "FAIL: a pooled result deviated from serial (or a "

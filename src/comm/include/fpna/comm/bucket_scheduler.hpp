@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "fpna/comm/bucketing.hpp"
+#include "fpna/obs/recorder.hpp"
 #include "fpna/util/thread_pool.hpp"
 
 namespace fpna::comm {
@@ -35,9 +36,14 @@ class BucketScheduler {
   /// `tensor_sizes` lists the tensors in *firing order* (for a backward
   /// pass: the order gradients are produced, i.e. reverse layer order);
   /// BucketAssigner(cap) packs them into the buckets notify_ready fires.
+  /// With a recorder attached, each firing runs inside a
+  /// "comm.bucket.fire" span under the thread-local scope "bucket/<b>" -
+  /// the span is the overlap timeline's raw material, the scope keeps
+  /// provenance emitted by concurrent firings canonically separable.
   BucketScheduler(std::span<const std::size_t> tensor_sizes,
                   std::size_t bucket_cap_elements, FireFn fire,
-                  util::ThreadPool* pool = nullptr);
+                  util::ThreadPool* pool = nullptr,
+                  obs::Recorder* recorder = nullptr);
 
   /// Joins outstanding buckets (failures are observed by finish(); the
   /// destructor swallows them to stay noexcept).
@@ -69,6 +75,7 @@ class BucketScheduler {
   std::vector<char> fired_;              // per bucket
   FireFn fire_;
   util::ThreadPool* pool_;
+  obs::Recorder* recorder_;
   std::vector<std::future<void>> pending_;
   bool finished_ = false;
 };

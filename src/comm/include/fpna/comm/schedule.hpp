@@ -33,11 +33,12 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
+#include <memory>
 #include <string_view>
 #include <vector>
 
 #include "fpna/collective/allreduce.hpp"
+#include "fpna/obs/metrics.hpp"
 
 namespace fpna::comm {
 
@@ -150,9 +151,18 @@ struct Traffic {
 
 /// Thread-safe per-rank traffic counters (bucketed_allreduce may issue
 /// concurrent collectives on the pool when overlap is enabled).
+///
+/// The counts live in obs::Counter shards - the run-wide counting
+/// mechanism - and this class is only the per-rank *view* that keeps the
+/// historic Traffic accessor API. Pass an external obs::Metrics (e.g. a
+/// Recorder's) to surface "comm.traffic.rank<r>.*" in that registry's
+/// snapshot (and hence the bench metrics table); by default the ledger
+/// owns a private registry. Recording is lock-free either way - the old
+/// ledger mutex is gone, so overlapped bucket firings never serialise on
+/// accounting.
 class TrafficLedger {
  public:
-  explicit TrafficLedger(std::size_t ranks) : per_rank_(ranks) {}
+  explicit TrafficLedger(std::size_t ranks, obs::Metrics* metrics = nullptr);
 
   /// One call per message: sender + receiver + message count.
   void record_message(std::size_t sender, std::size_t receiver,
@@ -167,8 +177,14 @@ class TrafficLedger {
   void reset();
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<Traffic> per_rank_;
+  struct RankCounters {
+    obs::Counter* bytes_sent = nullptr;
+    obs::Counter* bytes_received = nullptr;
+    obs::Counter* messages = nullptr;
+  };
+
+  std::unique_ptr<obs::Metrics> owned_;  // null when viewing external metrics
+  std::vector<RankCounters> per_rank_;
 };
 
 }  // namespace fpna::comm

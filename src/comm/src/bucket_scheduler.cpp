@@ -9,14 +9,16 @@ namespace fpna::comm {
 
 BucketScheduler::BucketScheduler(std::span<const std::size_t> tensor_sizes,
                                  std::size_t bucket_cap_elements, FireFn fire,
-                                 util::ThreadPool* pool)
+                                 util::ThreadPool* pool,
+                                 obs::Recorder* recorder)
     : buckets_(BucketAssigner(bucket_cap_elements).assign(tensor_sizes)),
       bucket_of_(tensor_sizes.size(), 0),
       remaining_(buckets_.size(), 0),
       notified_(tensor_sizes.size(), 0),
       fired_(buckets_.size(), 0),
       fire_(std::move(fire)),
-      pool_(pool) {
+      pool_(pool),
+      recorder_(recorder) {
   if (!fire_) {
     throw std::invalid_argument("BucketScheduler: empty fire callback");
   }
@@ -42,12 +44,28 @@ BucketScheduler::~BucketScheduler() {
 
 void BucketScheduler::fire(std::size_t bucket_index) {
   fired_[bucket_index] = 1;
+  // The traced firing runs - inline or on the worker - under the scope
+  // "bucket/<b>" (so provenance from concurrent firings stays canonically
+  // separable) inside a "comm.bucket.fire" span on the executing thread.
+  const auto run_fire = [this, bucket_index] {
+    if (recorder_ == nullptr) {
+      fire_(bucket_index, buckets_[bucket_index]);
+      return;
+    }
+    const Bucket& bucket = buckets_[bucket_index];
+    const obs::ScopeGuard scope("bucket/" + std::to_string(bucket_index));
+    obs::Span span(recorder_, "comm.bucket.fire");
+    span.arg("bucket", static_cast<std::uint64_t>(bucket_index));
+    span.arg("tensors", static_cast<std::uint64_t>(bucket.tensor_count));
+    span.arg("elements", static_cast<std::uint64_t>(bucket.elements));
+    recorder_->metrics().counter("comm.bucket.firings").increment();
+    fire_(bucket_index, bucket);
+  };
   if (pool_ != nullptr) {
-    pending_.push_back(pool_->submit(
-        [this, bucket_index] { fire_(bucket_index, buckets_[bucket_index]); }));
+    pending_.push_back(pool_->submit(run_fire));
     return;
   }
-  fire_(bucket_index, buckets_[bucket_index]);
+  run_fire();
 }
 
 void BucketScheduler::notify_ready(std::size_t tensor) {

@@ -10,11 +10,30 @@
 
 #include "fpna/core/run_context.hpp"
 #include "fpna/fp/accumulator.hpp"
+#include "fpna/obs/recorder.hpp"
 #include "fpna/util/thread_pool.hpp"
 
 namespace fpna::comm {
 
 namespace {
+
+/// Per-bucket provenance: fingerprint of the reduced flat buffer, under
+/// whatever scope the caller established ("bucket/<b>" in the firing
+/// paths). Emitted by the thread that ran the reduction; the canonical
+/// provenance order keys on (scope, site, index), so concurrent buckets
+/// land deterministically regardless of firing order.
+template <typename T>
+void emit_bucket_provenance(obs::Recorder* recorder, std::size_t bucket_index,
+                            const std::vector<T>& reduced,
+                            const core::EvalContext& bctx) {
+  if (recorder == nullptr) return;
+  obs::Fingerprint print;
+  for (const T v : reduced) print.feed(v);
+  recorder->provenance({"comm.bucketed_allreduce", "bucket",
+                        static_cast<std::int64_t>(bucket_index), -1,
+                        fp::to_string(bctx.reduction_in_effect()),
+                        print.value(), reduced.size()});
+}
 
 /// Checks that every list in `lists` agrees with `sizes` (tensor count and
 /// per-tensor element counts).
@@ -188,11 +207,20 @@ TensorList<T> bucketed_allreduce(ProcessGroup& pg,
   };
   const auto reduce_and_unpack = [&](std::size_t b,
                                      collective::RankDataT<T> packed) {
+    std::optional<obs::ScopeGuard> scope_guard;
+    if (ctx.recorder != nullptr) {
+      scope_guard.emplace("bucket/" + std::to_string(b));
+    }
+    obs::Span span(ctx.recorder, "comm.bucket.reduce");
+    span.arg("bucket", static_cast<std::uint64_t>(b));
+    span.arg("elements", static_cast<std::uint64_t>(buckets[b].elements));
+    span.arg("algorithm", collective::to_string(algorithm));
     std::optional<core::RunContext> run_storage;
     const core::EvalContext bctx =
         bucket_context(ctx, config, b, run_storage, needs_run, seeds[b]);
     const std::vector<T> reduced =
         pg.allreduce(packed, algorithm, bctx, config.block_elements);
+    emit_bucket_provenance(ctx.recorder, b, reduced, bctx);
     unpack_bucket(reduced, buckets[b], identity, sizes, result);
   };
   // MPI-style backends must issue collectives in the same order on every
@@ -363,7 +391,7 @@ OverlappedBucketAllreduce<T>::OverlappedBucketAllreduce(
   scheduler_.emplace(
       std::span<const std::size_t>(slot_sizes), config_.bucket_cap_elements,
       [this](std::size_t b, const Bucket& bucket) { fire(b, bucket); },
-      pool);
+      pool, ctx_.recorder);
   if (algorithm_ == collective::Algorithm::kArrivalTree) {
     if (ctx_.run == nullptr) {
       throw std::invalid_argument(
@@ -392,6 +420,8 @@ void OverlappedBucketAllreduce<T>::fire(std::size_t bucket_index,
       pack_bucket(rank_tensors_, bucket, slot_tensor, &tensor_sizes_);
   const std::vector<T> reduced =
       pg_.allreduce(packed, algorithm_, bctx, config_.block_elements);
+  // Runs inside the scheduler's "bucket/<b>" scope + firing span.
+  emit_bucket_provenance(ctx_.recorder, bucket_index, reduced, bctx);
   unpack_bucket(reduced, bucket, slot_tensor, tensor_sizes_, combined_);
 }
 

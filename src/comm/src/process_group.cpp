@@ -8,6 +8,7 @@
 
 #include "fpna/fp/accumulator.hpp"
 #include "fpna/fp/superaccumulator.hpp"
+#include "fpna/obs/recorder.hpp"
 
 #ifdef FPNA_HAVE_MPI
 #include <mpi.h>
@@ -115,7 +116,11 @@ void check_schedule(const CollectiveSchedule& schedule, std::size_t ranks,
 template <typename T>
 std::vector<T> sim_value_reduce_scatter(const CollectiveSchedule& schedule,
                                         const collective::RankDataT<T>& data,
-                                        TrafficLedger& ledger) {
+                                        TrafficLedger& ledger,
+                                        obs::Recorder* recorder) {
+  obs::Span span(recorder, "comm.reduce_scatter.value");
+  span.arg("wire", to_string(schedule.path()));
+  span.arg("elements", static_cast<std::uint64_t>(schedule.elements()));
   collective::RankDataT<T> buffers = data;
   const auto& messages = schedule.messages();
   for (std::size_t m = 0; m < schedule.reduce_message_count(); ++m) {
@@ -132,6 +137,21 @@ std::vector<T> sim_value_reduce_scatter(const CollectiveSchedule& schedule,
       for (std::size_t i = msg.range.begin; i < msg.range.end; ++i) {
         dst[i] = static_cast<T>(dst[i] + src[i]);
       }
+    }
+    if (recorder != nullptr) {
+      // The receiver's freshly combined range: (step, receiver) is a
+      // unique wire coordinate within the reduce phase of any schedule,
+      // and emission happens here on the calling thread in message
+      // order, so provenance is deterministic by construction.
+      obs::Fingerprint print;
+      for (std::size_t i = msg.range.begin; i < msg.range.end; ++i) {
+        print.feed(dst[i]);
+      }
+      recorder->provenance({"comm.wire", "wire_step",
+                            static_cast<std::int64_t>(msg.step),
+                            static_cast<std::int64_t>(msg.receiver),
+                            to_string(schedule.path()), print.value(),
+                            msg.range.size()});
     }
   }
   std::vector<T> result(schedule.elements(), T{0});
@@ -180,7 +200,13 @@ template <typename T>
 std::vector<T> sim_state_reduce_scatter(const CollectiveSchedule& schedule,
                                         const collective::RankDataT<T>& data,
                                         const fp::ReductionSpec& spec,
-                                        TrafficLedger& ledger) {
+                                        TrafficLedger& ledger,
+                                        obs::Recorder* recorder) {
+  obs::Span span(recorder, "comm.reduce_scatter.state");
+  span.arg("wire", to_string(schedule.path()));
+  span.arg("elements", static_cast<std::uint64_t>(schedule.elements()));
+  const std::string spec_str =
+      recorder != nullptr ? fp::to_string(spec) : std::string();
   const std::size_t n = schedule.elements();
   return fp::visit_reduction<T>(
       spec, [&](auto, auto acc_c, auto quantize) -> std::vector<T> {
@@ -199,11 +225,21 @@ std::vector<T> sim_state_reduce_scatter(const CollectiveSchedule& schedule,
           const Message& msg = messages[m];
           ledger.record_message(msg.sender, msg.receiver,
                                 msg.range.size() * kStateBytes);
+          obs::Fingerprint print;  // over this message's wire payload
           for (std::size_t i = msg.range.begin; i < msg.range.end; ++i) {
             states[msg.sender][i].serialize(words);
+            if (recorder != nullptr) {
+              for (const std::uint64_t w : words) print.feed(w);
+            }
             // add_wire merges the wire image in place - bitwise the
             // deserialize-then-add path, minus the copy.
             states[msg.receiver][i].add_wire(words);
+          }
+          if (recorder != nullptr) {
+            recorder->provenance({"comm.wire", "wire_step",
+                                  static_cast<std::int64_t>(msg.step),
+                                  static_cast<std::int64_t>(msg.receiver),
+                                  spec_str, print.value(), msg.range.size()});
           }
         }
         std::vector<T> result(n, T{0});
@@ -302,9 +338,10 @@ std::vector<T> sim_reduce_scatter(std::size_t ranks, TrafficLedger& ledger,
   check_schedule(schedule, ranks, data.front().size(), algorithm);
   if (algorithm == collective::Algorithm::kReproducible) {
     return sim_state_reduce_scatter(schedule, data,
-                                    wire_reproducible_spec(ctx), ledger);
+                                    wire_reproducible_spec(ctx), ledger,
+                                    ctx.recorder);
   }
-  return sim_value_reduce_scatter(schedule, data, ledger);
+  return sim_value_reduce_scatter(schedule, data, ledger, ctx.recorder);
 }
 
 }  // namespace

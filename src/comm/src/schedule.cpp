@@ -244,43 +244,60 @@ std::size_t CollectiveSchedule::elements_sent(
 
 // ------------------------------------------------------------- traffic --
 
+TrafficLedger::TrafficLedger(std::size_t ranks, obs::Metrics* metrics) {
+  if (metrics == nullptr) {
+    owned_ = std::make_unique<obs::Metrics>();
+    metrics = owned_.get();
+  }
+  per_rank_.reserve(ranks);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    const std::string prefix = "comm.traffic.rank" + std::to_string(r);
+    per_rank_.push_back({&metrics->counter(prefix + ".bytes_sent"),
+                         &metrics->counter(prefix + ".bytes_received"),
+                         &metrics->counter(prefix + ".messages")});
+  }
+}
+
 void TrafficLedger::record_exchange(std::size_t rank,
                                     std::uint64_t bytes_sent,
                                     std::uint64_t bytes_received,
                                     std::uint64_t messages) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  per_rank_[rank].bytes_sent += bytes_sent;
-  per_rank_[rank].bytes_received += bytes_received;
-  per_rank_[rank].messages += messages;
+  RankCounters& c = per_rank_.at(rank);
+  c.bytes_sent->add(bytes_sent);
+  c.bytes_received->add(bytes_received);
+  c.messages->add(messages);
 }
 
 void TrafficLedger::record_message(std::size_t sender, std::size_t receiver,
                                    std::uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  per_rank_[sender].bytes_sent += bytes;
-  per_rank_[sender].messages += 1;
-  per_rank_[receiver].bytes_received += bytes;
+  RankCounters& sc = per_rank_.at(sender);
+  sc.bytes_sent->add(bytes);
+  sc.messages->increment();
+  per_rank_.at(receiver).bytes_received->add(bytes);
 }
 
 Traffic TrafficLedger::of_rank(std::size_t rank) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return per_rank_.at(rank);
+  const RankCounters& c = per_rank_.at(rank);
+  return {c.bytes_sent->value(), c.bytes_received->value(),
+          c.messages->value()};
 }
 
 Traffic TrafficLedger::total() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   Traffic sum;
-  for (const Traffic& t : per_rank_) {
-    sum.bytes_sent += t.bytes_sent;
-    sum.bytes_received += t.bytes_received;
-    sum.messages += t.messages;
+  for (const RankCounters& c : per_rank_) {
+    sum.bytes_sent += c.bytes_sent->value();
+    sum.bytes_received += c.bytes_received->value();
+    sum.messages += c.messages->value();
   }
   return sum;
 }
 
 void TrafficLedger::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (Traffic& t : per_rank_) t = Traffic{};
+  for (RankCounters& c : per_rank_) {
+    c.bytes_sent->reset();
+    c.bytes_received->reset();
+    c.messages->reset();
+  }
 }
 
 }  // namespace fpna::comm

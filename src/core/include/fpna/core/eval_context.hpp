@@ -16,7 +16,10 @@
 //                  routes through (default: native/native/serial, which
 //                  reproduces the historic values bit for bit);
 //   * deterministic_override - per-context override of the global
-//                  DeterminismContext switch (unset: defer to the global).
+//                  DeterminismContext switch (unset: defer to the global);
+//   * recorder   - nullable observability sink (obs::Recorder): trace
+//                  spans, bit-provenance and metrics when attached,
+//                  bit-identical no-ops when nullptr.
 //
 // tensor::OpContext is an alias of this type, so tensor ops and everything
 // layered on them (dl) take the same context as reduce and collective.
@@ -30,6 +33,10 @@
 
 namespace fpna::util {
 class ThreadPool;
+}
+
+namespace fpna::obs {
+class Recorder;
 }
 
 namespace fpna::core {
@@ -57,6 +64,12 @@ struct EvalContext {
   /// Tri-state determinism override: unset defers to the process-wide
   /// DeterminismContext switch; set forces this context one way.
   std::optional<bool> deterministic_override{};
+  /// Observability sink: trace spans, bit-provenance records and metrics
+  /// flow here when set. nullptr (the default) is the certified-identical
+  /// path - instrumented kernels do nothing beyond this null check, and
+  /// tracing itself never touches the computed values, so a recorder can
+  /// never move bits.
+  obs::Recorder* recorder = nullptr;
   /// Scale factor on the race probability of plain *stores* (index_copy,
   /// scatter, non-accumulating index_put). Accumulations race whenever
   /// two requests overlap in flight, but a store's outcome flips only
@@ -119,6 +132,14 @@ struct EvalContext {
   EvalContext with_pool(util::ThreadPool* p) const noexcept {
     EvalContext copy = *this;
     copy.pool = p;
+    return copy;
+  }
+
+  /// Convenience: this context observed by `r` (nullptr detaches). Pure
+  /// observation - identical bits with or without it.
+  EvalContext with_recorder(obs::Recorder* r) const noexcept {
+    EvalContext copy = *this;
+    copy.recorder = r;
     return copy;
   }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "fpna/fp/accumulator.hpp"
+#include "fpna/obs/recorder.hpp"
 #include "fpna/util/permutation.hpp"
 #include "fpna/util/thread_pool.hpp"
 #include "parallel_blocks.hpp"
@@ -17,6 +18,38 @@ namespace fpna::dl {
 using detail::for_each_row_block;
 
 namespace {
+
+/// Fingerprint of rows [r0, r1) of a row-major matrix (read-only).
+std::uint64_t row_range_bits(const Matrix& m, std::int64_t r0,
+                             std::int64_t r1) {
+  const std::int64_t n = m.size(1);
+  obs::Fingerprint print;
+  for (std::int64_t i = r0 * n; i < r1 * n; ++i) print.feed(m.flat(i));
+  return print.value();
+}
+
+/// Execution-invariant row-block provenance: block boundaries come from
+/// the same size-derived rule the pool dispatch uses, but are recomputed
+/// here and fingerprinted from the *calling* thread in block order - so
+/// serial, 2-thread and 8-thread runs of a deterministic kernel emit
+/// byte-identical records (the thread-invariance obs_test relies on it).
+void emit_row_block_provenance(obs::Recorder* recorder, const char* site,
+                               const Matrix& c, std::int64_t work_per_row,
+                               const std::string& spec) {
+  if (recorder == nullptr) return;
+  const std::int64_t rows = c.size(0);
+  const auto ranges = core::even_chunks(
+      static_cast<std::size_t>(rows),
+      detail::size_derived_chunks(rows, work_per_row));
+  for (std::size_t blk = 0; blk < ranges.size(); ++blk) {
+    const auto [lo, hi] = ranges[blk];
+    recorder->provenance(
+        {site, "row_block", static_cast<std::int64_t>(blk), -1, spec,
+         row_range_bits(c, static_cast<std::int64_t>(lo),
+                        static_cast<std::int64_t>(hi)),
+         static_cast<std::uint64_t>((hi - lo) * c.size(1))});
+  }
+}
 
 void require_rank2(const Matrix& m, const char* name) {
   if (m.dim() != 2) {
@@ -115,7 +148,7 @@ void matmul_k_range(Matrix& c, const Matrix& a, const Matrix& b,
               }
             }
           }
-        });
+        }, "dl.matmul.block");
       });
 }
 
@@ -128,7 +161,27 @@ Matrix matmul(const Matrix& a, const Matrix& b, const core::EvalContext& ctx) {
   if (b.size(0) != k) throw std::invalid_argument("matmul: inner mismatch");
 
   Matrix c(tensor::Shape{m, n}, 0.0f);
-  matmul_k_range(c, a, b, 0, k, ctx);
+  {
+    obs::Span span(ctx.recorder, "dl.matmul");
+    span.arg("m", m);
+    span.arg("k", k);
+    span.arg("n", n);
+    if (ctx.recorder != nullptr) {
+      span.arg("spec", fp::to_string(ctx.reduction_in_effect()));
+      ctx.recorder->metrics().counter("dl.matmul.calls").increment();
+      ctx.recorder->metrics()
+          .counter("dl.matmul.flops")
+          .add(static_cast<std::uint64_t>(2 * m * k * n));
+    }
+    matmul_k_range(c, a, b, 0, k, ctx);
+  }
+  if (ctx.recorder != nullptr) {
+    const std::string spec = fp::to_string(ctx.reduction_in_effect());
+    emit_row_block_provenance(ctx.recorder, "dl.matmul", c, k * n, spec);
+    ctx.recorder->provenance({"dl.matmul", "result", -1, -1, spec,
+                              row_range_bits(c, 0, m),
+                              static_cast<std::uint64_t>(c.numel())});
+  }
   return c;
 }
 
@@ -185,7 +238,7 @@ Matrix matmul_transpose_a(const Matrix& a, const Matrix& b,
               }
             }
           }
-        });
+        }, "dl.matmul_transpose_a.block");
       });
   return c;
 }
@@ -229,7 +282,7 @@ Matrix matmul_transpose_b(const Matrix& a, const Matrix& b,
               }
             }
           }
-        });
+        }, "dl.matmul_transpose_b.block");
       });
   return c;
 }
@@ -263,8 +316,19 @@ Matrix matmul_split_k(const Matrix& a, const Matrix& b, std::size_t splits,
   const Matrix& aa = maybe_quantized_for(spec, a, qa_store);
   const Matrix& bb = maybe_quantized_for(spec, b, qb_store);
 
+  obs::Span span(ctx.recorder, "dl.matmul_split_k");
+  span.arg("m", m);
+  span.arg("k", k);
+  span.arg("n", n);
+  span.arg("splits", static_cast<std::int64_t>(s));
+  const std::string spec_str =
+      ctx.recorder != nullptr ? fp::to_string(spec) : std::string();
+
   // Per-chunk partials: contiguous near-even k ranges, each computed with
-  // the deterministic kernel (pool and accumulator per ctx).
+  // the deterministic kernel (pool and accumulator per ctx). Partials are
+  // deterministic even on the non-deterministic path - only the combine
+  // order below draws entropy - so their provenance records pin the
+  // divergence search onto the combine steps.
   std::vector<Matrix> partials;
   partials.reserve(static_cast<std::size_t>(s));
   const std::int64_t base = k / s, rem = k % s;
@@ -273,6 +337,12 @@ Matrix matmul_split_k(const Matrix& a, const Matrix& b, std::size_t splits,
     const std::int64_t k_end = k_begin + base + (t < rem ? 1 : 0);
     partials.emplace_back(tensor::Shape{m, n}, 0.0f);
     matmul_k_range(partials.back(), aa, bb, k_begin, k_end, chunk_ctx);
+    if (ctx.recorder != nullptr) {
+      ctx.recorder->provenance(
+          {"dl.matmul_split_k", "partial", t, -1, spec_str,
+           row_range_bits(partials.back(), 0, m),
+           static_cast<std::uint64_t>(partials.back().numel())});
+    }
     k_begin = k_end;
   }
 
@@ -289,15 +359,44 @@ Matrix matmul_split_k(const Matrix& a, const Matrix& b, std::size_t splits,
   // The first partial is copied (so splits == 1 is bitwise matmul); the
   // rest fold in with plain float adds - the re-association under study.
   Matrix c = partials[order[0]];
-  for_each_row_block(ctx, m, (s - 1) * n, [&](std::int64_t r0,
-                                              std::int64_t r1) {
-    for (std::size_t t = 1; t < order.size(); ++t) {
-      const Matrix& part = partials[order[t]];
+  if (ctx.recorder == nullptr) {
+    for_each_row_block(ctx, m, (s - 1) * n, [&](std::int64_t r0,
+                                                std::int64_t r1) {
+      for (std::size_t t = 1; t < order.size(); ++t) {
+        const Matrix& part = partials[order[t]];
+        for (std::int64_t i = r0 * n; i < r1 * n; ++i) {
+          c.flat(i) += part.flat(i);
+        }
+      }
+    });
+    return c;
+  }
+
+  // Traced combine: one row-blocked pass per partial instead of one
+  // fused pass, which exposes the running sum after every fold for a
+  // per-step fingerprint. Bitwise identical to the fused loop - each
+  // element still folds the partials in exactly order[1..s-1] sequence;
+  // only the loop nest (and the number of pool barriers) changes. This
+  // is the record the first-divergence localizer keys on: two runs with
+  // different combine orders share every "partial" record and split at
+  // combine step 0.
+  ctx.recorder->provenance({"dl.matmul_split_k", "combine_step", 0,
+                            static_cast<std::int64_t>(order[0]), spec_str,
+                            row_range_bits(c, 0, m),
+                            static_cast<std::uint64_t>(c.numel())});
+  for (std::size_t t = 1; t < order.size(); ++t) {
+    const Matrix& part = partials[order[t]];
+    for_each_row_block(ctx, m, n, [&](std::int64_t r0, std::int64_t r1) {
       for (std::int64_t i = r0 * n; i < r1 * n; ++i) {
         c.flat(i) += part.flat(i);
       }
-    }
-  });
+    }, "dl.matmul_split_k.combine");
+    ctx.recorder->provenance({"dl.matmul_split_k", "combine_step",
+                              static_cast<std::int64_t>(t),
+                              static_cast<std::int64_t>(order[t]), spec_str,
+                              row_range_bits(c, 0, m),
+                              static_cast<std::uint64_t>(c.numel())});
+  }
   return c;
 }
 

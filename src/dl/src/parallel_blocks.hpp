@@ -8,6 +8,7 @@
 
 #include "fpna/core/chunking.hpp"
 #include "fpna/core/eval_context.hpp"
+#include "fpna/obs/recorder.hpp"
 #include "fpna/util/thread_pool.hpp"
 
 namespace fpna::dl::detail {
@@ -30,17 +31,28 @@ inline std::size_t size_derived_chunks(std::int64_t rows,
 /// loops as the serial path, so pooled execution is bitwise identical to
 /// serial by construction - chunk boundaries can only move *which task*
 /// computes a row, never the accumulation stream behind its elements.
+/// `trace_name` labels the per-block trace spans when ctx carries a
+/// recorder (one complete event per executed block, on the thread that
+/// ran it - the raw material for the overlap timelines). Null recorder:
+/// the span constructor is a pointer check and nothing else.
 template <typename Body>
 void for_each_row_block(const core::EvalContext& ctx, std::int64_t rows,
-                        std::int64_t work_per_row, const Body& body) {
+                        std::int64_t work_per_row, const Body& body,
+                        const char* trace_name = "dl.row_block") {
   util::ThreadPool* pool = ctx.pool;
   if (pool == nullptr || pool->size() <= 1 || rows <= 1) {
+    obs::Span span(ctx.recorder, trace_name);
+    span.arg("row_begin", std::int64_t{0});
+    span.arg("row_end", rows);
     body(std::int64_t{0}, rows);
     return;
   }
   pool->parallel_for(
       static_cast<std::size_t>(rows),
       [&](std::size_t begin, std::size_t end, std::size_t) {
+        obs::Span span(ctx.recorder, trace_name);
+        span.arg("row_begin", static_cast<std::int64_t>(begin));
+        span.arg("row_end", static_cast<std::int64_t>(end));
         body(static_cast<std::int64_t>(begin),
              static_cast<std::int64_t>(end));
       },

@@ -7,11 +7,12 @@
 #include <tuple>
 
 #include "fpna/dl/adam.hpp"
+#include "fpna/obs/metrics.hpp"
+#include "fpna/obs/recorder.hpp"
 #include "fpna/sim/cost_model.hpp"
 #include "fpna/tensor/op_context.hpp"
 #include "fpna/tensor/workload.hpp"
 #include "fpna/util/thread_pool.hpp"
-#include "fpna/util/timer.hpp"
 
 namespace fpna::dl {
 
@@ -122,14 +123,26 @@ double measured_dense_forward_us(const ModelDims& dims,
   const auto w2 = tensor::random_uniform<float>(
       tensor::Shape{dims.hidden, dims.classes}, -1.0, 1.0, rng);
 
+  // Timed through the run-wide monotonic clock (obs::ScopedTimer), so
+  // these measurements and every traced span share one time base. With a
+  // recorder attached the per-rep samples also land in its
+  // "dl.trainer.dense_forward" timer stat.
+  obs::TimerStat local_stat;
+  obs::TimerStat* stat =
+      ctx.recorder != nullptr
+          ? &ctx.recorder->metrics().timer("dl.trainer.dense_forward")
+          : &local_stat;
   double best_us = 0.0;
   for (int rep = 0; rep < std::max(1, reps); ++rep) {
-    const util::Timer timer;
-    for (int branch = 0; branch < 2; ++branch) {  // self + neighbour
-      (void)matmul(x, w1, ctx);
-      (void)matmul(a1, w2, ctx);
+    double us = 0.0;
+    {
+      const obs::ScopedTimer timer(stat);
+      for (int branch = 0; branch < 2; ++branch) {  // self + neighbour
+        (void)matmul(x, w1, ctx);
+        (void)matmul(a1, w2, ctx);
+      }
+      us = static_cast<double>(timer.elapsed_ns()) * 1e-3;
     }
-    const double us = timer.elapsed_us();
     if (rep == 0 || us < best_us) best_us = us;
   }
   // On a first-call race the first emplace wins and every caller returns

@@ -1,0 +1,37 @@
+#pragma once
+// The one monotonic clock every layer times against. Before this module
+// the tree grew three timing conventions - util::Timer's private
+// steady_clock, the trainer's ad-hoc measurement loop and the benches'
+// per-table stopwatches. obs::now_ns() is the single source all of them
+// route through, and the zero point (process start, captured on first
+// use) is what makes trace timestamps from different threads land on one
+// timeline.
+
+#include <chrono>
+#include <cstdint>
+
+namespace fpna::obs {
+
+namespace detail {
+inline std::chrono::steady_clock::time_point process_epoch() noexcept {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+}  // namespace detail
+
+/// Monotonic nanoseconds since the process epoch (first call wins the
+/// zero point; call order only shifts the origin, never the deltas).
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - detail::process_epoch())
+          .count());
+}
+
+/// Microseconds since the process epoch (the unit Chrome trace events
+/// carry).
+inline double now_us() noexcept {
+  return static_cast<double>(now_ns()) * 1e-3;
+}
+
+}  // namespace fpna::obs

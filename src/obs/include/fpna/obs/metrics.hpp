@@ -1,0 +1,163 @@
+#pragma once
+// Named counters / gauges / timers for run-wide accounting. Counters are
+// the hot-path type (comm traffic bytes, kernel invocations) and shard
+// their state across lock-free per-thread-ish atomic slots so concurrent
+// bucket firings never serialise on a metrics mutex; value() folds the
+// shards at report time. Gauges and timers are read-mostly report types.
+//
+// One registry owns its metrics for the lifetime of the registry; name
+// lookup (the only mutex) happens once per call site in the usual
+// cache-the-reference idiom, not per increment. comm::TrafficLedger is a
+// thin per-rank view over exactly these counters - one counting
+// mechanism for the whole tree - and the bench JSON emitter turns
+// snapshot() into a table so metrics ride the existing CI artifact flow.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fpna::obs {
+
+/// Monotonic (reset-able) event/byte count. add() is wait-free on the
+/// fast path: each caller lands on one of kShards cache-line-padded
+/// atomic slots keyed by its thread, so unrelated threads never contend.
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  void add(std::uint64_t delta) noexcept {
+    shards_[shard_index()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void reset() noexcept {
+    for (auto& shard : shards_) {
+      shard.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  static std::size_t shard_index() noexcept;
+
+  Shard shards_[kShards];
+};
+
+/// Last-write-wins scalar (queue depths, calibration factors).
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Duration distribution: count / total / min / max in nanoseconds.
+/// record_ns is lock-free (CAS loops only on the min/max extremes).
+class TimerStat {
+ public:
+  void record_ns(std::uint64_t ns) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_ns() const noexcept {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t min_ns() const noexcept;
+  std::uint64_t max_ns() const noexcept {
+    return max_ns_.load(std::memory_order_relaxed);
+  }
+  double mean_us() const noexcept {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(total_ns()) * 1e-3 /
+                              static_cast<double>(n);
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> min_ns_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+/// One row of Metrics::snapshot(), pre-stringified for tables/JSON.
+struct MetricRow {
+  std::string name;
+  std::string type;   // "counter" | "gauge" | "timer"
+  std::string value;  // counter count, gauge value, timer mean us
+  std::string count;  // timer sample count ("" otherwise)
+};
+
+/// The registry. Metric objects live as long as the registry and their
+/// addresses are stable, so call sites hold references across the run.
+class Metrics {
+ public:
+  Metrics() = default;
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  TimerStat& timer(std::string_view name);
+
+  /// All metrics, sorted by (type, name) - a deterministic report order.
+  std::vector<MetricRow> snapshot() const;
+
+  /// Zeroes every counter (gauges and timers keep their last state; the
+  /// comm ledger's reset_traffic() is the only caller that needs it).
+  void reset_counters();
+
+ private:
+  template <typename T>
+  T& named(std::map<std::string, std::unique_ptr<T>, std::less<>>& map,
+           std::string_view name);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<TimerStat>, std::less<>> timers_;
+};
+
+/// RAII wall-clock measurement into a TimerStat (nullptr: no-op). The
+/// single ScopedTimer/now_ns() pair replaces the tree's ad-hoc
+/// stopwatches (see clock.hpp).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimerStat* stat) noexcept;
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Nanoseconds elapsed so far (the destructor records the final value).
+  std::uint64_t elapsed_ns() const noexcept;
+
+ private:
+  TimerStat* stat_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace fpna::obs

@@ -1,0 +1,118 @@
+#include "fpna/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <tuple>
+
+#include "fpna/obs/clock.hpp"
+
+namespace fpna::obs {
+
+namespace {
+
+std::string format_u64(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::string format_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::size_t Counter::shard_index() noexcept {
+  // A thread's slot only needs to be stable for that thread; the hash of
+  // the id spreads distinct threads across slots well enough that the
+  // pool's workers rarely share a line.
+  static thread_local const std::size_t slot =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  return slot;
+}
+
+void TimerStat::record_ns(std::uint64_t ns) noexcept {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t seen = min_ns_.load(std::memory_order_relaxed);
+  while (ns < seen &&
+         !min_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+  seen = max_ns_.load(std::memory_order_relaxed);
+  while (ns > seen &&
+         !max_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t TimerStat::min_ns() const noexcept {
+  const std::uint64_t seen = min_ns_.load(std::memory_order_relaxed);
+  return seen == ~std::uint64_t{0} ? 0 : seen;
+}
+
+template <typename T>
+T& Metrics::named(std::map<std::string, std::unique_ptr<T>, std::less<>>& map,
+                  std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), std::make_unique<T>()).first;
+  }
+  return *it->second;
+}
+
+Counter& Metrics::counter(std::string_view name) {
+  return named(counters_, name);
+}
+
+Gauge& Metrics::gauge(std::string_view name) { return named(gauges_, name); }
+
+TimerStat& Metrics::timer(std::string_view name) {
+  return named(timers_, name);
+}
+
+std::vector<MetricRow> Metrics::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricRow> rows;
+  rows.reserve(counters_.size() + gauges_.size() + timers_.size());
+  for (const auto& [name, counter] : counters_) {
+    rows.push_back({name, "counter", format_u64(counter->value()), ""});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    rows.push_back({name, "gauge", format_double(gauge->value()), ""});
+  }
+  for (const auto& [name, timer] : timers_) {
+    rows.push_back({name, "timer", format_double(timer->mean_us()),
+                    format_u64(timer->count())});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const MetricRow& a, const MetricRow& b) {
+              return std::tie(a.type, a.name) < std::tie(b.type, b.name);
+            });
+  return rows;
+}
+
+void Metrics::reset_counters() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) {
+    counter->reset();
+  }
+}
+
+ScopedTimer::ScopedTimer(TimerStat* stat) noexcept
+    : stat_(stat), start_ns_(now_ns()) {}
+
+ScopedTimer::~ScopedTimer() {
+  if (stat_ != nullptr) {
+    stat_->record_ns(now_ns() - start_ns_);
+  }
+}
+
+std::uint64_t ScopedTimer::elapsed_ns() const noexcept {
+  return now_ns() - start_ns_;
+}
+
+}  // namespace fpna::obs

@@ -1,0 +1,347 @@
+#include "fpna/obs/recorder.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <thread>
+#include <tuple>
+
+#include "fpna/obs/clock.hpp"
+
+namespace fpna::obs {
+
+namespace {
+
+std::uint64_t next_recorder_id() noexcept {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Thread-local scope stack. Scopes are logical labels, not tied to any
+// one recorder: a fired bucket pushes "bucket/<id>" once and every
+// record the firing emits - whichever recorder receives it - lands
+// under that scope.
+std::vector<std::string>& scope_stack() {
+  static thread_local std::vector<std::string> stack;
+  return stack;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* digits = "0123456789abcdef";
+          out += "\\u00";
+          out += digits[(c >> 4) & 0xf];
+          out += digits[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void emit_args(std::ofstream& out, const std::vector<TraceArg>& args) {
+  out << "{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << '"' << json_escape(args[i].key) << "\": ";
+    if (args[i].is_number) {
+      out << args[i].text;
+    } else {
+      out << '"' << json_escape(args[i].text) << '"';
+    }
+  }
+  out << "}";
+}
+
+std::string format_us(std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) * 1e-3);
+  return buf;
+}
+
+}  // namespace
+
+void Fingerprint::feed(double x) noexcept {
+  feed(std::bit_cast<std::uint64_t>(x));
+}
+
+void Fingerprint::feed(float x) noexcept {
+  feed(static_cast<std::uint64_t>(std::bit_cast<std::uint32_t>(x)));
+}
+
+std::string hex64(std::uint64_t bits) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<std::size_t>(15 - i)] = digits[(bits >> (4 * i)) & 0xf];
+  }
+  return out;
+}
+
+bool provenance_less(const StampedProvenance& a, const StampedProvenance& b) {
+  return std::tie(a.frame, a.scope, a.record.site, a.record.kind,
+                  a.record.index, a.record.sub_index, a.seq, a.record.bits) <
+         std::tie(b.frame, b.scope, b.record.site, b.record.kind,
+                  b.record.index, b.record.sub_index, b.seq, b.record.bits);
+}
+
+// --------------------------------------------------------------- spans --
+
+Span::Span(Recorder* recorder, std::string_view name) noexcept
+    : recorder_(recorder) {
+  if (recorder_ != nullptr) {
+    event_.name = name;
+    event_.start_ns = now_ns();
+  }
+}
+
+Span::~Span() {
+  if (recorder_ != nullptr) {
+    event_.duration_ns = now_ns() - event_.start_ns;
+    recorder_->emit(std::move(event_));
+  }
+}
+
+void Span::arg(std::string_view key, std::int64_t value) {
+  if (recorder_ == nullptr) return;
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  event_.args.push_back({std::string(key), buf, true});
+}
+
+void Span::arg(std::string_view key, std::uint64_t value) {
+  if (recorder_ == nullptr) return;
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  event_.args.push_back({std::string(key), buf, true});
+}
+
+void Span::arg(std::string_view key, double value) {
+  if (recorder_ == nullptr) return;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  event_.args.push_back({std::string(key), buf, true});
+}
+
+void Span::arg(std::string_view key, std::string_view value) {
+  if (recorder_ == nullptr) return;
+  event_.args.push_back({std::string(key), std::string(value), false});
+}
+
+// -------------------------------------------------------------- scopes --
+
+ScopeGuard::ScopeGuard(std::string_view segment) {
+  scope_stack().emplace_back(segment);
+}
+
+ScopeGuard::~ScopeGuard() { scope_stack().pop_back(); }
+
+std::string current_scope() {
+  const auto& stack = scope_stack();
+  std::string joined;
+  for (std::size_t i = 0; i < stack.size(); ++i) {
+    if (i != 0) joined += '/';
+    joined += stack[i];
+  }
+  return joined;
+}
+
+// ------------------------------------------------------------ recorder --
+
+struct Recorder::Shard {
+  std::mutex mutex;
+  std::thread::id owner;
+  std::uint32_t tid = 0;  // display id: shard creation order
+  std::vector<TraceEvent> events;
+  std::vector<StampedProvenance> provenance;
+  std::uint64_t seq_frame = 0;  // frame the seq counters belong to
+  // seq is per (thread, frame, scope), not per (thread, frame): a pool
+  // may hand the same scoped unit of work (a bucket firing) to different
+  // workers on different runs, and a per-scope counter keeps the stamped
+  // seq a function of the *logical* record stream, not of which other
+  // scopes the worker happened to execute first.
+  std::map<std::string, std::uint64_t, std::less<>> next_seq;
+};
+
+Recorder::Recorder() : id_(next_recorder_id()) {}
+
+Recorder::~Recorder() = default;
+
+Recorder::Shard& Recorder::local_shard() {
+  // One-entry cache: the hot path (same thread, same recorder) is a
+  // pair of loads. On a miss we take the registry lock and find or
+  // create this thread's shard - recorder ids are never reused, so a
+  // stale cache entry can't alias a new recorder at the same address.
+  struct Cache {
+    std::uint64_t recorder_id = 0;
+    Shard* shard = nullptr;
+  };
+  static thread_local Cache cache;
+  if (cache.recorder_id == id_) return *cache.shard;
+
+  const std::thread::id self = std::this_thread::get_id();
+  const std::lock_guard<std::mutex> lock(shards_mutex_);
+  for (const auto& shard : shards_) {
+    if (shard->owner == self) {
+      cache = {id_, shard.get()};
+      return *shard;
+    }
+  }
+  auto shard = std::make_unique<Shard>();
+  shard->owner = self;
+  shard->tid = static_cast<std::uint32_t>(shards_.size());
+  Shard* raw = shard.get();
+  shards_.push_back(std::move(shard));
+  cache = {id_, raw};
+  return *raw;
+}
+
+void Recorder::emit(TraceEvent&& event) {
+  Shard& shard = local_shard();
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.events.push_back(std::move(event));
+}
+
+void Recorder::instant(std::string_view name, std::vector<TraceArg> args) {
+  TraceEvent event;
+  event.name = name;
+  event.phase = TraceEvent::Phase::kInstant;
+  event.start_ns = now_ns();
+  event.args = std::move(args);
+  emit(std::move(event));
+}
+
+void Recorder::provenance(ProvenanceRecord record) {
+  Shard& shard = local_shard();
+  StampedProvenance stamped;
+  stamped.frame = frame_.load(std::memory_order_relaxed);
+  stamped.scope = current_scope();
+  stamped.record = std::move(record);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.seq_frame != stamped.frame) {
+    shard.seq_frame = stamped.frame;
+    shard.next_seq.clear();
+  }
+  stamped.seq = shard.next_seq[stamped.scope]++;
+  shard.provenance.push_back(std::move(stamped));
+}
+
+void Recorder::advance_frame() noexcept {
+  frame_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Recorder::frame() const noexcept {
+  return frame_.load(std::memory_order_relaxed);
+}
+
+std::size_t Recorder::event_count() const {
+  const std::lock_guard<std::mutex> lock(shards_mutex_);
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    total += shard->events.size();
+  }
+  return total;
+}
+
+std::size_t Recorder::provenance_count() const {
+  const std::lock_guard<std::mutex> lock(shards_mutex_);
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    total += shard->provenance.size();
+  }
+  return total;
+}
+
+std::vector<TraceEvent> Recorder::events() const {
+  const std::lock_guard<std::mutex> lock(shards_mutex_);
+  std::vector<TraceEvent> all;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    all.insert(all.end(), shard->events.begin(), shard->events.end());
+  }
+  return all;
+}
+
+std::vector<StampedProvenance> Recorder::sorted_provenance() const {
+  std::vector<StampedProvenance> all;
+  {
+    const std::lock_guard<std::mutex> lock(shards_mutex_);
+    for (const auto& shard : shards_) {
+      const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+      all.insert(all.end(), shard->provenance.begin(),
+                 shard->provenance.end());
+    }
+  }
+  std::sort(all.begin(), all.end(), provenance_less);
+  return all;
+}
+
+void Recorder::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_chrome_trace: cannot open " + path);
+  }
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  const std::lock_guard<std::mutex> lock(shards_mutex_);
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    for (const TraceEvent& event : shard->events) {
+      out << (first ? "" : ",") << "\n  {\"name\": \""
+          << json_escape(event.name) << "\", ";
+      if (event.phase == TraceEvent::Phase::kComplete) {
+        out << "\"ph\": \"X\", \"ts\": " << format_us(event.start_ns)
+            << ", \"dur\": " << format_us(event.duration_ns);
+      } else {
+        out << "\"ph\": \"i\", \"s\": \"t\", \"ts\": "
+            << format_us(event.start_ns);
+      }
+      out << ", \"pid\": 0, \"tid\": " << shard->tid << ", \"args\": ";
+      emit_args(out, event.args);
+      out << "}";
+      first = false;
+    }
+  }
+  out << (first ? "]}" : "\n]}") << "\n";
+  if (!out) {
+    throw std::runtime_error("write_chrome_trace: write failed: " + path);
+  }
+}
+
+void Recorder::write_provenance_jsonl(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_provenance_jsonl: cannot open " + path);
+  }
+  for (const StampedProvenance& p : sorted_provenance()) {
+    out << "{\"frame\": " << p.frame << ", \"scope\": \""
+        << json_escape(p.scope) << "\", \"site\": \""
+        << json_escape(p.record.site) << "\", \"kind\": \""
+        << json_escape(p.record.kind) << "\", \"index\": " << p.record.index
+        << ", \"sub_index\": " << p.record.sub_index << ", \"spec\": \""
+        << json_escape(p.record.spec) << "\", \"seq\": " << p.seq
+        << ", \"bits\": \"" << hex64(p.record.bits)
+        << "\", \"elements\": " << p.record.elements << "}\n";
+  }
+  if (!out) {
+    throw std::runtime_error("write_provenance_jsonl: write failed: " + path);
+  }
+}
+
+}  // namespace fpna::obs

@@ -6,11 +6,22 @@
 
 #include "fpna/core/chunking.hpp"
 #include "fpna/fp/accumulator.hpp"
+#include "fpna/obs/recorder.hpp"
 #include "fpna/util/permutation.hpp"
 
 namespace fpna::reduce {
 
 namespace {
+
+/// Fingerprint of one partial's current value (widened to double - exact
+/// for every storage dtype in the registry). Read-only on the
+/// accumulator: tracing can never move bits.
+template <typename Acc>
+std::uint64_t partial_bits(const Acc& partial) {
+  obs::Fingerprint print;
+  print.feed(static_cast<double>(partial.result()));
+  return print.value();
+}
 
 /// Static chunk boundaries, OpenMP static-schedule style. The rule
 /// itself lives in core/chunking.hpp (shared with collective's shard
@@ -58,9 +69,17 @@ double pool_sum(std::span<const double> data, const core::EvalContext& ctx,
   util::ThreadPool& pool = *ctx.pool;
   const auto ranges = static_chunks(data.size(), num_threads);
 
+  // Chunk provenance: workers drop each partial's fingerprint into its
+  // pre-sized slot; the *calling* thread emits them in chunk order after
+  // the barrier, so per-thread provenance seq is pool-schedule-invariant.
+  obs::Recorder* recorder = ctx.recorder;
+  std::vector<std::uint64_t> chunk_bits(recorder != nullptr ? ranges.size()
+                                                            : 0);
+
   const bool os_completion_order =
       !ctx.deterministic_in_effect() &&
       (ctx.run != nullptr || ctx.deterministic_override.has_value());
+  double result = 0.0;
   if (!os_completion_order) {
     std::vector<Acc> partials(ranges.size());
     pool.parallel_for(
@@ -74,31 +93,58 @@ double pool_sum(std::span<const double> data, const core::EvalContext& ctx,
         ranges.size());
     Acc total;
     for (const Acc& partial : partials) total.merge(partial);
-    return static_cast<double>(total.result());
+    if (recorder != nullptr) {
+      for (std::size_t c = 0; c < ranges.size(); ++c) {
+        chunk_bits[c] = partial_bits(partials[c]);
+      }
+    }
+    result = static_cast<double>(total.result());
+  } else {
+    Acc total;
+    std::mutex mutex;
+    pool.parallel_for(
+        ranges.size(),
+        [&](std::size_t begin, std::size_t end, std::size_t) {
+          for (std::size_t c = begin; c < end; ++c) {
+            const auto [lo, hi] = ranges[c];
+            Acc partial;
+            add_chunk(partial, data.subspan(lo, hi - lo), quantize);
+            if (recorder != nullptr) chunk_bits[c] = partial_bits(partial);
+            const std::lock_guard lock(mutex);
+            total.merge(partial);  // merge in OS completion order
+          }
+        },
+        ranges.size());
+    result = static_cast<double>(total.result());
   }
 
-  Acc total;
-  std::mutex mutex;
-  pool.parallel_for(
-      ranges.size(),
-      [&](std::size_t begin, std::size_t end, std::size_t) {
-        for (std::size_t c = begin; c < end; ++c) {
-          const auto [lo, hi] = ranges[c];
-          Acc partial;
-          add_chunk(partial, data.subspan(lo, hi - lo), quantize);
-          const std::lock_guard lock(mutex);
-          total.merge(partial);  // merge in OS completion order
-        }
-      },
-      ranges.size());
-  return static_cast<double>(total.result());
+  if (recorder != nullptr) {
+    const std::string spec = fp::to_string(ctx.reduction_in_effect());
+    for (std::size_t c = 0; c < ranges.size(); ++c) {
+      recorder->provenance({"reduce.cpu_sum", "chunk",
+                            static_cast<std::int64_t>(c), -1, spec,
+                            chunk_bits[c], ranges[c].second - ranges[c].first});
+    }
+  }
+  return result;
 }
 
 }  // namespace
 
 double cpu_sum(std::span<const double> data, const core::EvalContext& ctx,
                std::size_t num_threads) {
-  return fp::visit_reduction<double>(
+  obs::Span span(ctx.recorder, "reduce.cpu_sum");
+  if (ctx.recorder != nullptr) {
+    span.arg("n", static_cast<std::uint64_t>(data.size()));
+    span.arg("num_threads", static_cast<std::uint64_t>(num_threads));
+    span.arg("spec", fp::to_string(ctx.reduction_in_effect()));
+    ctx.recorder->metrics().counter("reduce.cpu_sum.calls").increment();
+    ctx.recorder->metrics()
+        .counter("reduce.cpu_sum.elements")
+        .add(data.size());
+  }
+
+  const double result = fp::visit_reduction<double>(
       ctx.reduction_in_effect(),
       [&](auto tag, auto acc_c, auto quantize) -> double {
         using A = typename decltype(acc_c)::type;
@@ -112,6 +158,15 @@ double cpu_sum(std::span<const double> data, const core::EvalContext& ctx,
         for (std::size_t c = 0; c < ranges.size(); ++c) {
           const auto [begin, end] = ranges[c];
           add_chunk(partials[c], data.subspan(begin, end - begin), quantize);
+        }
+        if (ctx.recorder != nullptr) {
+          const std::string spec = fp::to_string(ctx.reduction_in_effect());
+          for (std::size_t c = 0; c < ranges.size(); ++c) {
+            ctx.recorder->provenance(
+                {"reduce.cpu_sum", "chunk", static_cast<std::int64_t>(c), -1,
+                 spec, partial_bits(partials[c]),
+                 ranges[c].second - ranges[c].first});
+          }
         }
 
         // Combination happens in chunk-index order unless the context
@@ -128,6 +183,15 @@ double cpu_sum(std::span<const double> data, const core::EvalContext& ctx,
         for (const std::size_t c : order) total.merge(partials[c]);
         return static_cast<double>(total.result());
       });
+
+  if (ctx.recorder != nullptr) {
+    obs::Fingerprint print;
+    print.feed(result);
+    ctx.recorder->provenance({"reduce.cpu_sum", "result", -1, -1,
+                              fp::to_string(ctx.reduction_in_effect()),
+                              print.value(), data.size()});
+  }
+  return result;
 }
 
 double cpu_sum_serial(std::span<const double> data) noexcept {

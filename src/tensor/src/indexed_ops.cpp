@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "fpna/fp/accumulator.hpp"
+#include "fpna/obs/recorder.hpp"
 #include "fpna/sim/scheduler.hpp"
 #include "fpna/util/permutation.hpp"
 #include "fpna/util/thread_pool.hpp"
@@ -358,6 +359,15 @@ T reduce_identity(Reduce reduce) {
   return T{0};
 }
 
+/// Whole-tensor result fingerprint (read-only; emitted from the calling
+/// thread so provenance order never depends on pool scheduling).
+template <typename T>
+std::uint64_t tensor_bits(const Tensor<T>& t) {
+  obs::Fingerprint print;
+  for (std::int64_t i = 0; i < t.numel(); ++i) print.feed(t.flat(i));
+  return print.value();
+}
+
 template <typename T>
 T reduce_combine(Reduce reduce, T acc, T value) {
   switch (reduce) {
@@ -378,9 +388,16 @@ Tensor<T> index_add(const Tensor<T>& self, std::int64_t dim,
                     const Tensor<std::int64_t>& index,
                     const Tensor<T>& source, T alpha, const OpContext& ctx) {
   check_dim(dim, self.dim(), "index_add");
+  obs::Span span(ctx.recorder, "tensor.index_add");
   Tensor<T> out = self;
   const auto contribs =
       slice_contributions(out, dim, index, source, "index_add");
+  if (ctx.recorder != nullptr) {
+    span.arg("contributions", static_cast<std::uint64_t>(contribs.size()));
+    span.arg("numel", static_cast<std::int64_t>(out.numel()));
+    span.arg("deterministic", ctx.nondeterministic() ? "no" : "yes");
+    ctx.recorder->metrics().counter("tensor.index_add.calls").increment();
+  }
   if (!ctx.nondeterministic()) {
     // Deterministic path: per-destination reduction through the registry
     // accumulator, contributions in issue order.
@@ -389,15 +406,22 @@ Tensor<T> index_add(const Tensor<T>& self, std::int64_t dim,
                                return static_cast<T>(alpha *
                                                      source.flat(c.src));
                              });
-    return out;
+  } else {
+    // Atomic adds commit in scheduler order; each add is out[dst] += a*src,
+    // evaluated in T precision exactly as the device would (hardware
+    // atomics are plain serial adds, so the accumulator selection does not
+    // apply).
+    for (const std::size_t i : commit_order(contribs, out.numel(), ctx)) {
+      const auto& c = contribs[i];
+      out.flat(c.dst) =
+          static_cast<T>(out.flat(c.dst) + alpha * source.flat(c.src));
+    }
   }
-  // Atomic adds commit in scheduler order; each add is out[dst] += a*src,
-  // evaluated in T precision exactly as the device would (hardware atomics
-  // are plain serial adds, so the accumulator selection does not apply).
-  for (const std::size_t i : commit_order(contribs, out.numel(), ctx)) {
-    const auto& c = contribs[i];
-    out.flat(c.dst) =
-        static_cast<T>(out.flat(c.dst) + alpha * source.flat(c.src));
+  if (ctx.recorder != nullptr) {
+    ctx.recorder->provenance({"tensor.index_add", "result", dim, -1,
+                              fp::to_string(ctx.reduction_in_effect()),
+                              tensor_bits(out),
+                              static_cast<std::uint64_t>(out.numel())});
   }
   return out;
 }
@@ -452,9 +476,27 @@ Tensor<T> scatter_reduce(const Tensor<T>& self, std::int64_t dim,
                          const Tensor<T>& src, Reduce reduce,
                          bool include_self, const OpContext& ctx) {
   check_dim(dim, self.dim(), "scatter_reduce");
+  obs::Span span(ctx.recorder, "tensor.scatter_reduce");
   Tensor<T> out = self;
   const auto contribs =
       elementwise_contributions(out, dim, index, src, "scatter_reduce");
+  if (ctx.recorder != nullptr) {
+    span.arg("contributions", static_cast<std::uint64_t>(contribs.size()));
+    span.arg("numel", static_cast<std::int64_t>(out.numel()));
+    span.arg("reduce", to_string(reduce));
+    span.arg("deterministic", ctx.nondeterministic() ? "no" : "yes");
+    ctx.recorder->metrics()
+        .counter("tensor.scatter_reduce.calls")
+        .increment();
+  }
+  const auto emit_result = [&]() {
+    if (ctx.recorder != nullptr) {
+      ctx.recorder->provenance({"tensor.scatter_reduce", "result", dim, -1,
+                                fp::to_string(ctx.reduction_in_effect()),
+                                tensor_bits(out),
+                                static_cast<std::uint64_t>(out.numel())});
+    }
+  };
 
   // Sum-family reductions on the deterministic path route through the
   // registry accumulator (non-sum modes - prod/amax/amin - have no
@@ -478,6 +520,7 @@ Tensor<T> scatter_reduce(const Tensor<T>& self, std::int64_t dim,
       for (const auto& c : contribs) ++counts[static_cast<std::size_t>(c.dst)];
       divide_mean_destinations(out, counts, include_self);
     }
+    emit_result();
     return out;
   }
 
@@ -507,6 +550,7 @@ Tensor<T> scatter_reduce(const Tensor<T>& self, std::int64_t dim,
   if (reduce == Reduce::kMean) {
     divide_mean_destinations(out, counts, include_self);
   }
+  emit_result();
   return out;
 }
 

@@ -1,29 +1,32 @@
 #pragma once
 // Wall-clock measurement helpers. The paper reports kernel timings as
 // mean(std) over repeated runs (Tables 4, 6, 8); TimingStats mirrors that
-// presentation.
+// presentation. Timer reads obs::now_ns() - the process-wide monotonic
+// clock all tracing uses - so a Timer interval and a trace span measured
+// over the same region agree to the tick.
 
-#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
+
+#include "fpna/obs/clock.hpp"
 
 namespace fpna::util {
 
 class Timer {
  public:
-  Timer() : start_(Clock::now()) {}
-  void reset() { start_ = Clock::now(); }
+  Timer() : start_ns_(obs::now_ns()) {}
+  void reset() { start_ns_ = obs::now_ns(); }
 
   double elapsed_seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(obs::now_ns() - start_ns_) * 1e-9;
   }
   double elapsed_ms() const { return elapsed_seconds() * 1e3; }
   double elapsed_us() const { return elapsed_seconds() * 1e6; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  std::uint64_t start_ns_;
 };
 
 struct TimingStats {
