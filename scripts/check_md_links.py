@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's docs tree.
+
+Validates every intra-repo link in the given markdown files:
+
+  * relative links must resolve to an existing file or directory
+    (resolved against the linking file's own directory);
+  * links that climb out of the repository (GitHub's ``../../actions/…``
+    badge idiom resolves against the repo *URL*, not the file tree) are
+    out of scope and skipped;
+  * fragment links (``page.md#anchor`` or ``#anchor``) must match a
+    heading in the target file, using GitHub's anchor-slug rules;
+  * bare ``http(s)://`` links are skipped — CI must not depend on the
+    network.
+
+Exit 0 when every link resolves, 1 with a per-link report otherwise.
+
+Usage:  check_md_links.py README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# [text](target) — ignore images' leading "!" by matching it optionally
+# and skipping, and tolerate titles: [t](file.md "title").
+LINK_RE = re.compile(r"(!?)\[[^\]]*\]\(\s*<?([^)\s>]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading -> anchor transform (close enough for ASCII docs)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # strip code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = re.sub(r"[*_]", "", text)                      # emphasis markers
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)                  # drop punctuation
+    return text.replace(" ", "-")
+
+
+def anchors_of(md_file: Path, cache: dict) -> set:
+    if md_file not in cache:
+        slugs: dict = {}
+        in_fence = False
+        for line in md_file.read_text(encoding="utf-8").splitlines():
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                slug = github_slug(m.group(2))
+                # GitHub de-duplicates repeated headings with -1, -2, ...
+                n = slugs.get(slug, 0)
+                slugs[slug] = n + 1
+                if n:
+                    slugs[f"{slug}-{n}"] = 1
+        cache[md_file] = set(slugs)
+    return cache[md_file]
+
+
+def iter_links(md_file: Path):
+    in_fence = False
+    for lineno, line in enumerate(
+            md_file.read_text(encoding="utf-8").splitlines(), start=1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            yield lineno, m.group(2)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    repo_root = Path.cwd().resolve()
+    anchor_cache: dict = {}
+    errors = []
+    checked = 0
+
+    for arg in argv[1:]:
+        md_file = Path(arg).resolve()
+        if not md_file.is_file():
+            errors.append(f"{arg}: file not found")
+            continue
+        for lineno, target in iter_links(md_file):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+                continue
+            checked += 1
+            where = f"{md_file.relative_to(repo_root)}:{lineno}"
+
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                dest = (md_file.parent / path_part).resolve()
+                try:
+                    dest.relative_to(repo_root)
+                except ValueError:
+                    # GitHub resolves these against the repository URL
+                    # (badge links etc.) — not a file-tree link.
+                    checked -= 1
+                    continue
+                if not dest.exists():
+                    errors.append(f"{where}: dead link: {target}")
+                    continue
+            else:
+                dest = md_file  # pure fragment: #anchor in the same file
+
+            if fragment:
+                if dest.suffix.lower() not in (".md", ".markdown"):
+                    continue  # anchors into source files: line refs, skip
+                if fragment.lower() not in anchors_of(dest, anchor_cache):
+                    errors.append(
+                        f"{where}: missing anchor '#{fragment}' in "
+                        f"{dest.relative_to(repo_root)}")
+
+    for e in errors:
+        print(f"ERROR: {e}")
+    if errors:
+        print(f"\n{len(errors)} dead link(s) out of {checked} checked")
+        return 1
+    print(f"all {checked} intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

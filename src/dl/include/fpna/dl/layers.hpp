@@ -115,11 +115,16 @@ struct LossResult {
 /// Mean negative log-likelihood over masked rows. `log_probs` must be the
 /// output of log_softmax_rows on the logits. The loss reduction over rows
 /// routes through the context's registry-selected accumulator (the serial
-/// default reproduces the historic value bitwise).
+/// default reproduces the historic value bitwise). `grad_scale`
+/// multiplies d_logits only - the loss-scaling entry point: the reported
+/// loss is never scaled, and the multiply is fused here (after the
+/// mean-NLL division, one rounding) so the scaled gradient path starts
+/// from a single named operation. grad_scale == 1 is bitwise identity.
 LossResult nll_loss_masked(const Matrix& log_probs,
                            const std::vector<std::int64_t>& labels,
                            const std::vector<char>& mask,
-                           const core::EvalContext& ctx);
+                           const core::EvalContext& ctx,
+                           float grad_scale = 1.0f);
 LossResult nll_loss_masked(const Matrix& log_probs,
                            const std::vector<std::int64_t>& labels,
                            const std::vector<char>& mask);

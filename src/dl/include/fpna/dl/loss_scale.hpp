@@ -1,0 +1,129 @@
+#pragma once
+// Gradient loss scaling for low-precision training (the paper's
+// mixed-precision narrative carried to the trainer). The loss gradient is
+// multiplied by a scale factor before backward, so every intermediate of
+// the gradient path - operand quantizations, accumulator streams, the
+// final gradient buffers - is computed at a shifted magnitude; the
+// gradients are unscaled (and re-quantized through the ReductionSpec's
+// storage axis) just before the optimizer consumes them.
+//
+// Two properties make the knob a *named rounding choice* rather than a
+// black box, both certified in dl_test:
+//
+//  * Power-of-two scales are bitwise-neutral. Binary floating point is
+//    exactly homogeneous under multiplication by 2^k (no mantissa
+//    change), so as long as no intermediate over- or underflows, a
+//    scaled training run reproduces the unscaled run's weights bit for
+//    bit - for every storage/accumulate dtype and every accumulator.
+//    bf16 shares binary32's exponent range, which is why bf16 training
+//    famously "does not need" loss scaling the way fp16 does.
+//  * Non-power-of-two scales re-round. Multiplying by e.g. 1000 changes
+//    every mantissa, so every storage quantization in the backward pass
+//    rounds on a shifted grid and the training trajectory genuinely
+//    diverges - deterministically. The scale factor becomes a bit-level
+//    hyperparameter, exactly the paper's point about reduction choices,
+//    and bench/table_dtype_training measures what it does to the
+//    epoch-loss trajectory of pure-bf16 training.
+//
+// The dynamic mode reproduces the standard backoff loop: gradients are
+// checked for non-finite values *before* unscaling; a non-finite step is
+// skipped and the scale backs off, and after `growth_interval`
+// consecutive finite steps the scale grows again. All state transitions
+// are pure functions of the gradient-finiteness sequence, so dynamic
+// training is as run-to-run reproducible as static training (certified).
+
+#include <cstdint>
+
+#include "fpna/dl/linalg.hpp"
+#include "fpna/fp/reduction_spec.hpp"
+
+namespace fpna::dl {
+
+struct LossScaleConfig {
+  enum class Mode : std::uint8_t {
+    kNone = 0,  ///< no scaling; the historic gradient path, bit for bit
+    kStatic,    ///< fixed scale; non-finite steps are skipped, scale kept
+    kDynamic,   ///< backoff-on-nonfinite + periodic growth
+  };
+
+  Mode mode = Mode::kNone;
+  /// Static scale, or the dynamic mode's initial scale. Power-of-two
+  /// values are certified bitwise-neutral absent non-finites; any other
+  /// value deterministically re-rounds the whole gradient path.
+  float scale = 1024.0f;
+  /// Dynamic mode: multiplier applied on a non-finite step (backoff).
+  float backoff_factor = 0.5f;
+  /// Dynamic mode: multiplier applied after `growth_interval` consecutive
+  /// finite steps.
+  float growth_factor = 2.0f;
+  /// Dynamic mode: finite steps between growth attempts.
+  int growth_interval = 16;
+  /// Dynamic mode clamps the scale to [min_scale, max_scale].
+  float min_scale = 1.0f;
+  float max_scale = 16777216.0f;  // 2^24
+
+  constexpr bool enabled() const noexcept { return mode != Mode::kNone; }
+
+  static constexpr LossScaleConfig none() noexcept { return {}; }
+  static constexpr LossScaleConfig static_scale(float s) noexcept {
+    LossScaleConfig config;
+    config.mode = Mode::kStatic;
+    config.scale = s;
+    return config;
+  }
+  static constexpr LossScaleConfig dynamic(float initial) noexcept {
+    LossScaleConfig config;
+    config.mode = Mode::kDynamic;
+    config.scale = initial;
+    return config;
+  }
+};
+
+/// The loss-scale state machine. One instance per training run; the
+/// trainer reads scale() before each backward and reports gradient
+/// finiteness to update() after it. Deterministic: the state is a pure
+/// function of the config and the finiteness sequence.
+class LossScaler {
+ public:
+  explicit LossScaler(const LossScaleConfig& config);
+
+  /// The scale to multiply the loss gradient by this step (1.0 when
+  /// scaling is disabled).
+  float scale() const noexcept { return scale_; }
+
+  /// Reports whether this step's gradients were all finite. Returns true
+  /// when the optimizer step should proceed (unscale + apply) and false
+  /// when it must be skipped. Dynamic mode backs the scale off on a
+  /// non-finite step and grows it after growth_interval consecutive
+  /// finite steps; static mode skips non-finite steps but keeps its
+  /// scale; with scaling disabled every step proceeds (the historic
+  /// trainer never checked).
+  bool update(bool grads_finite);
+
+  int skipped_steps() const noexcept { return skipped_; }
+  const LossScaleConfig& config() const noexcept { return config_; }
+
+ private:
+  LossScaleConfig config_;
+  float scale_ = 1.0f;
+  int finite_streak_ = 0;
+  int skipped_ = 0;
+};
+
+/// True iff every element of `m` is finite (no inf, no NaN).
+bool all_finite(const Matrix& m);
+
+/// Unscales a gradient buffer in place: g <- quantize_acc(g * (1/s)),
+/// where quantize_acc is the ReductionSpec dtype-quantize path
+/// instantiated at the spec's *accumulate* dtype - the grid a gradient
+/// buffer (an accumulation result) naturally lives on. Pure-bf16 specs
+/// therefore re-quantize the unscaled gradient to bf16 (the scale choice
+/// stays a recorded, reproducible rounding decision instead of leaking
+/// off-grid values into a bf16 regime), while f32/f64/native accumulate
+/// dtypes make the quantize step the identity - which is what keeps
+/// power-of-two neutrality exact for mixed specs like bf16:f32, whose
+/// unscaled gradients are raw f32 accumulations off the bf16 grid.
+void unscale_gradient(Matrix& grad, float scale,
+                      const fp::ReductionSpec& spec);
+
+}  // namespace fpna::dl

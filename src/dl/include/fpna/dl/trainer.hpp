@@ -9,6 +9,7 @@
 
 #include "fpna/core/eval_context.hpp"
 #include "fpna/dl/dataset.hpp"
+#include "fpna/dl/loss_scale.hpp"
 #include "fpna/dl/model.hpp"
 #include "fpna/fp/reduction_spec.hpp"
 #include "fpna/sim/device_profile.hpp"
@@ -45,6 +46,20 @@ struct TrainConfig {
   /// Record flattened weights after every epoch (needed by the epoch-
   /// variability experiment; costs memory).
   bool snapshot_epochs = false;
+  /// Gradient loss scaling (see loss_scale.hpp). kNone reproduces the
+  /// historic gradient path bit for bit; kStatic multiplies the loss
+  /// gradient by a fixed factor and unscales through the spec's storage
+  /// quantize path before the optimizer; kDynamic adds the
+  /// backoff-on-nonfinite / periodic-growth loop. The per-epoch scale in
+  /// effect and the skipped-step count are recorded in TrainResult, so a
+  /// scaled run's rounding choices are fully named.
+  LossScaleConfig loss_scale{};
+  /// Nullable observability sink threaded through the training
+  /// EvalContext: with a recorder attached the pooled kernels emit trace
+  /// spans and bit-provenance and the loss scaler reports its state as
+  /// metrics ("dl.loss_scale.*"); nullptr (the default) is the certified
+  /// zero-event path and can never move bits.
+  obs::Recorder* recorder = nullptr;
 
   /// The EvalContext this config describes. `run` supplies scheduling
   /// entropy for the ND kernels (ignored when deterministic).
@@ -56,6 +71,7 @@ struct TrainConfig {
     }
     ctx.accumulator = accumulator;
     ctx.pool = pool;
+    ctx.recorder = recorder;
     return ctx;
   }
 };
@@ -69,6 +85,13 @@ struct TrainResult {
   std::vector<double> final_weights;
   /// Training-set accuracy of the final model (deterministic forward).
   double train_accuracy = 0.0;
+  /// Loss scale in effect for each epoch's backward pass (all 1.0 when
+  /// scaling is disabled) - the record that makes a scaled run's
+  /// rounding choices reproducible.
+  std::vector<float> epoch_loss_scale;
+  /// Optimizer steps skipped because a scaled backward produced
+  /// non-finite gradients (dynamic backoff / static overflow guard).
+  int skipped_steps = 0;
 };
 
 /// Trains one model. `run` provides the scheduling entropy consumed by the

@@ -185,7 +185,7 @@ Matrix log_softmax_rows(const Matrix& logits) {
 LossResult nll_loss_masked(const Matrix& log_probs,
                            const std::vector<std::int64_t>& labels,
                            const std::vector<char>& mask,
-                           const core::EvalContext& ctx) {
+                           const core::EvalContext& ctx, float grad_scale) {
   const std::int64_t rows = log_probs.size(0);
   const std::int64_t cols = log_probs.size(1);
   if (static_cast<std::int64_t>(labels.size()) != rows ||
@@ -213,11 +213,16 @@ LossResult nll_loss_masked(const Matrix& log_probs,
       throw std::out_of_range("nll_loss_masked: label out of range");
     }
     loss_terms.push_back(-static_cast<double>(log_probs.flat(r * cols + y)));
-    // d(logits) of mean-NLL(log_softmax): (softmax - onehot) / count.
+    // d(logits) of mean-NLL(log_softmax): (softmax - onehot) / count. The
+    // loss scale multiplies last, as its own rounding: a power-of-two
+    // grad_scale shifts the exponent without touching the mantissa, so
+    // the scaled gradient is exactly 2^k times the unscaled one, and
+    // grad_scale == 1 is a bitwise no-op on this line.
     for (std::int64_t c = 0; c < cols; ++c) {
       const float softmax = std::exp(log_probs.flat(r * cols + c));
       const float onehot = c == y ? 1.0f : 0.0f;
-      result.d_logits.flat(r * cols + c) = (softmax - onehot) * inv_count;
+      result.d_logits.flat(r * cols + c) =
+          ((softmax - onehot) * inv_count) * grad_scale;
     }
   }
   const double loss = fp::reduce(ctx.reduction_in_effect(),

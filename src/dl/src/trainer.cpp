@@ -28,30 +28,70 @@ TrainResult train(const Dataset& dataset, const TrainConfig& config,
                      {},
                      {},
                      {},
-                     0.0};
+                     0.0,
+                     {},
+                     0};
 
   const core::EvalContext ctx = config.eval_context(run);
 
   Adam optimizer(AdamConfig{.lr = config.lr});
-  for (auto& [param, grad] : result.model.parameters()) {
+  const auto parameters = result.model.parameters();
+  for (const auto& [param, grad] : parameters) {
     optimizer.add_parameter(param, grad);
   }
+
+  LossScaler scaler(config.loss_scale);
+  obs::Gauge* const scale_gauge =
+      ctx.recorder != nullptr && config.loss_scale.enabled()
+          ? &ctx.recorder->metrics().gauge("dl.loss_scale.scale")
+          : nullptr;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     GraphSageModel::ForwardCache cache;
     const Matrix log_probs =
         result.model.forward(dataset.features, dataset.graph, ctx, &cache);
-    const LossResult loss =
-        nll_loss_masked(log_probs, dataset.labels, dataset.train_mask, ctx);
+    // The reported loss is never scaled; the scale multiplies only the
+    // gradient (folded into the d_logits constant inside the loss
+    // backward, the same fusion real mixed-precision trainers use).
+    const float scale = scaler.scale();
+    const LossResult loss = nll_loss_masked(
+        log_probs, dataset.labels, dataset.train_mask, ctx, scale);
     result.epoch_losses.push_back(loss.loss);
+    result.epoch_loss_scale.push_back(scale);
+    if (scale_gauge != nullptr) scale_gauge->set(static_cast<double>(scale));
 
     result.model.zero_grad();
     result.model.backward(cache, loss.d_logits, dataset.graph, ctx);
-    optimizer.step();
+
+    // Finiteness is checked on the *scaled* gradients (an overflowed
+    // step must be caught before the unscale multiply can turn its infs
+    // into NaNs); the scan is skipped entirely when scaling is off, so
+    // the historic path stays untouched.
+    bool grads_finite = true;
+    if (config.loss_scale.enabled()) {
+      for (const auto& pg : parameters) {
+        if (!all_finite(*pg.second)) {
+          grads_finite = false;
+          break;
+        }
+      }
+    }
+    if (scaler.update(grads_finite)) {
+      if (config.loss_scale.enabled()) {
+        for (const auto& pg : parameters) {
+          unscale_gradient(*pg.second, scale, config.accumulator);
+        }
+      }
+      optimizer.step();
+    } else if (ctx.recorder != nullptr) {
+      ctx.recorder->metrics().counter("dl.loss_scale.skipped_steps")
+          .increment();
+    }
 
     if (config.snapshot_epochs) {
       result.epoch_weights.push_back(result.model.flattened_weights());
     }
   }
+  result.skipped_steps = scaler.skipped_steps();
 
   result.final_weights = result.model.flattened_weights();
 
