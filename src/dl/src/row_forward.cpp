@@ -1,0 +1,141 @@
+#include "fpna/dl/row_forward.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "fpna/fp/accumulator.hpp"
+
+namespace fpna::dl {
+
+namespace {
+
+/// Same native-serial detection as the dense kernels (linalg.cpp): the
+/// default spec must reproduce the seed's hand-rolled float loops bitwise.
+template <typename Acc, typename Quant>
+inline constexpr bool kNativeSerialF32 =
+    std::is_same_v<Acc, fp::SerialAccumulator<float>> && Quant::is_identity;
+
+}  // namespace
+
+void linear_row(std::span<const float> x, const Matrix& weight,
+                std::span<float> out, const core::EvalContext& ctx) {
+  if (weight.dim() != 2) {
+    throw std::invalid_argument("linear_row: expected rank-2 weight");
+  }
+  const std::int64_t k = weight.size(0), n = weight.size(1);
+  if (static_cast<std::int64_t>(x.size()) != k ||
+      static_cast<std::int64_t>(out.size()) != n) {
+    throw std::invalid_argument("linear_row: shape mismatch");
+  }
+  fp::visit_reduction<float>(
+      ctx.reduction_in_effect(), [&](auto tag, auto acc_c, auto quantize) {
+        using A = typename decltype(acc_c)::type;
+        using Acc = typename decltype(tag)::template accumulator_t<A>;
+        if constexpr (kNativeSerialF32<Acc, decltype(quantize)>) {
+          // matmul's i-p-j in-place fold for one i, seeded by the fresh
+          // zero output matmul writes into.
+          for (std::int64_t j = 0; j < n; ++j) out[j] = 0.0f;
+          for (std::int64_t p = 0; p < k; ++p) {
+            const float av = x[static_cast<std::size_t>(p)];
+            if (av == 0.0f) continue;
+            const std::int64_t wrow = p * n;
+            for (std::int64_t j = 0; j < n; ++j) {
+              out[static_cast<std::size_t>(j)] += av * weight.flat(wrow + j);
+            }
+          }
+        } else {
+          // matmul's accumulator branch for one row: both operands
+          // storage-quantized, the sparsity skip on the quantized av, one
+          // unseeded accumulator per output unit, p ascending.
+          std::vector<Acc> row(static_cast<std::size_t>(n));
+          for (std::int64_t p = 0; p < k; ++p) {
+            const float av = quantize(x[static_cast<std::size_t>(p)]);
+            if (av == 0.0f) continue;
+            const std::int64_t wrow = p * n;
+            for (std::int64_t j = 0; j < n; ++j) {
+              row[static_cast<std::size_t>(j)].add(
+                  static_cast<A>(av * quantize(weight.flat(wrow + j))));
+            }
+          }
+          for (std::int64_t j = 0; j < n; ++j) {
+            out[static_cast<std::size_t>(j)] = static_cast<float>(
+                row[static_cast<std::size_t>(j)].result());
+          }
+        }
+      });
+}
+
+void mean_rows_into(const Matrix& table, std::span<const std::int64_t> ids,
+                    std::span<float> out, const core::EvalContext& ctx) {
+  if (table.dim() != 2) {
+    throw std::invalid_argument("mean_rows_into: expected rank-2 table");
+  }
+  const std::int64_t cols = table.size(1);
+  if (static_cast<std::int64_t>(out.size()) != cols) {
+    throw std::invalid_argument("mean_rows_into: output width mismatch");
+  }
+  for (const std::int64_t id : ids) {
+    if (id < 0 || id >= table.size(0)) {
+      throw std::out_of_range("mean_rows_into: row id out of range");
+    }
+  }
+  if (ids.empty()) {
+    // Degree 0: mean_aggregate leaves the zero destination untouched and
+    // scale_rows multiplies by the 0.0f sentinel factor.
+    for (std::int64_t c = 0; c < cols; ++c) {
+      out[static_cast<std::size_t>(c)] = 0.0f;
+    }
+    return;
+  }
+  const float inv_deg = 1.0f / static_cast<float>(ids.size());
+  fp::visit_reduction<float>(
+      ctx.reduction_in_effect(), [&](auto tag, auto acc_c, auto quantize) {
+        using A = typename decltype(acc_c)::type;
+        using Acc = typename decltype(tag)::template accumulator_t<A>;
+        for (std::int64_t c = 0; c < cols; ++c) {
+          float value;
+          if constexpr (kNativeSerialF32<Acc, decltype(quantize)>) {
+            // index_add's native in-place fold from the zero destination.
+            value = 0.0f;
+            for (const std::int64_t id : ids) {
+              value += table.flat(id * cols + c);
+            }
+          } else {
+            // index_add's accumulator fold: the zero destination seeds
+            // the stream (it counts as an element - Pairwise's block
+            // boundaries depend on it), then contributions in list order.
+            Acc acc;
+            acc.add(static_cast<A>(quantize(0.0f)));
+            for (const std::int64_t id : ids) {
+              acc.add(static_cast<A>(quantize(table.flat(id * cols + c))));
+            }
+            value = static_cast<float>(acc.result());
+          }
+          // scale_rows' float multiply by the precomputed 1/deg.
+          out[static_cast<std::size_t>(c)] = value * inv_deg;
+        }
+      });
+}
+
+void log_softmax_row(std::span<float> row) {
+  if (row.empty()) {
+    throw std::invalid_argument("log_softmax_row: empty row");
+  }
+  float row_max = row[0];
+  for (std::size_t c = 1; c < row.size(); ++c) {
+    row_max = std::max(row_max, row[c]);
+  }
+  float sum = 0.0f;
+  for (const float v : row) sum += std::exp(v - row_max);
+  const float log_z = row_max + std::log(sum);
+  for (float& v : row) v -= log_z;
+}
+
+void relu_row(std::span<float> row) {
+  for (float& v : row) v = v > 0.0f ? v : 0.0f;
+}
+
+}  // namespace fpna::dl

@@ -12,6 +12,7 @@
 // mechanism for the whole tree - and the bench JSON emitter turns
 // snapshot() into a table so metrics ride the existing CI artifact flow.
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -56,6 +57,7 @@ class Counter {
   };
 
   static std::size_t shard_index() noexcept;
+  friend class Histogram;  // shares the per-thread shard slot
 
   Shard shards_[kShards];
 };
@@ -103,12 +105,45 @@ class TimerStat {
   std::atomic<std::uint64_t> max_ns_{0};
 };
 
+/// Fixed-bucket log2 latency histogram: value v lands in bucket
+/// bit_width(v) (0; [1,2); [2,4); ... [2^62, 2^63); [2^63, 2^64)), so
+/// recording is two instructions plus one sharded relaxed increment -
+/// the same wait-free sharding as Counter, safe on the serving hot path.
+/// Percentiles are estimated by linear interpolation inside the covering
+/// bucket; with log2 buckets the estimate is within 2x of the true value
+/// (exact bucket counts, approximate quantiles - the standard trade for
+/// a lock-free fixed-footprint histogram).
+class Histogram {
+ public:
+  static constexpr std::size_t kShards = 16;
+  static constexpr std::size_t kBuckets = 65;  // bit_width of uint64: 0..64
+
+  void record(std::uint64_t value) noexcept;
+
+  std::uint64_t count() const noexcept;
+  /// Per-bucket totals folded across shards.
+  std::array<std::uint64_t, kBuckets> bucket_counts() const noexcept;
+  /// Estimated p-quantile (p in [0, 1]) of the recorded values; 0 when
+  /// empty. percentile(0) / percentile(1) clamp to the extreme buckets.
+  double percentile(double p) const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> buckets[kBuckets] = {};
+  };
+
+  Shard shards_[kShards];
+};
+
 /// One row of Metrics::snapshot(), pre-stringified for tables/JSON.
 struct MetricRow {
   std::string name;
-  std::string type;   // "counter" | "gauge" | "timer"
-  std::string value;  // counter count, gauge value, timer mean us
-  std::string count;  // timer sample count ("" otherwise)
+  std::string type;   // "counter" | "gauge" | "timer" | "histogram"
+  std::string value;  // counter count, gauge value, timer mean us,
+                      // histogram "p50=../p95=../p99=.."
+  std::string count;  // timer/histogram sample count ("" otherwise)
 };
 
 /// The registry. Metric objects live as long as the registry and their
@@ -122,6 +157,7 @@ class Metrics {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   TimerStat& timer(std::string_view name);
+  Histogram& histogram(std::string_view name);
 
   /// All metrics, sorted by (type, name) - a deterministic report order.
   std::vector<MetricRow> snapshot() const;
@@ -139,6 +175,7 @@ class Metrics {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<TimerStat>, std::less<>> timers_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
 /// RAII wall-clock measurement into a TimerStat (nullptr: no-op). The

@@ -1,6 +1,8 @@
 #include "fpna/obs/metrics.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
 #include <cstdio>
 #include <thread>
 #include <tuple>
@@ -53,6 +55,71 @@ std::uint64_t TimerStat::min_ns() const noexcept {
   return seen == ~std::uint64_t{0} ? 0 : seen;
 }
 
+void Histogram::record(std::uint64_t value) noexcept {
+  const std::size_t bucket = static_cast<std::size_t>(std::bit_width(value));
+  shards_[Counter::shard_index()].buckets[bucket].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    for (const auto& bucket : shard.buckets) {
+      total += bucket.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+std::array<std::uint64_t, Histogram::kBuckets> Histogram::bucket_counts()
+    const noexcept {
+  std::array<std::uint64_t, kBuckets> folded{};
+  for (const auto& shard : shards_) {
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      folded[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return folded;
+}
+
+double Histogram::percentile(double p) const noexcept {
+  const auto folded = bucket_counts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : folded) total += c;
+  if (total == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // The value whose rank is p * (total - 1) (nearest-rank with
+  // interpolation), located by walking the cumulative bucket counts and
+  // interpolating linearly inside the covering bucket's value range.
+  const double target = p * static_cast<double>(total - 1);
+  double before = 0.0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const double in_bucket = static_cast<double>(folded[b]);
+    if (in_bucket == 0.0) continue;
+    if (target < before + in_bucket) {
+      if (b == 0) return 0.0;  // bucket 0 holds only the value 0
+      const double lo = std::ldexp(1.0, static_cast<int>(b) - 1);
+      const double frac =
+          in_bucket <= 1.0
+              ? 0.0
+              : std::max(0.0, (target - before) / (in_bucket - 1.0));
+      return lo + lo * std::min(1.0, frac);  // range [lo, 2*lo)
+    }
+    before += in_bucket;
+  }
+  // target <= total - 1 < the full cumulative count, so the walk always
+  // lands in a bucket; this line is unreachable.
+  return 0.0;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& shard : shards_) {
+    for (auto& bucket : shard.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
 template <typename T>
 T& Metrics::named(std::map<std::string, std::unique_ptr<T>, std::less<>>& map,
                   std::string_view name) {
@@ -74,10 +141,15 @@ TimerStat& Metrics::timer(std::string_view name) {
   return named(timers_, name);
 }
 
+Histogram& Metrics::histogram(std::string_view name) {
+  return named(histograms_, name);
+}
+
 std::vector<MetricRow> Metrics::snapshot() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::vector<MetricRow> rows;
-  rows.reserve(counters_.size() + gauges_.size() + timers_.size());
+  rows.reserve(counters_.size() + gauges_.size() + timers_.size() +
+               histograms_.size());
   for (const auto& [name, counter] : counters_) {
     rows.push_back({name, "counter", format_u64(counter->value()), ""});
   }
@@ -87,6 +159,13 @@ std::vector<MetricRow> Metrics::snapshot() const {
   for (const auto& [name, timer] : timers_) {
     rows.push_back({name, "timer", format_double(timer->mean_us()),
                     format_u64(timer->count())});
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    std::string value = "p50=" + format_double(histogram->percentile(0.50)) +
+                        "/p95=" + format_double(histogram->percentile(0.95)) +
+                        "/p99=" + format_double(histogram->percentile(0.99));
+    rows.push_back({name, "histogram", std::move(value),
+                    format_u64(histogram->count())});
   }
   std::sort(rows.begin(), rows.end(),
             [](const MetricRow& a, const MetricRow& b) {

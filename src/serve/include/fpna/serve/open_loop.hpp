@@ -1,0 +1,80 @@
+#pragma once
+// Open-loop traffic for the serving bench: a deterministic seeded
+// Poisson-ish arrival process (exponential interarrival gaps), a
+// real-time driver that submits it against a live InferenceServer, and a
+// virtual-time discrete-event projection of the same batching policy
+// through sim's device cost model (millions of requests in milliseconds,
+// no wall clock involved - the "at scale" columns of bench/serve_latency).
+//
+// Open-loop means arrivals never wait for completions: the submit clock
+// runs on its own schedule, so an overloaded server builds queue depth
+// (and the admission queue's backpressure blocks the submitter) instead
+// of the load generator silently slowing down - the standard honest way
+// to measure tail latency.
+
+#include <cstdint>
+#include <vector>
+
+#include "fpna/serve/server.hpp"
+#include "fpna/sim/device_profile.hpp"
+
+namespace fpna::serve {
+
+/// Interarrival gaps of a Poisson process with the given rate, drawn
+/// from a seeded generator: pure function of (rate, n, seed).
+std::vector<std::uint64_t> exponential_interarrivals_ns(double rate_per_s,
+                                                        std::size_t n,
+                                                        std::uint64_t seed);
+
+struct LatencySummary {
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  double duration_s = 0.0;
+  double throughput_rps = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+struct OpenLoopResult {
+  LatencySummary latency;
+  /// Fingerprint over every completed output's bits in submission
+  /// order - the batch-invariance witness the bench tables carry.
+  std::uint64_t bits = 0;
+};
+
+/// Submits `requests` against the live server with the given gaps
+/// between submissions (sleep-until pacing, immune to sleep drift) and
+/// waits for every future. gaps_ns[i] is the gap *before* request i.
+OpenLoopResult run_open_loop(InferenceServer& server,
+                             const std::vector<Request>& requests,
+                             const std::vector<std::uint64_t>& gaps_ns);
+
+/// Analytic per-batch service time: dispatch_us + per_row_us * rows
+/// (launch overhead amortises across the batch - the whole reason
+/// batching buys throughput).
+struct ServiceModel {
+  double dispatch_us = 3.0;
+  double per_row_us = 1.0;
+
+  /// Derives the model from a device profile: dispatch = one kernel
+  /// launch per layer pair, per-row = streaming the row's weights and
+  /// activations (bytes_per_row) at the device's effective bandwidth.
+  static ServiceModel from_profile(const sim::DeviceProfile& profile,
+                                   double bytes_per_row);
+
+  double batch_us(std::size_t rows) const noexcept {
+    return dispatch_us + per_row_us * static_cast<double>(rows);
+  }
+};
+
+/// Virtual-time discrete-event simulation of the server's batching
+/// policy (dispatch at max_batch, or when the oldest staged request has
+/// waited max_wait_us) under the seeded arrival process. Deterministic;
+/// scales to 1e6+ requests.
+LatencySummary simulate_open_loop(const ServiceModel& model,
+                                  std::size_t max_batch, double max_wait_us,
+                                  double rate_per_s, std::size_t num_requests,
+                                  std::uint64_t seed);
+
+}  // namespace fpna::serve

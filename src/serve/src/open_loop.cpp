@@ -1,0 +1,165 @@
+#include "fpna/serve/open_loop.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+
+#include "fpna/obs/recorder.hpp"
+#include "fpna/util/rng.hpp"
+
+namespace fpna::serve {
+
+namespace {
+
+double sorted_percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const auto idx = static_cast<std::size_t>(std::llround(rank));
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+LatencySummary summarize(std::vector<double>& latencies_us, double duration_s,
+                         std::size_t failed) {
+  LatencySummary summary;
+  summary.completed = latencies_us.size();
+  summary.failed = failed;
+  summary.duration_s = duration_s;
+  summary.throughput_rps =
+      duration_s > 0.0 ? static_cast<double>(latencies_us.size()) / duration_s
+                       : 0.0;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  summary.p50_us = sorted_percentile(latencies_us, 0.50);
+  summary.p95_us = sorted_percentile(latencies_us, 0.95);
+  summary.p99_us = sorted_percentile(latencies_us, 0.99);
+  return summary;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> exponential_interarrivals_ns(double rate_per_s,
+                                                        std::size_t n,
+                                                        std::uint64_t seed) {
+  if (rate_per_s <= 0.0) {
+    throw std::invalid_argument("exponential_interarrivals_ns: rate <= 0");
+  }
+  util::Xoshiro256pp rng(seed);
+  std::vector<std::uint64_t> gaps(n);
+  for (auto& gap : gaps) {
+    // Inverse-CDF draw; canonical() < 1 keeps the log finite.
+    const double u = util::canonical(rng);
+    const double seconds = -std::log1p(-u) / rate_per_s;
+    gap = static_cast<std::uint64_t>(seconds * 1e9);
+  }
+  return gaps;
+}
+
+OpenLoopResult run_open_loop(InferenceServer& server,
+                             const std::vector<Request>& requests,
+                             const std::vector<std::uint64_t>& gaps_ns) {
+  if (gaps_ns.size() != requests.size()) {
+    throw std::invalid_argument("run_open_loop: gaps/requests size mismatch");
+  }
+  std::vector<std::future<InferenceResult>> futures;
+  futures.reserve(requests.size());
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t elapsed_target_ns = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    elapsed_target_ns += gaps_ns[i];
+    // sleep_until the absolute schedule: a slow iteration eats into the
+    // next gap instead of shifting every later arrival (open loop).
+    std::this_thread::sleep_until(
+        start + std::chrono::nanoseconds(elapsed_target_ns));
+    futures.push_back(server.submit(requests[i]));
+  }
+
+  OpenLoopResult result;
+  obs::Fingerprint bits;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(futures.size());
+  std::uint64_t first_admitted = ~std::uint64_t{0}, last_completed = 0;
+  std::size_t failed = 0;
+  for (auto& future : futures) {
+    try {
+      const InferenceResult r = future.get();
+      latencies_us.push_back(
+          static_cast<double>(r.completed_ns - r.admitted_ns) * 1e-3);
+      first_admitted = std::min(first_admitted, r.admitted_ns);
+      last_completed = std::max(last_completed, r.completed_ns);
+      bits.feed(std::span<const float>(r.log_probs));
+    } catch (...) {
+      ++failed;
+    }
+  }
+  const double duration_s =
+      latencies_us.empty()
+          ? 0.0
+          : static_cast<double>(last_completed - first_admitted) * 1e-9;
+  result.latency = summarize(latencies_us, duration_s, failed);
+  result.bits = bits.value();
+  return result;
+}
+
+ServiceModel ServiceModel::from_profile(const sim::DeviceProfile& profile,
+                                        double bytes_per_row) {
+  ServiceModel model;
+  // One fused launch per conv layer pair; bytes stream at the effective
+  // reduction bandwidth (1 GB/s == 1e3 bytes/us).
+  model.dispatch_us = 2.0 * profile.kernel_launch_us;
+  model.per_row_us = bytes_per_row / (profile.mem_bandwidth_gb_s * 1e3);
+  return model;
+}
+
+LatencySummary simulate_open_loop(const ServiceModel& model,
+                                  std::size_t max_batch, double max_wait_us,
+                                  double rate_per_s, std::size_t num_requests,
+                                  std::uint64_t seed) {
+  if (max_batch == 0) {
+    throw std::invalid_argument("simulate_open_loop: max_batch == 0");
+  }
+  const auto gaps = exponential_interarrivals_ns(rate_per_s, num_requests,
+                                                 seed);
+  std::vector<double> arrival_us(num_requests);
+  double clock = 0.0;
+  for (std::size_t i = 0; i < num_requests; ++i) {
+    clock += static_cast<double>(gaps[i]) * 1e-3;
+    arrival_us[i] = clock;
+  }
+
+  std::vector<double> latencies_us;
+  latencies_us.reserve(num_requests);
+  double free_at = 0.0;
+  std::size_t next = 0;
+  double last_completion = 0.0;
+  while (next < num_requests) {
+    // The batcher stages the oldest pending request and dispatches when
+    // the batch fills or the oldest has waited max_wait - the exact
+    // policy of InferenceServer::batcher_loop, in virtual time.
+    const double oldest = arrival_us[next];
+    const double fill_at = next + max_batch - 1 < num_requests
+                               ? arrival_us[next + max_batch - 1]
+                               : std::numeric_limits<double>::infinity();
+    const double dispatch =
+        std::max({free_at, oldest,
+                  std::min(fill_at, oldest + max_wait_us)});
+    std::size_t rows = 0;
+    while (next + rows < num_requests && rows < max_batch &&
+           arrival_us[next + rows] <= dispatch) {
+      ++rows;
+    }
+    const double done = dispatch + model.batch_us(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      latencies_us.push_back(done - arrival_us[next + r]);
+    }
+    next += rows;
+    free_at = done;
+    last_completion = done;
+  }
+  const double duration_s =
+      num_requests == 0 ? 0.0 : (last_completion - arrival_us.front()) * 1e-6;
+  return summarize(latencies_us, duration_s, 0);
+}
+
+}  // namespace fpna::serve

@@ -116,6 +116,83 @@ TEST(Metrics, SnapshotIsSortedAndTyped) {
   EXPECT_EQ(rows[2].count, "1");
 }
 
+TEST(Metrics, HistogramBucketsByBitWidth) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.percentile(0.99), 0.0);  // empty reads as 0
+  // bit_width: 0 -> bucket 0, 1 -> 1, [2,3] -> 2, [4,7] -> 3, ...
+  histogram.record(0);
+  histogram.record(1);
+  histogram.record(2);
+  histogram.record(3);
+  histogram.record(7);
+  histogram.record(~std::uint64_t{0});  // top bucket, no overflow
+  EXPECT_EQ(histogram.count(), 6u);
+  const auto buckets = histogram.bucket_counts();
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 2u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(buckets[64], 1u);
+  histogram.reset();
+  EXPECT_EQ(histogram.count(), 0u);
+}
+
+TEST(Metrics, HistogramPercentilesBracketTheSample) {
+  Histogram histogram;
+  // 1000 values spread across [1, 1000]: the log2 estimate cannot be
+  // exact, but each percentile must land inside the covering power-of-
+  // two range of the true order statistic.
+  for (std::uint64_t v = 1; v <= 1000; ++v) histogram.record(v);
+  const double p50 = histogram.percentile(0.50);  // true ~500, range [512,1024)
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LT(p50, 1024.0);
+  const double p99 = histogram.percentile(0.99);  // true ~990
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LT(p99, 1024.0);
+  EXPECT_LE(histogram.percentile(0.50), histogram.percentile(0.95));
+  EXPECT_LE(histogram.percentile(0.95), histogram.percentile(0.99));
+  // A single-value histogram estimates that value's bucket floor.
+  Histogram single;
+  single.record(100);  // bucket 7: [64, 128)
+  const double p = single.percentile(0.50);
+  EXPECT_GE(p, 64.0);
+  EXPECT_LT(p, 128.0);
+}
+
+TEST(Metrics, HistogramFoldsConcurrentShards) {
+  Histogram histogram;
+  constexpr std::size_t kThreads = 8, kEach = 10'000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (std::size_t i = 0; i < kEach; ++i) {
+        histogram.record(1000 + i % 7);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(histogram.count(), kThreads * kEach);
+  // All values in [1000, 1006] share bit_width 10.
+  EXPECT_EQ(histogram.bucket_counts()[10], kThreads * kEach);
+}
+
+TEST(Metrics, HistogramSnapshotRowCarriesPercentiles) {
+  Metrics metrics;
+  auto& histogram = metrics.histogram("serve.latency_ns");
+  for (std::uint64_t v = 0; v < 64; ++v) histogram.record(1 << 10);
+  const auto rows = metrics.snapshot();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].name, "serve.latency_ns");
+  EXPECT_EQ(rows[0].type, "histogram");
+  EXPECT_EQ(rows[0].count, "64");
+  EXPECT_EQ(rows[0].value.rfind("p50=", 0), 0u);
+  EXPECT_NE(rows[0].value.find("/p95="), std::string::npos);
+  EXPECT_NE(rows[0].value.find("/p99="), std::string::npos);
+  // Same name returns the same instance.
+  EXPECT_EQ(&metrics.histogram("serve.latency_ns"), &histogram);
+}
+
 TEST(Metrics, ScopedTimerRecordsOnExit) {
   TimerStat stat;
   {
